@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+Strong-scaling sweeps are expensive (hundreds of simulated ranks), so each
+matrix's full Figure-7-style experiment runs once per session and is shared
+by the factorization and solve benchmarks.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import get_workload, run_strong_scaling  # noqa: E402
+
+# Paper runs 1..64 nodes with 4 GPUs/node; we sweep the same node counts.
+NODE_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+PPN = (4,)
+
+_cache: dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def scaling_results():
+    """Lazy per-matrix strong-scaling results, computed once per session."""
+
+    def get(key: str):
+        if key not in _cache:
+            matrix = get_workload(key).build()
+            _cache[key] = run_strong_scaling(
+                matrix, node_counts=NODE_COUNTS, ppn_sweep=PPN)
+        return _cache[key]
+
+    return get

@@ -1,0 +1,43 @@
+"""Ablation: RTQ scheduling policy (paper Section 3.4 / future work §6).
+
+'If multiple tasks are available in the RTQ, then the next task that will
+be processed is whichever one is at the top of the queue.  Evaluating
+different scheduling policies will be a subject for future work.'  We run
+that future-work experiment: FIFO (the paper's policy) vs a priority queue
+favouring lower supernode indices (left-to-right critical path).
+"""
+
+import numpy as np
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.bench import format_table, get_workload
+
+
+def run_policies():
+    times = {}
+    for key in ("flan", "thermal"):
+        a = get_workload(key).build()
+        for policy in ("fifo", "priority"):
+            solver = SymPackSolver(a, SolverOptions(
+                nranks=16, ranks_per_node=4, offload=CPU_ONLY,
+                scheduling=policy))
+            info = solver.factorize()
+            x, _ = solver.solve(np.ones(a.n))
+            assert solver.residual_norm(x, np.ones(a.n)) < 1e-10
+            times[(key, policy)] = info.simulated_seconds
+    return times
+
+
+def test_ablation_scheduling_policy(benchmark):
+    times = benchmark.pedantic(run_policies, rounds=1, iterations=1)
+    print()
+    rows = [[f"{m} / {p}", f"{t:.6f}"] for (m, p), t in times.items()]
+    print("RTQ scheduling-policy ablation (16 ranks)")
+    print(format_table(["matrix / policy", "factor time (s)"], rows))
+
+    # Both policies must complete correctly; their times should be in the
+    # same regime (scheduling changes overlap, not total work).
+    for key in ("flan", "thermal"):
+        fifo = times[(key, "fifo")]
+        prio = times[(key, "priority")]
+        assert 0.5 < prio / fifo < 2.0

@@ -1,0 +1,47 @@
+"""Ablation: GPU offload thresholds (paper Section 4.2 / future work §6).
+
+Sweeps a global scale factor over the per-op thresholds on the Flan
+stand-in.  Expected: offloading everything (tiny thresholds) is *worse*
+than the tuned defaults — 'if the GPU were used for every computation, the
+fixed overheads ... would eliminate the performance gains' — and never
+offloading loses the large-block wins.
+"""
+
+import numpy as np
+
+from repro import OffloadPolicy, SolverOptions, SymPackSolver
+from repro.bench import format_table, get_workload
+
+
+def run_sweep():
+    a = get_workload("flan").build()
+    rows = []
+    times = {}
+    for label, policy in [
+        ("gpu-everything", OffloadPolicy().with_thresholds(
+            GEMM=1, SYRK=1, TRSM=1, POTRF=1)),
+        ("default", OffloadPolicy()),
+        ("4x-defaults", OffloadPolicy().with_thresholds(
+            **{op: 4 * t for op, t in OffloadPolicy().thresholds.items()})),
+        ("cpu-only", OffloadPolicy(enabled=False)),
+    ]:
+        solver = SymPackSolver(a, SolverOptions(nranks=4, ranks_per_node=4,
+                                                offload=policy))
+        info = solver.factorize()
+        x, _ = solver.solve(np.ones(a.n))
+        assert solver.residual_norm(x, np.ones(a.n)) < 1e-10
+        gpu_calls = solver.trace.ops.total_calls("gpu")
+        times[label] = info.simulated_seconds
+        rows.append([label, f"{info.simulated_seconds:.6f}", str(gpu_calls)])
+    return rows, times
+
+
+def test_ablation_offload_thresholds(benchmark):
+    rows, times = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print()
+    print("Offload-threshold ablation (flan stand-in, 4 ranks + 4 GPUs)")
+    print(format_table(["policy", "factor time (s)", "GPU calls"], rows))
+
+    # The hybrid default beats both extremes (the paper's design point).
+    assert times["default"] < times["gpu-everything"]
+    assert times["default"] <= times["cpu-only"]

@@ -1,0 +1,15 @@
+"""Paper Figure 10: strong scaling of the triangular solve on boneS10."""
+
+from repro.bench import format_scaling
+
+
+def test_fig10_bone_solve_scaling(benchmark, scaling_results):
+    result = benchmark.pedantic(lambda: scaling_results("bone"),
+                                rounds=1, iterations=1)
+    print()
+    print(format_scaling(result, phase="solve"))
+
+    sym = result.sympack.solve_times()
+    pas = result.pastix.solve_times()
+    for s, p, nodes in zip(sym, pas, result.nodes):
+        assert s < p, f"symPACK solve must beat PaStiX at {nodes} nodes"

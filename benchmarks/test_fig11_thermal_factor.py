@@ -1,0 +1,20 @@
+"""Paper Figure 11: strong scaling of Cholesky factorization on thermal2.
+
+thermal2 is the irregular, very sparse case; symPACK still wins at every
+node count (paper Section 5.3).
+"""
+
+from repro.bench import format_scaling
+
+
+def test_fig11_thermal_factorization_scaling(benchmark, scaling_results):
+    result = benchmark.pedantic(lambda: scaling_results("thermal"),
+                                rounds=1, iterations=1)
+    print()
+    print(format_scaling(result, phase="factor"))
+
+    sym = result.sympack.factor_times()
+    pas = result.pastix.factor_times()
+    for s, p, nodes in zip(sym, pas, result.nodes):
+        assert s < p, f"symPACK must beat PaStiX at {nodes} nodes"
+    assert sym[-1] < sym[0]

@@ -1,0 +1,27 @@
+"""Paper Figure 12: strong scaling of the triangular solve on thermal2.
+
+The distinguishing shape of this figure: PaStiX's solve performs *worse*
+as the node count increases (irregular structure, tiny supernodes, solve
+communication dominating), while symPACK keeps improving — yielding the
+paper's largest speedups (up to ~14x).
+"""
+
+from repro.bench import format_scaling
+
+
+def test_fig12_thermal_solve_scaling(benchmark, scaling_results):
+    result = benchmark.pedantic(lambda: scaling_results("thermal"),
+                                rounds=1, iterations=1)
+    print()
+    print(format_scaling(result, phase="solve"))
+
+    sym = result.sympack.solve_times()
+    pas = result.pastix.solve_times()
+    nodes = result.nodes
+    for s, p, n in zip(sym, pas, nodes):
+        assert s < p, f"symPACK solve must beat PaStiX at {n} nodes"
+    # PaStiX's solve degrades toward large node counts (Fig. 12).
+    assert pas[-1] > min(pas), "PaStiX solve should worsen at scale"
+    # The headline speedup: order-10x at the largest node counts.
+    top_speedup = max(result.speedups_solve())
+    assert top_speedup > 5.0, f"expected paper-scale speedup, got {top_speedup:.1f}x"

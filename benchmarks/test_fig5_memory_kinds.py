@@ -1,0 +1,46 @@
+"""Paper Figure 5: RMA get flood bandwidth, remote host -> local GPU.
+
+Three series — UPC++ native memory kinds (GPUDirect RDMA), UPC++ reference
+memory kinds (staged through host), GPU-enabled MPI RMA — over 16 B..4 MiB
+payloads.  Expected shape: native/reference ratio ~5.9x at 8 KiB shrinking
+to ~2.3x above 1 MiB; MPI within 20% of native across the range; native
+saturating toward wire speed.
+"""
+
+import pytest
+
+from repro.bench import format_memory_kinds, run_memory_kinds_bench
+
+SIZES = tuple(16 * 4**k for k in range(10)) + (8192,)
+
+
+def test_fig5_memory_kinds_bandwidth(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_memory_kinds_bench(sizes=SIZES), rounds=1, iterations=1)
+    print()
+    print(format_memory_kinds(result))
+
+    # Paper-quantified points.
+    assert result.ratio("native", "reference", 8192) == pytest.approx(5.9, rel=0.2)
+    assert result.ratio("native", "reference", 4 << 20) == pytest.approx(2.3, rel=0.1)
+    # MPI within 20% of native everywhere.
+    for nbytes in SIZES:
+        assert 0.8 < result.ratio("mpi", "native", nbytes) <= 1.01
+    # Native saturates toward the 'limiting wire speed' asymptote.
+    top = max(p.bandwidth_mib_s for p in result.series("native"))
+    assert top > 0.95 * result.wire_speed_mib_s
+
+
+def test_fig5_windowing_amortises_latency(benchmark):
+    """The flood (windowed) pattern must beat one-at-a-time gets at small
+    payloads — the reason the paper benchmarks 64-deep windows."""
+
+    def run():
+        flood = run_memory_kinds_bench(sizes=(4096,), window=64)
+        single = run_memory_kinds_bench(sizes=(4096,), window=1)
+        return flood, single
+
+    flood, single = benchmark.pedantic(run, rounds=1, iterations=1)
+    f = flood.series("native")[0].bandwidth_mib_s
+    s = single.series("native")[0].bandwidth_mib_s
+    assert f > 2 * s

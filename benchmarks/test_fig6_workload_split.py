@@ -1,0 +1,41 @@
+"""Paper Figure 6: number of BLAS/LAPACK calls on CPU vs GPU.
+
+A symPACK factorization *and* solve of the Flan stand-in with 4 UPC++
+processes and 4 GPUs, default offload thresholds, rank-0 counters.
+Expected shape: every operation type runs mostly on the CPU (small/medium
+blocks dominate), with only the large-buffer tail offloaded to the GPU.
+"""
+
+import numpy as np
+
+from repro import SolverOptions, SymPackSolver
+from repro.bench import format_workload_split, get_workload
+from repro.kernels import OP_GEMM, OP_POTRF, OP_SYRK, OP_TRSM
+
+
+def run_flan_split():
+    a = get_workload("flan").build()
+    solver = SymPackSolver(a, SolverOptions(nranks=4, ranks_per_node=4))
+    solver.factorize()
+    b = np.ones(a.n)
+    x, _ = solver.solve(b)
+    assert solver.residual_norm(x, b) < 1e-10
+    return solver.trace.ops.calls_by_op(rank=0), solver.trace
+
+
+def test_fig6_cpu_gpu_call_split(benchmark):
+    split, trace = benchmark.pedantic(run_flan_split, rounds=1, iterations=1)
+    print()
+    print(format_workload_split(split))
+
+    for op in (OP_POTRF, OP_TRSM, OP_SYRK, OP_GEMM):
+        assert op in split, f"{op} never executed"
+        cpu, gpu = split[op]["cpu"], split[op]["gpu"]
+        # Figure 6 shape: the majority of calls stay on the CPU...
+        assert cpu > gpu, f"{op}: CPU calls must dominate"
+        assert cpu > 10
+    # ...but the GPU is actually used for the large-block tail.
+    total_gpu = sum(v["gpu"] for v in split.values())
+    assert total_gpu >= 1
+    # GPU work exists => host-to-device traffic was charged.
+    assert trace.h2d_bytes > 0

@@ -1,0 +1,20 @@
+"""Paper Figure 8: strong scaling of the triangular solve on Flan_1565.
+
+Expected shape: symPACK outperforms PaStiX at every node count.
+"""
+
+from repro.bench import format_scaling
+
+
+def test_fig8_flan_solve_scaling(benchmark, scaling_results):
+    result = benchmark.pedantic(lambda: scaling_results("flan"),
+                                rounds=1, iterations=1)
+    print()
+    print(format_scaling(result, phase="solve"))
+
+    sym = result.sympack.solve_times()
+    pas = result.pastix.solve_times()
+    for s, p, nodes in zip(sym, pas, result.nodes):
+        assert s < p, f"symPACK solve must beat PaStiX at {nodes} nodes"
+    # symPACK's solve itself strong-scales.
+    assert sym[-1] < sym[0]

@@ -1,0 +1,16 @@
+"""Paper Figure 9: strong scaling of Cholesky factorization on boneS10."""
+
+from repro.bench import format_scaling
+
+
+def test_fig9_bone_factorization_scaling(benchmark, scaling_results):
+    result = benchmark.pedantic(lambda: scaling_results("bone"),
+                                rounds=1, iterations=1)
+    print()
+    print(format_scaling(result, phase="factor"))
+
+    sym = result.sympack.factor_times()
+    pas = result.pastix.factor_times()
+    for s, p, nodes in zip(sym, pas, result.nodes):
+        assert s < p, f"symPACK must beat PaStiX at {nodes} nodes"
+    assert sym[-1] < sym[0]

@@ -1,0 +1,60 @@
+"""Future-work experiment (paper Section 6): AMD / Intel GPU portability.
+
+The paper: 'it would be relatively easy to introduce support for AMD or
+Intel GPUs, thanks to the portability offered by UPC++ memory kinds.  One
+would only need to ... replace the calls to CuBLAS/CuSolver with calls to
+the vendor equivalents.'  We run the same solver, unmodified, against the
+NVIDIA (Perlmutter), AMD (Frontier) and Intel (Aurora) machine models via
+the corresponding device kinds, plus the analytical threshold framework
+retuned per machine.
+"""
+
+import numpy as np
+
+from repro import (
+    DeviceKind,
+    SolverOptions,
+    SymPackSolver,
+    analytical_policy,
+    aurora,
+    frontier,
+    perlmutter,
+)
+from repro.bench import format_table, get_workload
+
+TARGETS = [
+    ("Perlmutter/A100", DeviceKind.CUDA, perlmutter),
+    ("Frontier/MI250X", DeviceKind.HIP, frontier),
+    ("Aurora/PVC", DeviceKind.ZE, aurora),
+]
+
+
+def run_portability():
+    a = get_workload("flan").build()
+    b = np.ones(a.n)
+    out = []
+    for name, kind, machine_factory in TARGETS:
+        machine = machine_factory()
+        solver = SymPackSolver(a, SolverOptions(
+            nranks=4, ranks_per_node=4, machine=machine, device_kind=kind,
+            offload=analytical_policy(machine)))
+        info = solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+        out.append((name, info.simulated_seconds,
+                    solver.trace.ops.total_calls("gpu")))
+    return out
+
+
+def test_futurework_vendor_portability(benchmark):
+    out = benchmark.pedantic(run_portability, rounds=1, iterations=1)
+    print()
+    print("Vendor portability (flan stand-in, 4 ranks, analytical thresholds)")
+    rows = [[name, f"{t:.6f}", str(gpu)] for name, t, gpu in out]
+    print(format_table(["target", "factor time (s)", "GPU calls"], rows))
+
+    # Same unmodified solver completes correctly on all three stacks...
+    assert len(out) == 3
+    # ...and actually uses each vendor's GPU.
+    for name, _, gpu_calls in out:
+        assert gpu_calls > 0, f"{name} never offloaded"

@@ -1,0 +1,31 @@
+"""Paper Table 1: characteristics of the benchmark matrices.
+
+Regenerates the table with both the paper's originals and our synthetic
+stand-ins, and checks that the stand-ins preserve the relative density
+ordering that drives the performance phenomena.
+"""
+
+from repro.bench import format_table1, get_workload, paper_table1
+
+
+def test_table1_matrices(benchmark):
+    rows = benchmark.pedantic(paper_table1, rounds=1, iterations=1)
+    print()
+    print(format_table1(rows))
+
+    by_name = {r["stand_in"]: r for r in rows}
+    densities = {r["name"]: r["nnz_per_n"] for r in rows}
+    # Paper: Flan 73 nnz/row > boneS10 44.7 > thermal2 7.0.
+    assert densities["Flan_1565"] > densities["boneS10"] > densities["thermal2"]
+    # thermal stand-in must stay in the "very sparse" regime.
+    assert densities["thermal2"] < 10
+
+
+def test_table1_determinism(benchmark):
+    def build_twice():
+        a = get_workload("flan").build()
+        b = get_workload("flan").build()
+        return a, b
+
+    a, b = benchmark.pedantic(build_twice, rounds=1, iterations=1)
+    assert (a.lower != b.lower).nnz == 0

@@ -1,0 +1,13 @@
+"""Repo-root pytest configuration.
+
+Guarantees `repro` is importable from a source checkout even when the
+editable install is unavailable (offline environments without the `wheel`
+package): the src/ layout directory is prepended to sys.path.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,73 @@
+"""Multi-vendor GPU portability (paper Sections 4.1 and 6).
+
+UPC++ memory kinds make device communication portable across vendors via a
+template parameter (cuda_device / hip_device / ze_device).  This example
+exercises the reproduction's equivalent: the *same* solver code runs on
+NVIDIA (Perlmutter), AMD (Frontier) and Intel (Aurora) machine models, with
+the analytical threshold framework re-deriving offload thresholds for each
+machine, and a timeline report showing per-rank utilisation.
+
+Run:  python examples/multi_vendor_portability.py
+"""
+
+import numpy as np
+
+from repro import (
+    DeviceKind,
+    SolverOptions,
+    SymPackSolver,
+    analytical_policy,
+    analytical_thresholds,
+    aurora,
+    frontier,
+    perlmutter,
+)
+from repro.core import analyze_timeline, render_gantt
+from repro.sparse import flan_like
+
+TARGETS = [
+    ("Perlmutter (NVIDIA A100, cuda_device)", DeviceKind.CUDA, perlmutter),
+    ("Frontier   (AMD MI250X,  hip_device)", DeviceKind.HIP, frontier),
+    ("Aurora     (Intel PVC,   ze_device)", DeviceKind.ZE, aurora),
+]
+
+
+def main() -> None:
+    a = flan_like(scale=12)
+    b = np.ones(a.n)
+    print(f"matrix: {a.name}  n={a.n}\n")
+
+    for name, kind, machine_factory in TARGETS:
+        machine = machine_factory()
+        thresholds = analytical_thresholds(machine)
+        solver = SymPackSolver(a, SolverOptions(
+            nranks=4, ranks_per_node=4, machine=machine, device_kind=kind,
+            offload=analytical_policy(machine), keep_timeline=True))
+        info = solver.factorize()
+        # Timeline stats for the factorization alone (solve runs on its
+        # own simulated clock, so analyze before accumulating it).
+        stats = analyze_timeline(solver.trace)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+        gpu_calls = solver.trace.ops.total_calls("gpu")
+        print(f"=== {name} ===")
+        print(f"  analytical thresholds: "
+              + ", ".join(f"{op}={t}" for op, t in sorted(thresholds.items())))
+        print(f"  factorization: {info.simulated_seconds * 1e3:.3f} ms "
+              f"simulated, {gpu_calls} GPU kernel calls")
+        print(f"  mean utilisation {stats.mean_utilization():.0%}, "
+              f"load imbalance {stats.load_imbalance():.2f}")
+        print()
+
+    # One detailed timeline for the NVIDIA run.
+    machine = perlmutter()
+    solver = SymPackSolver(a, SolverOptions(
+        nranks=4, ranks_per_node=4, machine=machine,
+        offload=analytical_policy(machine), keep_timeline=True))
+    solver.factorize()
+    print(render_gantt(solver.trace, width=64))
+
+
+if __name__ == "__main__":
+    main()

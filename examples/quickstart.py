@@ -1,0 +1,54 @@
+"""Quickstart: factor and solve a sparse SPD system with the fan-out solver.
+
+Builds a 3D Poisson-type matrix, runs the full symPACK-style pipeline
+(Scotch-like ordering -> symbolic analysis -> distributed fan-out numeric
+factorization -> triangular solves) on a simulated 4-rank / 4-GPU
+Perlmutter node, and verifies the solution against the true residual.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import SolverOptions, SymPackSolver
+from repro.sparse import grid_laplacian_3d
+
+
+def main() -> None:
+    # 1. Build a problem: 7-point Laplacian on a 14^3 grid (large enough
+    # that the top separator supernodes cross the GPU offload thresholds).
+    a = grid_laplacian_3d(14, 14, 14)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(a.n)
+    print(f"matrix: {a.name}  n={a.n}  nnz={a.nnz_full}")
+
+    # 2. Configure a simulated 4-process run on one GPU node.
+    solver = SymPackSolver(a, SolverOptions(nranks=4, ranks_per_node=4))
+    stats = solver.analysis.stats()
+    print(f"symbolic: nnz(L)={stats['nnz_L']:.0f}  "
+          f"fill-in={stats['fill_in']:.0f}  supernodes={stats['nsup']:.0f}  "
+          f"blocks={stats['n_blocks']:.0f}")
+
+    # 3. Numeric factorization (real numerics, simulated distributed time).
+    info = solver.factorize()
+    print(f"factorization: {info.tasks} tasks, "
+          f"{info.simulated_seconds * 1e3:.3f} ms simulated, "
+          f"{info.comm.rpcs_sent} RPCs, "
+          f"{info.comm.bytes_get / 1e6:.2f} MB pulled via RMA gets")
+
+    # 4. Solve and verify.
+    x, sinfo = solver.solve(b)
+    residual = solver.residual_norm(x, b)
+    print(f"solve: {sinfo.simulated_seconds * 1e3:.3f} ms simulated, "
+          f"relative residual {residual:.2e}")
+    assert residual < 1e-10
+
+    # 5. Where did the kernels run?
+    split = solver.trace.ops.calls_by_op(rank=0)
+    for op, devs in sorted(split.items()):
+        print(f"  {op:6s}: {devs['cpu']:5d} CPU calls, "
+              f"{devs['gpu']:3d} GPU calls (rank 0)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+All real metadata lives in pyproject.toml; this file only enables legacy
+editable installs (`pip install -e .`) when PEP 517 build isolation is
+unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,43 @@
+"""repro: reproduction of *symPACK: A GPU-Capable Fan-Out Sparse Cholesky
+Solver* (SC-W 2023).
+
+A complete supernodal sparse Cholesky stack — ordering, symbolic analysis,
+fan-out distributed numeric factorization with simulated GPU offload, and
+triangular solves — built on a simulated UPC++/PGAS runtime with a
+discrete-event machine model.  Numerics are real and verified; distributed
+timings are simulated (see DESIGN.md).
+"""
+
+from .core.autotune import analytical_policy, analytical_thresholds, autotune_thresholds
+from .core.offload import CPU_ONLY, OffloadPolicy
+from .core.refine import refine_solution
+from .core.solver import SolverOptions, SymPackSolver, solve_spd
+from .machine import MachineModel, aurora, frontier, perlmutter
+from .pgas.device_kinds import DeviceKind
+from .pgas.network import MemoryKindsMode
+from .sparse.csc import SymmetricCSC
+from .symbolic.analysis import SymbolicAnalysis, analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analytical_policy",
+    "analytical_thresholds",
+    "autotune_thresholds",
+    "refine_solution",
+    "aurora",
+    "frontier",
+    "DeviceKind",
+    "CPU_ONLY",
+    "OffloadPolicy",
+    "SolverOptions",
+    "SymPackSolver",
+    "solve_spd",
+    "MachineModel",
+    "perlmutter",
+    "MemoryKindsMode",
+    "SymmetricCSC",
+    "SymbolicAnalysis",
+    "analyze",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Baselines: PaStiX-like right-looking solver, dense Cholesky, SciPy."""
+
+from .dense_chol import (
+    backward_substitution,
+    basic_cholesky,
+    dense_solve,
+    forward_substitution,
+    left_looking_cholesky,
+    right_looking_cholesky,
+)
+from .pastix_like import PastixLikeSolver, PastixOptions
+from .scipy_ref import reference_solve, relative_residual
+
+__all__ = [
+    "backward_substitution",
+    "basic_cholesky",
+    "dense_solve",
+    "forward_substitution",
+    "left_looking_cholesky",
+    "right_looking_cholesky",
+    "PastixLikeSolver",
+    "PastixOptions",
+    "reference_solve",
+    "relative_residual",
+]

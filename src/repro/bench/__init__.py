@@ -1,0 +1,58 @@
+"""Benchmark harness: workloads, strong-scaling sweeps, microbenchmarks."""
+
+from .export import (
+    export_memory_kinds,
+    export_scaling,
+    memory_kinds_to_rows,
+    scaling_to_rows,
+    write_csv,
+    write_json,
+)
+from .harness import (
+    DEFAULT_NODE_COUNTS,
+    ScalingPoint,
+    ScalingSeries,
+    StrongScalingResult,
+    run_strong_scaling,
+)
+from .microbench import (
+    PAYLOAD_SIZES,
+    BandwidthPoint,
+    MemoryKindsBenchResult,
+    run_memory_kinds_bench,
+)
+from .reporting import (
+    format_memory_kinds,
+    format_scaling,
+    format_table,
+    format_table1,
+    format_workload_split,
+)
+from .workloads import WORKLOADS, Workload, get_workload, paper_table1
+
+__all__ = [
+    "export_memory_kinds",
+    "export_scaling",
+    "memory_kinds_to_rows",
+    "scaling_to_rows",
+    "write_csv",
+    "write_json",
+    "DEFAULT_NODE_COUNTS",
+    "ScalingPoint",
+    "ScalingSeries",
+    "StrongScalingResult",
+    "run_strong_scaling",
+    "PAYLOAD_SIZES",
+    "BandwidthPoint",
+    "MemoryKindsBenchResult",
+    "run_memory_kinds_bench",
+    "format_memory_kinds",
+    "format_scaling",
+    "format_table",
+    "format_table1",
+    "format_workload_split",
+    "WORKLOADS",
+    "Workload",
+    "get_workload",
+    "paper_table1",
+]

@@ -1,0 +1,92 @@
+"""Machine-readable export of benchmark results.
+
+The text tables in :mod:`repro.bench.reporting` are for eyeballing against
+the paper; this module writes the same data as CSV and JSON so results can
+be archived, diffed across machine models, and plotted by external tools
+(the AD/AE-style artifact workflow).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+
+from .harness import StrongScalingResult
+from .microbench import MemoryKindsBenchResult
+
+__all__ = ["scaling_to_rows", "memory_kinds_to_rows", "write_csv",
+           "write_json", "export_scaling", "export_memory_kinds"]
+
+
+def scaling_to_rows(result: StrongScalingResult) -> list[dict[str, object]]:
+    """Flatten a strong-scaling experiment to one row per (solver, nodes)."""
+    rows: list[dict[str, object]] = []
+    for series in (result.sympack, result.pastix):
+        for point in series.points:
+            rows.append({
+                "matrix": result.matrix,
+                "solver": series.solver,
+                "nodes": point.nodes,
+                "ranks": point.ranks,
+                "ranks_per_node": point.ranks_per_node,
+                "factor_seconds": point.factor_seconds,
+                "solve_seconds": point.solve_seconds,
+                "residual": point.residual,
+            })
+    return rows
+
+
+def memory_kinds_to_rows(result: MemoryKindsBenchResult) -> list[dict[str, object]]:
+    """Flatten the Figure 5 dataset to one row per (mode, payload)."""
+    return [{
+        "mode": p.mode,
+        "bytes": p.nbytes,
+        "bandwidth_mib_s": p.bandwidth_mib_s,
+        "wire_speed_mib_s": result.wire_speed_mib_s,
+    } for p in sorted(result.points, key=lambda p: (p.mode, p.nbytes))]
+
+
+def write_csv(rows: list[dict[str, object]], path: str | Path) -> None:
+    """Write dict rows as CSV (header from the first row's keys)."""
+    if not rows:
+        raise ValueError("no rows to write")
+    path = Path(path)
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def write_json(rows: list[dict[str, object]], path: str | Path) -> None:
+    """Write dict rows as a JSON array."""
+    Path(path).write_text(json.dumps(rows, indent=2) + "\n",
+                          encoding="ascii")
+
+
+def export_scaling(result: StrongScalingResult, directory: str | Path,
+                   stem: str | None = None) -> tuple[Path, Path]:
+    """Write a scaling experiment as ``<stem>.csv`` + ``<stem>.json``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = stem or f"scaling_{result.matrix}"
+    rows = scaling_to_rows(result)
+    csv_path = directory / f"{stem}.csv"
+    json_path = directory / f"{stem}.json"
+    write_csv(rows, csv_path)
+    write_json(rows, json_path)
+    return csv_path, json_path
+
+
+def export_memory_kinds(result: MemoryKindsBenchResult,
+                        directory: str | Path,
+                        stem: str = "memory_kinds") -> tuple[Path, Path]:
+    """Write the Figure 5 dataset as CSV + JSON."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    rows = memory_kinds_to_rows(result)
+    csv_path = directory / f"{stem}.csv"
+    json_path = directory / f"{stem}.json"
+    write_csv(rows, csv_path)
+    write_json(rows, json_path)
+    return csv_path, json_path

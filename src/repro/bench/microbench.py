@@ -1,0 +1,88 @@
+"""Memory-kinds bandwidth microbenchmark (paper Figure 5).
+
+Reproduces the RMA-get flood-bandwidth comparison: remote host memory to
+local GPU memory across two nodes, for three transfer implementations —
+UPC++ native memory kinds (GPUDirect RDMA), UPC++ reference memory kinds
+(staged through host bounce buffers), and GPU-enabled MPI RMA — over
+payload sizes from 16 B to 4 MiB, with the paper's windowed flood pattern
+(64 overlapped gets per flush).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..machine.model import MachineModel
+from ..machine.perlmutter import perlmutter
+from ..pgas.network import MemoryKindsMode, MemorySpace, NetworkModel
+
+__all__ = ["BandwidthPoint", "MemoryKindsBenchResult", "run_memory_kinds_bench",
+           "PAYLOAD_SIZES"]
+
+# 16 B .. 4 MiB, factor-of-4 steps like the paper's x-axis.
+PAYLOAD_SIZES = tuple(16 * 4**k for k in range(10))
+
+MIB = 2**20
+
+
+@dataclass
+class BandwidthPoint:
+    """Flood bandwidth of one (mode, payload) combination."""
+
+    nbytes: int
+    mode: str
+    bandwidth_mib_s: float
+
+
+@dataclass
+class MemoryKindsBenchResult:
+    """Full Figure 5 dataset."""
+
+    points: list[BandwidthPoint] = field(default_factory=list)
+    wire_speed_mib_s: float = 0.0
+
+    def series(self, mode: str) -> list[BandwidthPoint]:
+        """All points of one mode, ascending payload size."""
+        return sorted((p for p in self.points if p.mode == mode),
+                      key=lambda p: p.nbytes)
+
+    def ratio(self, mode_a: str, mode_b: str, nbytes: int) -> float:
+        """Bandwidth ratio mode_a / mode_b at one payload size."""
+        a = next(p for p in self.points
+                 if p.mode == mode_a and p.nbytes == nbytes)
+        b = next(p for p in self.points
+                 if p.mode == mode_b and p.nbytes == nbytes)
+        return a.bandwidth_mib_s / b.bandwidth_mib_s
+
+
+def run_memory_kinds_bench(
+    machine: MachineModel | None = None,
+    sizes: tuple[int, ...] = PAYLOAD_SIZES,
+    window: int = 64,
+) -> MemoryKindsBenchResult:
+    """Run the Figure 5 microbenchmark on the given machine model.
+
+    Matches the paper's setup: two nodes, one process per node, RMA gets
+    pulling remote *host* memory into local *GPU* memory, ``window``
+    in-flight gets per synchronisation.
+    """
+    machine = machine or perlmutter()
+    result = MemoryKindsBenchResult(
+        wire_speed_mib_s=machine.nic_bw / MIB
+    )
+    modes = {
+        "native": MemoryKindsMode.NATIVE,
+        "reference": MemoryKindsMode.REFERENCE,
+        "mpi": MemoryKindsMode.MPI,
+    }
+    for name, mode in modes.items():
+        network = NetworkModel(machine=machine, ranks_per_node=1, mode=mode)
+        for nbytes in sizes:
+            bw = network.flood_bandwidth(
+                nbytes, window=window,
+                src_space=MemorySpace.HOST, dst_space=MemorySpace.DEVICE,
+            )
+            result.points.append(BandwidthPoint(
+                nbytes=nbytes, mode=name, bandwidth_mib_s=bw / MIB,
+            ))
+    return result

@@ -1,0 +1,85 @@
+"""Text reporting: paper-style tables and series.
+
+Every benchmark prints the same rows/series the paper reports, so runs can
+be compared against the published figures by eye and EXPERIMENTS.md can be
+regenerated from bench output.
+"""
+
+from __future__ import annotations
+
+from .harness import StrongScalingResult
+from .microbench import MemoryKindsBenchResult
+
+__all__ = ["format_table", "format_table1", "format_scaling",
+           "format_memory_kinds", "format_workload_split"]
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    """Monospace table with per-column widths."""
+    widths = [max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+              for i, h in enumerate(headers)]
+    def fmt(row: list[str]) -> str:
+        return " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), sep] + [fmt(r) for r in rows])
+
+
+def format_table1(rows: list[dict[str, object]]) -> str:
+    """Paper Table 1: matrix characteristics (paper vs stand-in)."""
+    headers = ["Name", "stand-in", "paper n", "paper nnz", "our n", "our nnz",
+               "paper nnz/n", "our nnz/n"]
+    body = [[
+        str(r["name"]), str(r["stand_in"]), f"{r['paper_n']:,}",
+        f"{r['paper_nnz']:,}", f"{r['n']:,}", f"{r['nnz']:,}",
+        f"{r['paper_nnz_per_n']:.1f}", f"{r['nnz_per_n']:.1f}",
+    ] for r in rows]
+    return format_table(headers, body)
+
+
+def format_scaling(result: StrongScalingResult, phase: str = "factor") -> str:
+    """Figure 7/9/11-style (or 8/10/12 with ``phase='solve'``) series."""
+    headers = ["Nodes", "symPACK (s)", "PaStiX-like (s)", "speedup"]
+    rows = []
+    for i, nodes in enumerate(result.nodes):
+        if phase == "factor":
+            s = result.sympack.points[i].factor_seconds
+            p = result.pastix.points[i].factor_seconds
+        else:
+            s = result.sympack.points[i].solve_seconds
+            p = result.pastix.points[i].solve_seconds
+        rows.append([str(nodes), f"{s:.6f}", f"{p:.6f}", f"{p / s:.2f}x"])
+    title = (f"{'Factorization' if phase == 'factor' else 'Solve'} times "
+             f"for {result.matrix} (simulated seconds)")
+    return title + "\n" + format_table(headers, rows)
+
+
+def format_memory_kinds(result: MemoryKindsBenchResult) -> str:
+    """Figure 5-style bandwidth table (MiB/s per payload size)."""
+    sizes = sorted({p.nbytes for p in result.points})
+    headers = ["Size", "native MK", "reference MK", "MPI", "native/ref"]
+    rows = []
+    for nbytes in sizes:
+        by_mode = {p.mode: p.bandwidth_mib_s for p in result.points
+                   if p.nbytes == nbytes}
+        label = (f"{nbytes}B" if nbytes < 1024 else
+                 f"{nbytes // 1024}KiB" if nbytes < 2**20 else
+                 f"{nbytes // 2**20}MiB")
+        rows.append([
+            label,
+            f"{by_mode['native']:.1f}",
+            f"{by_mode['reference']:.1f}",
+            f"{by_mode['mpi']:.1f}",
+            f"{by_mode['native'] / by_mode['reference']:.2f}x",
+        ])
+    head = (f"RMA get flood bandwidth, remote host -> local GPU "
+            f"(wire speed {result.wire_speed_mib_s:.0f} MiB/s)")
+    return head + "\n" + format_table(headers, rows)
+
+
+def format_workload_split(split: dict[str, dict[str, int]]) -> str:
+    """Figure 6-style CPU-vs-GPU call counts per operation."""
+    headers = ["Operation", "CPU calls", "GPU calls"]
+    rows = [[op, str(v.get("cpu", 0)), str(v.get("gpu", 0))]
+            for op, v in sorted(split.items())]
+    return ("Number of BLAS/LAPACK calls on CPU vs GPU (rank 0)\n"
+            + format_table(headers, rows))

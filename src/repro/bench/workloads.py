@@ -1,0 +1,91 @@
+"""Benchmark workload registry.
+
+Maps the paper's Table 1 matrices to their seeded synthetic stand-ins at
+benchmark scale (see DESIGN.md substitution table).  Scales are chosen so
+that each full strong-scaling sweep runs in minutes on a laptop while
+keeping each matrix's structural character (supernode sizes, sparsity,
+irregularity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..sparse.csc import SymmetricCSC
+from ..sparse.generators import bone_like, flan_like, thermal_like
+
+__all__ = ["Workload", "WORKLOADS", "get_workload", "paper_table1"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark matrix: paper original + synthetic stand-in factory."""
+
+    key: str
+    paper_name: str
+    paper_n: int
+    paper_nnz: int
+    description: str
+    factory: Callable[[], SymmetricCSC]
+
+    def build(self) -> SymmetricCSC:
+        """Construct the stand-in matrix (deterministic)."""
+        return self.factory()
+
+
+WORKLOADS: dict[str, Workload] = {
+    "flan": Workload(
+        key="flan",
+        paper_name="Flan_1565",
+        paper_n=1_564_794,
+        paper_nnz=114_165_372,
+        description="3D model of a steel flange (dense 3D stencil)",
+        factory=lambda: flan_like(scale=14),
+    ),
+    "bone": Workload(
+        key="bone",
+        paper_name="boneS10",
+        paper_n=914_898,
+        paper_nnz=40_878_708,
+        description="3D trabecular bone (porous 3D grid)",
+        factory=lambda: bone_like(scale=18),
+    ),
+    "thermal": Workload(
+        key="thermal",
+        paper_name="thermal2",
+        paper_n=1_228_045,
+        paper_nnz=8_580_313,
+        description="steady state thermal (irregular, very sparse)",
+        factory=lambda: thermal_like(n=6000),
+    ),
+}
+
+
+def get_workload(key: str) -> Workload:
+    """Lookup by key (``flan`` / ``bone`` / ``thermal``)."""
+    try:
+        return WORKLOADS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {key!r}; available: {sorted(WORKLOADS)}"
+        ) from None
+
+
+def paper_table1() -> list[dict[str, object]]:
+    """Rows of the paper's Table 1 with our stand-in characteristics."""
+    rows = []
+    for wl in WORKLOADS.values():
+        a = wl.build()
+        rows.append({
+            "name": wl.paper_name,
+            "stand_in": a.name,
+            "description": wl.description,
+            "paper_n": wl.paper_n,
+            "paper_nnz": wl.paper_nnz,
+            "n": a.n,
+            "nnz": a.nnz_full,
+            "nnz_per_n": a.nnz_full / a.n,
+            "paper_nnz_per_n": wl.paper_nnz / wl.paper_n,
+        })
+    return rows

@@ -1,0 +1,225 @@
+"""Command-line interface.
+
+Mirrors the paper's benchmarking drivers (``run_sympack2D`` and PaStiX's
+``example/simple``) as subcommands of ``python -m repro``:
+
+* ``solve``    — read a matrix (Matrix Market or Rutherford-Boeing, like
+  the paper's drivers), factor and solve it, print timings and residual;
+* ``generate`` — write one of the synthetic stand-in matrices to disk;
+* ``info``     — symbolic statistics of a matrix under a chosen ordering;
+* ``bench``    — regenerate a paper experiment (fig5 / fig6 / scaling);
+* ``tune``     — analytical + brute-force offload threshold tuning.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_matrix(path: str):
+    from .sparse import read_matrix_market, read_rutherford_boeing
+
+    suffix = Path(path).suffix.lower()
+    if suffix in (".mtx", ".mm"):
+        return read_matrix_market(path)
+    if suffix in (".rb", ".rsa"):
+        return read_rutherford_boeing(path)
+    raise SystemExit(f"unsupported matrix format {suffix!r} "
+                     "(use .mtx/.mm or .rb/.rsa)")
+
+
+def _machine(name: str):
+    from .machine import perlmutter
+    from .machine.aurora import aurora
+    from .machine.frontier import frontier
+
+    return {"perlmutter": perlmutter, "frontier": frontier,
+            "aurora": aurora}[name]()
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .core.offload import CPU_ONLY, OffloadPolicy
+    from .core.solver import SolverOptions, SymPackSolver
+
+    a = _load_matrix(args.matrix)
+    offload = CPU_ONLY if args.no_gpu else OffloadPolicy()
+    solver = SymPackSolver(a, SolverOptions(
+        nranks=args.nranks, ranks_per_node=args.ranks_per_node,
+        ordering=args.ordering, machine=_machine(args.machine),
+        offload=offload))
+    info = solver.factorize()
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((a.n, args.nrhs))
+    x, sinfo = solver.solve(b)
+    res = solver.residual_norm(x, b)
+    print(f"matrix           : n={a.n} nnz={a.nnz_full}")
+    print(f"ranks            : {args.nranks} ({args.ranks_per_node}/node)")
+    print(f"factorization    : {info.simulated_seconds:.6f} s simulated, "
+          f"{info.tasks} tasks")
+    print(f"solve ({args.nrhs} rhs)    : {sinfo.simulated_seconds:.6f} s simulated")
+    print(f"relative residual: {res:.3e}")
+    print(f"communication    : {info.comm.rpcs_sent} RPCs, "
+          f"{info.comm.bytes_get} bytes pulled")
+    return 0 if res < 1e-8 else 1
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .sparse import (bone_like, flan_like, thermal_like,
+                         write_matrix_market, write_rutherford_boeing)
+
+    factories = {
+        "flan": lambda: flan_like(scale=args.scale),
+        "bone": lambda: bone_like(scale=args.scale),
+        "thermal": lambda: thermal_like(n=args.scale**3),
+    }
+    a = factories[args.family]()
+    suffix = Path(args.output).suffix.lower()
+    if suffix in (".mtx", ".mm"):
+        write_matrix_market(args.output, a)
+    elif suffix in (".rb", ".rsa"):
+        write_rutherford_boeing(args.output, a)
+    else:
+        raise SystemExit(f"unsupported output format {suffix!r}")
+    print(f"wrote {a.name}: n={a.n} nnz={a.nnz_full} -> {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from .symbolic import analyze
+
+    a = _load_matrix(args.matrix)
+    an = analyze(a, ordering=args.ordering)
+    for key, value in an.stats().items():
+        print(f"{key:24s}: {value:,.0f}" if value >= 1 or value == 0
+              else f"{key:24s}: {value}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (format_memory_kinds, format_scaling, format_table1,
+                        format_workload_split, get_workload, paper_table1,
+                        run_memory_kinds_bench, run_strong_scaling)
+
+    if args.experiment == "table1":
+        print(format_table1(paper_table1()))
+    elif args.experiment == "fig5":
+        result = run_memory_kinds_bench()
+        print(format_memory_kinds(result))
+        if args.export:
+            from .bench.export import export_memory_kinds
+            paths = export_memory_kinds(result, args.export)
+            print(f"exported: {paths[0]}, {paths[1]}")
+    elif args.experiment == "fig6":
+        from .core.solver import SolverOptions, SymPackSolver
+
+        a = get_workload("flan").build()
+        solver = SymPackSolver(a, SolverOptions(nranks=4, ranks_per_node=4))
+        solver.factorize()
+        solver.solve(np.ones(a.n))
+        print(format_workload_split(solver.trace.ops.calls_by_op(rank=0)))
+    elif args.experiment == "scaling":
+        a = get_workload(args.workload).build()
+        nodes = tuple(int(x) for x in args.nodes.split(","))
+        result = run_strong_scaling(a, node_counts=nodes, ppn_sweep=(4,))
+        print(format_scaling(result, phase="factor"))
+        print()
+        print(format_scaling(result, phase="solve"))
+        if args.export:
+            from .bench.export import export_scaling
+            paths = export_scaling(result, args.export)
+            print(f"exported: {paths[0]}, {paths[1]}")
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    from .core.autotune import analytical_thresholds, autotune_thresholds
+    from .core.offload import DEFAULT_THRESHOLDS
+    from .core.solver import SolverOptions
+
+    machine = _machine(args.machine)
+    analytical = analytical_thresholds(machine)
+    print("analytical thresholds (elements):")
+    for op in sorted(analytical):
+        print(f"  {op:6s}: {analytical[op]:>10,d}  "
+              f"(default {DEFAULT_THRESHOLDS[op]:,d})")
+
+    if args.matrix:
+        a = _load_matrix(args.matrix)
+        result = autotune_thresholds(
+            a, lambda policy: SolverOptions(
+                nranks=args.nranks, ranks_per_node=args.ranks_per_node,
+                machine=machine, offload=policy))
+        print("\nbrute-force sweep:")
+        for scale, t in result.sweep:
+            print(f"  {scale:8.3f}x defaults -> {t * 1e3:10.4f} ms")
+        print(result.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="symPACK reproduction: fan-out sparse Cholesky on a "
+                    "simulated PGAS+GPU machine",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_run_args(p):
+        p.add_argument("--nranks", type=int, default=4)
+        p.add_argument("--ranks-per-node", type=int, default=4)
+        p.add_argument("--machine", default="perlmutter",
+                       choices=["perlmutter", "frontier", "aurora"])
+
+    p = sub.add_parser("solve", help="factor and solve a matrix file")
+    p.add_argument("matrix", help="path to .mtx/.mm or .rb/.rsa file")
+    p.add_argument("--ordering", default="scotch_like")
+    p.add_argument("--nrhs", type=int, default=1)
+    p.add_argument("--no-gpu", action="store_true")
+    add_run_args(p)
+    p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("generate", help="write a synthetic matrix to disk")
+    p.add_argument("family", choices=["flan", "bone", "thermal"])
+    p.add_argument("output", help="output path (.mtx or .rb)")
+    p.add_argument("--scale", type=int, default=10)
+    p.set_defaults(func=_cmd_generate)
+
+    p = sub.add_parser("info", help="symbolic statistics of a matrix")
+    p.add_argument("matrix")
+    p.add_argument("--ordering", default="scotch_like")
+    p.set_defaults(func=_cmd_info)
+
+    p = sub.add_parser("bench", help="regenerate a paper experiment")
+    p.add_argument("experiment",
+                   choices=["table1", "fig5", "fig6", "scaling"])
+    p.add_argument("--workload", default="flan",
+                   choices=["flan", "bone", "thermal"])
+    p.add_argument("--nodes", default="1,2,4")
+    p.add_argument("--export", default=None, metavar="DIR",
+                   help="also write the results as CSV + JSON under DIR")
+    p.set_defaults(func=_cmd_bench)
+
+    p = sub.add_parser("tune", help="offload-threshold tuning")
+    p.add_argument("--matrix", default=None,
+                   help="optional matrix file for the brute-force sweep")
+    add_run_args(p)
+    p.set_defaults(func=_cmd_tune)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

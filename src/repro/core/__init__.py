@@ -1,0 +1,75 @@
+"""symPACK core: fan-out task graphs, scheduling engine, solver API."""
+
+from .autotune import (
+    AutotuneResult,
+    analytical_policy,
+    analytical_thresholds,
+    autotune_thresholds,
+)
+from .engine import EngineResult, FanOutEngine
+from .mapping import ProcessMap, block_cyclic_2d, column_cyclic_1d, make_map, row_cyclic_1d
+from .offload import CPU_ONLY, DEFAULT_THRESHOLDS, OffloadPolicy
+from .refine import RefinementResult, refine_solution
+from .selinv import SelectedInverse, selected_inversion
+from .serialization import SerializedFactor, load_factor, save_factor
+from .solver import FactorizeInfo, SolveInfo, SolverOptions, SymPackSolver, solve_spd
+from .timeline import TimelineStats, analyze_timeline, render_gantt
+from .validation import (
+    SolveDiagnostics,
+    condition_estimate_1norm,
+    diagnose_solve,
+    factor_reconstruction_error,
+    normwise_backward_error,
+)
+from .storage import FactorStorage
+from .taskgraph import build_factor_graph
+from .tasks import OutMessage, SimTask, TaskGraph, TaskKind
+from .tracing import ExecutionTrace, OpCounters
+from .triangular import build_backward_graph, build_forward_graph
+
+__all__ = [
+    "AutotuneResult",
+    "analytical_policy",
+    "analytical_thresholds",
+    "autotune_thresholds",
+    "RefinementResult",
+    "refine_solution",
+    "SerializedFactor",
+    "load_factor",
+    "save_factor",
+    "SelectedInverse",
+    "selected_inversion",
+    "TimelineStats",
+    "analyze_timeline",
+    "render_gantt",
+    "SolveDiagnostics",
+    "condition_estimate_1norm",
+    "diagnose_solve",
+    "factor_reconstruction_error",
+    "normwise_backward_error",
+    "EngineResult",
+    "FanOutEngine",
+    "ProcessMap",
+    "block_cyclic_2d",
+    "column_cyclic_1d",
+    "make_map",
+    "row_cyclic_1d",
+    "CPU_ONLY",
+    "DEFAULT_THRESHOLDS",
+    "OffloadPolicy",
+    "FactorizeInfo",
+    "SolveInfo",
+    "SolverOptions",
+    "SymPackSolver",
+    "solve_spd",
+    "FactorStorage",
+    "build_factor_graph",
+    "OutMessage",
+    "SimTask",
+    "TaskGraph",
+    "TaskKind",
+    "ExecutionTrace",
+    "OpCounters",
+    "build_backward_graph",
+    "build_forward_graph",
+]

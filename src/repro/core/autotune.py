@@ -1,0 +1,173 @@
+"""Offload-threshold determination: analytical model and autotuning.
+
+Paper Section 6 (future work): "it is worth exploring the development of a
+hardware-agnostic analytical framework for determining the optimal GPU
+threshold sizes for each operation, and it is also worth investigating the
+potential use and benefits of autotuning in this area."
+
+This module implements both:
+
+* :func:`analytical_thresholds` — derives per-operation thresholds from
+  first principles on any :class:`~repro.machine.model.MachineModel`: the
+  smallest buffer size where modeled GPU execution (kernel launch + flops
+  at the device rate + PCIe transfer of the operands) beats modeled CPU
+  execution.  Hardware-agnostic: feed it a different machine model, get
+  thresholds for that machine.
+* :func:`autotune_thresholds` — the empirical complement: runs real
+  (simulated) factorizations over a grid of threshold scales and returns
+  the best-performing policy, the brute-force procedure the paper used
+  manually.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.dense import OP_GEMM, OP_POTRF, OP_SYRK, OP_TRSM
+from ..kernels.flops import gemm_flops, potrf_flops, syrk_flops, trsm_flops
+from ..machine.model import MachineModel
+from .offload import OffloadPolicy
+
+__all__ = ["analytical_thresholds", "analytical_policy", "AutotuneResult",
+           "autotune_thresholds"]
+
+_F64 = 8
+
+
+def _flops_for_buffer(op: str, elems: int) -> float:
+    """Flop count of an op whose largest operand has ``elems`` elements.
+
+    Uses the square-shape assumption (``m = n = k = sqrt(elems)``), the
+    canonical worst case for arithmetic intensity: rectangular blocks of
+    the same footprint have equal or more flops per transferred byte, so
+    a threshold derived for squares is conservative (never offloads a
+    call that would lose).
+    """
+    side = max(1, int(np.sqrt(elems)))
+    if op == OP_POTRF:
+        return potrf_flops(side)
+    if op == OP_TRSM:
+        return trsm_flops(side, side)
+    if op == OP_SYRK:
+        return syrk_flops(side, side)
+    if op == OP_GEMM:
+        return gemm_flops(side, side, side)
+    raise ValueError(f"unknown op {op!r}")
+
+
+def _operand_buffers(op: str) -> int:
+    """Number of operand-sized buffers that must reach the device."""
+    # POTRF: the block itself.  TRSM: panel + diagonal (~the panel
+    # dominates; count 2 halves -> 1.5 rounded to 2 is over-conservative,
+    # use 2 for TRSM/SYRK-with-target, 3 for GEMM (A, B, C).
+    return {OP_POTRF: 1, OP_TRSM: 2, OP_SYRK: 2, OP_GEMM: 3}[op]
+
+
+def analytical_thresholds(
+    machine: MachineModel,
+    transfer_discount: float = 0.5,
+    safety: float = 1.0,
+) -> dict[str, int]:
+    """Per-operation offload thresholds derived from the machine model.
+
+    For each operation, finds (by bisection over buffer sizes) the
+    smallest element count where
+
+        ``launch + flops/gpu_rate + discount * transfers  <  cpu_time``
+
+    ``transfer_discount`` accounts for operand reuse: in a supernodal
+    factorization most operands are already device-resident when a block
+    is touched repeatedly, so charging the full PCIe cost of every operand
+    on every call would be pessimistic.  ``safety > 1`` biases toward the
+    CPU (offload only when clearly profitable).
+    """
+    if not 0.0 <= transfer_discount <= 1.0:
+        raise ValueError("transfer_discount must be within [0, 1]")
+    thresholds: dict[str, int] = {}
+    for op in (OP_GEMM, OP_SYRK, OP_TRSM, OP_POTRF):
+        nbufs = _operand_buffers(op)
+
+        def gpu_beats_cpu(elems: int) -> bool:
+            flops = _flops_for_buffer(op, elems)
+            transfer = transfer_discount * nbufs * machine.pcie_time(
+                elems * _F64)
+            gpu = machine.gpu_time(flops) + transfer
+            return gpu * safety < machine.cpu_time(flops)
+
+        lo, hi = 1, 1 << 30
+        if gpu_beats_cpu(lo):
+            thresholds[op] = lo
+            continue
+        if not gpu_beats_cpu(hi):
+            thresholds[op] = hi  # GPU never profitable on this machine
+            continue
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if gpu_beats_cpu(mid):
+                hi = mid
+            else:
+                lo = mid
+        thresholds[op] = hi
+    return thresholds
+
+
+def analytical_policy(machine: MachineModel, **kwargs) -> OffloadPolicy:
+    """An :class:`OffloadPolicy` with analytically derived thresholds."""
+    thresholds = analytical_thresholds(machine, **kwargs)
+    return OffloadPolicy(
+        thresholds=thresholds,
+        gpu_block_threshold=thresholds[OP_POTRF],
+    )
+
+
+@dataclass
+class AutotuneResult:
+    """Outcome of a brute-force threshold sweep."""
+
+    best_policy: OffloadPolicy
+    best_scale: float
+    best_time: float
+    sweep: list[tuple[float, float]] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (f"best scale {self.best_scale}x defaults -> "
+                f"{self.best_time * 1e3:.3f} ms simulated")
+
+
+def autotune_thresholds(
+    a,
+    options_factory,
+    scales: tuple[float, ...] = (0.125, 0.25, 0.5, 1.0, 2.0, 4.0),
+) -> AutotuneResult:
+    """Brute-force threshold tuning (the paper's manual procedure).
+
+    Parameters
+    ----------
+    a:
+        The matrix to tune on.
+    options_factory:
+        ``Callable[[OffloadPolicy], SolverOptions]`` building run options
+        around a candidate policy (rank count, machine, ... fixed by the
+        caller).
+    scales:
+        Multipliers applied to the default per-op thresholds.
+    """
+    from .solver import SymPackSolver  # local import: avoids cycle
+
+    base = OffloadPolicy().thresholds
+    sweep: list[tuple[float, float]] = []
+    best: tuple[float, float, OffloadPolicy] | None = None
+    for scale in scales:
+        policy = OffloadPolicy().with_thresholds(
+            **{op: max(1, int(t * scale)) for op, t in base.items()})
+        solver = SymPackSolver(a, options_factory(policy))
+        info = solver.factorize()
+        sweep.append((scale, info.simulated_seconds))
+        if best is None or info.simulated_seconds < best[1]:
+            best = (scale, info.simulated_seconds, policy)
+    assert best is not None
+    return AutotuneResult(best_policy=best[2], best_scale=best[0],
+                          best_time=best[1], sweep=sweep)

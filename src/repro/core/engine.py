@@ -1,0 +1,327 @@
+"""The fan-out execution engine.
+
+Executes a :class:`~repro.core.tasks.TaskGraph` on a simulated PGAS
+:class:`~repro.pgas.runtime.World`, implementing the paper's communication
+paradigm (Section 3.4, Figures 3–4) event-for-event:
+
+1. when a task completes, the producer issues one ``signal(ptr, meta)``
+   RPC per dependent rank;
+2. an idle (or just-finished) rank *polls*: ``progress()`` executes queued
+   signal RPCs, which enqueue global pointers into a notification list;
+3. the poll loop issues a non-blocking one-sided RMA **get** per queued
+   pointer, pulling the data to host or directly to device memory
+   (memory kinds), as appropriate for where the consumer will run;
+4. get completion decrements the consumers' dependency counters; tasks
+   reaching zero move from the LTQ to the RTQ;
+5. the rank picks the next task from the RTQ and executes it — on CPU or
+   GPU according to the per-operation offload thresholds.
+
+Numerics are executed for real when a task runs; time, placement and
+communication are simulated against the machine model.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..pgas.device import DeviceOutOfMemory, OomFallback
+from ..pgas.device_kinds import vendor_libraries
+from ..pgas.network import MemoryKindsMode, MemorySpace
+from ..pgas.runtime import World
+from .offload import OffloadPolicy
+from .tasks import OutMessage, SimTask, TaskGraph
+from .tracing import ExecutionTrace
+
+__all__ = ["EngineResult", "FanOutEngine"]
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one engine run."""
+
+    makespan: float
+    trace: ExecutionTrace
+    tasks_total: int
+    rank_busy: list[float] = field(default_factory=list)
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean busy-time ratio (1.0 = perfect balance)."""
+        if not self.rank_busy or max(self.rank_busy) == 0:
+            return 1.0
+        mean = sum(self.rank_busy) / len(self.rank_busy)
+        return max(self.rank_busy) / mean if mean > 0 else 1.0
+
+
+class FanOutEngine:
+    """Distributed executor of one task graph over one world.
+
+    Parameters
+    ----------
+    world:
+        Simulated PGAS job (ranks, network, devices).
+    graph:
+        The task DAG; ``deps`` counters must be consistent
+        (``graph.validate()`` is called).
+    policy:
+        GPU offload policy.
+    scheduling:
+        RTQ discipline: ``"fifo"`` (paper default — "whichever one is at
+        the top of the queue") or ``"priority"`` (lowest ``task.priority``
+        first; the paper leaves policy exploration to future work).
+    trace:
+        Optional pre-existing trace to accumulate into (so factorization
+        and solve can share counters, as in paper Figure 6).
+    """
+
+    def __init__(
+        self,
+        world: World,
+        graph: TaskGraph,
+        policy: OffloadPolicy,
+        scheduling: str = "fifo",
+        trace: ExecutionTrace | None = None,
+    ) -> None:
+        graph.validate()
+        if scheduling not in ("fifo", "priority"):
+            raise ValueError(f"unknown scheduling policy {scheduling!r}")
+        self.world = world
+        self.graph = graph
+        self.policy = policy
+        self.scheduling = scheduling
+        self.trace = trace if trace is not None else ExecutionTrace()
+
+        n_ranks = world.nranks
+        self._remaining = [t.deps for t in graph.tasks]
+        self._rtq_fifo: list[deque[int]] = [deque() for _ in range(n_ranks)]
+        self._rtq_heap: list[list[tuple[float, int]]] = [[] for _ in range(n_ranks)]
+        self._busy = [False] * n_ranks
+        self._notifications: list[list[OutMessage]] = [[] for _ in range(n_ranks)]
+        self._device_resident: list[set] = [set() for _ in range(n_ranks)]
+        self._executed = [False] * len(graph.tasks)
+        self._done_count = 0
+
+    # --------------------------------------------------------------- queues
+
+    def _push_ready(self, tid: int) -> None:
+        task = self.graph.tasks[tid]
+        if self.scheduling == "fifo":
+            self._rtq_fifo[task.rank].append(tid)
+        else:
+            heapq.heappush(self._rtq_heap[task.rank], (task.priority, tid))
+
+    def _pop_ready(self, rank: int) -> int | None:
+        if self.scheduling == "fifo":
+            queue = self._rtq_fifo[rank]
+            return queue.popleft() if queue else None
+        heap = self._rtq_heap[rank]
+        return heapq.heappop(heap)[1] if heap else None
+
+    def _decrement(self, tid: int, now: float) -> None:
+        self._remaining[tid] -= 1
+        if self._remaining[tid] == 0:
+            self._push_ready(tid)
+        elif self._remaining[tid] < 0:
+            raise RuntimeError(
+                f"task {tid} dependency counter went negative"
+            )
+
+    # ------------------------------------------------------------- protocol
+
+    def _signal_handler(self, payload: OutMessage) -> None:
+        """The RPC body: enqueue (ptr, meta) for the poll loop (Fig. 4 step 3)."""
+        self._notifications[payload.dst_rank].append(payload)
+
+    def _poll(self, rank: int, now: float) -> None:
+        """Steps 2–5 of Figure 4: progress RPCs, then issue gets."""
+        self.world.progress(rank, now)
+        pending = self._notifications[rank]
+        if not pending:
+            return
+        self._notifications[rank] = []
+        for msg in pending:
+            dst_space = MemorySpace.HOST
+            if (
+                msg.gpu_block
+                and self.policy.enabled
+                and self.world.network.mode is MemoryKindsMode.NATIVE
+                and self.world.ranks[rank].device is not None
+            ):
+                # Large factorized diagonal blocks are copied directly into
+                # the local device segment (paper Section 4.2).
+                dst_space = MemorySpace.DEVICE
+
+            def on_complete(done_t, _data, msg=msg, dst_space=dst_space,
+                            rank=rank):
+                if dst_space is MemorySpace.DEVICE and msg.key is not None:
+                    self._device_resident[rank].add(msg.key)
+                for tid in msg.consumers:
+                    self._decrement(tid, done_t)
+                self._try_schedule(rank, done_t)
+
+            self._issue_get(rank, msg, now, dst_space, on_complete)
+
+    def _issue_get(self, rank, msg, now, dst_space, on_complete) -> None:
+        ptr = msg._ptr  # attached by the producer at send time
+        self.world.rma_get(rank, ptr, now, dst_space=dst_space,
+                           on_complete=on_complete)
+
+    # ------------------------------------------------------------ execution
+
+    def _task_duration(self, task: SimTask, rank: int, now: float) -> float:
+        """Simulated execution time; updates placement counters."""
+        machine = self.world.machine
+        device = "cpu"
+        if self.policy.wants_gpu(task.op, task.buffer_elems):
+            device = "gpu"
+        duration = machine.task_overhead_s
+
+        if device == "gpu":
+            allocator = self.world.ranks[rank].device
+            if allocator is None:
+                device = "cpu"
+            else:
+                resident = self._device_resident[rank]
+                transfer = 0.0
+                new_bytes = 0
+                seen = set()
+                for key, nbytes in task.in_buffers:
+                    if key in resident or key in seen:
+                        continue
+                    seen.add(key)
+                    new_bytes += nbytes
+                    transfer += machine.pcie_time(nbytes)
+                try:
+                    if new_bytes:
+                        allocator.allocate((max(1, new_bytes // 8),))
+                    duration += transfer
+                    self.trace.h2d_bytes += new_bytes
+                    resident.update(seen)
+                    for key, _ in task.out_buffers:
+                        resident.add(key)
+                    # Vendor stack: HIP / Level-Zero launches cost more
+                    # than CUDA (paper §6 portability path).
+                    launch_factor = vendor_libraries(allocator.kind).launch_factor
+                    duration += (machine.kernel_launch_s * (launch_factor - 1.0)
+                                 + machine.gpu_time(task.flops))
+                except DeviceOutOfMemory:
+                    self.trace.gpu_fallbacks += 1
+                    if self.policy.oom_fallback is OomFallback.RAISE:
+                        raise
+                    device = "cpu"
+
+        if device == "cpu":
+            # A CPU run of a buffer another task left on the device pulls
+            # it back; conservatively we charge nothing here because panels
+            # are kept coherent in host memory (write-through model), which
+            # matches symPACK keeping authoritative data on the host.
+            duration += machine.cpu_time(task.flops)
+            for key, _ in task.out_buffers:
+                self._device_resident[rank].discard(key)
+
+        self.trace.ops.record(rank, task.op, device, task.flops)
+        return duration
+
+    def _try_schedule(self, rank: int, now: float) -> None:
+        """Poll, then start the next ready task if the rank is idle."""
+        if self._busy[rank]:
+            return
+        self._poll(rank, now)
+        tid = self._pop_ready(rank)
+        if tid is None:
+            return
+        task = self.graph.tasks[tid]
+        self._busy[rank] = True
+        task.run()  # real numerics; dependencies already satisfied
+        duration = self._task_duration(task, rank, now)
+        end = now + duration
+        self.world.ranks[rank].busy_time += duration
+        self.trace.record_task(now, end, rank, task.label)
+        self.world.events.schedule(end, lambda t, tid=tid: self._complete(tid, t))
+
+    def _complete(self, tid: int, now: float) -> None:
+        """TASK_DONE: fan out results, release the rank (Fig. 3 steps 2–6)."""
+        task = self.graph.tasks[tid]
+        rank = task.rank
+        state = self.world.ranks[rank]
+        state.clock = now
+        state.tasks_run += 1
+        self._busy[rank] = False
+        self._executed[tid] = True
+        self._done_count += 1
+
+        # Local dependents.
+        for child in task.local_consumers:
+            self._decrement(child, now)
+
+        # Remote fan-out: one signal RPC per destination rank.  The sender
+        # serialises message initiations (send occupancy); one-sided RMA
+        # keeps this tiny, two-sided baselines pay more per send, and
+        # broadcast-style fan-outs (send_fanout) serialise the full sweep.
+        occ = self.world.machine.send_occupancy_s
+        fanout = max(len(task.messages), task.send_fanout)
+        nranks = self.world.nranks
+        for idx, msg in enumerate(task.messages):
+            space = (MemorySpace.DEVICE
+                     if msg.gpu_block
+                     and any(k in self._device_resident[rank]
+                             for k, _ in task.out_buffers)
+                     else MemorySpace.HOST)
+            msg._ptr = self.world.register_bytes(rank, msg.nbytes, space)
+            if task.send_fanout:
+                # Deterministic broadcast slot of this destination rank.
+                slot = (msg.dst_rank - rank) % nranks - 1
+            else:
+                slot = idx
+            send_t = now + (slot + 1) * occ
+            self.world.rpc(
+                rank, msg.dst_rank, self._signal_handler, msg, send_t,
+                on_delivered=lambda t, dst=msg.dst_rank: self._try_schedule(dst, t),
+            )
+
+        if fanout and occ > 0:
+            # Stay busy through the send sweep, then look for work.
+            self._busy[rank] = True
+            sweep_end = now + fanout * occ
+            state.busy_time += fanout * occ
+
+            def release(t: float) -> None:
+                state.clock = max(state.clock, t)
+                self._busy[rank] = False
+                self._try_schedule(rank, t)
+
+            self.world.events.schedule(sweep_end, release)
+        else:
+            self._try_schedule(rank, now)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> EngineResult:
+        """Execute the graph to completion; returns timing and trace."""
+        for task in self.graph.tasks:
+            if self._remaining[task.tid] == 0:
+                self._push_ready(task.tid)
+        for rank in range(self.world.nranks):
+            self.world.events.schedule(
+                self.world.events.now,
+                lambda t, r=rank: self._try_schedule(r, t),
+            )
+        limit = 50 * len(self.graph.tasks) + 10_000
+        self.world.run(max_events=limit)
+
+        if self._done_count != len(self.graph.tasks):
+            stuck = [t.label for t in self.graph.tasks
+                     if not self._executed[t.tid]][:10]
+            raise RuntimeError(
+                f"engine finished with {len(self.graph.tasks) - self._done_count}"
+                f" unexecuted tasks (protocol deadlock?); first stuck: {stuck}"
+            )
+        busy = [r.busy_time for r in self.world.ranks]
+        return EngineResult(
+            makespan=self.world.makespan(),
+            trace=self.trace,
+            tasks_total=len(self.graph.tasks),
+            rank_busy=busy,
+        )

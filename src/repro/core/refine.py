@@ -1,0 +1,91 @@
+"""Iterative refinement for solves on ill-conditioned systems.
+
+PaStiX's benchmark driver ships with iterative refinement (the paper's
+AD/AE appendix notes it was *deactivated* for the timing runs); we provide
+the equivalent capability for accuracy-sensitive users: classic residual
+correction ``x <- x + A^{-1}(b - A x)`` reusing the existing factor, which
+squares the effective backward error per iteration until it stalls at
+machine precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RefinementResult", "refine_solution"]
+
+
+@dataclass
+class RefinementResult:
+    """Outcome of iterative refinement."""
+
+    x: np.ndarray
+    iterations: int
+    residuals: list[float] = field(default_factory=list)
+    converged: bool = False
+    simulated_seconds: float = 0.0
+
+
+def refine_solution(
+    solver,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    max_iters: int = 5,
+    rtol: float = 1e-14,
+) -> RefinementResult:
+    """Refine a solve against ``solver``'s matrix using its factor.
+
+    Parameters
+    ----------
+    solver:
+        A factorized :class:`~repro.core.solver.SymPackSolver` (or any
+        object with ``solve`` and a ``a`` attribute exposing ``full()``).
+    b:
+        Right-hand side (vector or ``(n, nrhs)``).
+    x0:
+        Starting solution; a fresh solve when omitted.
+    max_iters:
+        Refinement step budget.
+    rtol:
+        Stop when the relative residual drops below this.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    full = solver.a.full()
+    b_norm = float(np.linalg.norm(b))
+    scale = b_norm if b_norm > 0 else 1.0
+
+    total_sim = 0.0
+    if x0 is None:
+        x, info = solver.solve(b)
+        total_sim += info.simulated_seconds
+    else:
+        x = np.array(x0, dtype=np.float64)
+
+    residuals: list[float] = []
+    converged = False
+    iterations = 0
+    best_x, best_rel = x, np.inf
+    for iterations in range(max_iters + 1):
+        r = b - full @ x
+        rel = float(np.linalg.norm(r)) / scale
+        residuals.append(rel)
+        if rel < best_rel:
+            best_x, best_rel = x, rel
+        if rel < rtol:
+            converged = True
+            break
+        if iterations == max_iters:
+            break
+        # Stall detection: a step that fails to halve the residual means
+        # we are at the attainable accuracy for this conditioning.
+        if len(residuals) >= 2 and rel > 0.5 * residuals[-2]:
+            break
+        dx, info = solver.solve(r)
+        total_sim += info.simulated_seconds
+        x = x + dx
+
+    return RefinementResult(x=best_x, iterations=iterations,
+                            residuals=residuals, converged=converged,
+                            simulated_seconds=total_sim)

@@ -1,0 +1,238 @@
+"""Factorization task-graph builder (paper Sections 3.2–3.3).
+
+Builds the fan-out DAG over the Algorithm 2 block partition:
+
+* ``D_s`` — POTRF of supernode ``s``'s diagonal block, on ``map(s, s)``;
+* ``F_{j,s}`` — TRSM of block ``B[j, s]``, on ``map(j, s)``;
+* ``U_{j,s,t}`` — update of block ``B[j, t]`` (or of ``t``'s diagonal when
+  ``j == t``) using ``B[j, s]`` and ``B[t, s]``, on the *target* owner —
+  the defining property of the fan-out family.
+
+Dependencies follow Figure 2: ``D_s → F_{*,s}``; ``F → U`` for both source
+blocks; ``U → F/D`` of the updated block.  All ``U → F/D`` edges are local
+by construction (the update runs where the target block lives), so the
+only communication is the fan-out of factorized blocks, each sent at most
+once per destination rank.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..kernels import dense as kd
+from ..kernels import flops as kf
+from ..symbolic.analysis import SymbolicAnalysis
+from .mapping import ProcessMap
+from .offload import OffloadPolicy
+from .storage import FactorStorage
+from .tasks import OutMessage, SimTask, TaskGraph, TaskKind
+
+__all__ = ["build_factor_graph"]
+
+_F64 = 8  # bytes per double
+
+
+def _diag_key(s: int) -> tuple:
+    return ("diag", s)
+
+
+def _block_key(s: int, bi: int) -> tuple:
+    return ("blk", s, bi)
+
+
+def build_factor_graph(
+    analysis: SymbolicAnalysis,
+    storage: FactorStorage,
+    pmap: ProcessMap,
+    policy: OffloadPolicy,
+) -> TaskGraph:
+    """Construct the complete fan-out factorization DAG.
+
+    The returned graph's ``run`` callables mutate ``storage`` in place;
+    executing the graph in any dependency-respecting order leaves the
+    Cholesky factor in ``storage``.
+    """
+    part = analysis.supernodes
+    blocks = analysis.blocks
+    graph = TaskGraph()
+
+    d_task: list[SimTask] = [None] * part.nsup  # type: ignore[list-item]
+    f_task: dict[tuple[int, int], SimTask] = {}  # (s, bi) -> task
+
+    # ---------------------------------------------------------------- D, F
+    for s in range(part.nsup):
+        w = part.width(s)
+        diag = storage.diag_block(s)
+
+        def run_d(diag=diag):
+            diag[:, :] = np.tril(kd.potrf(diag))
+
+        d_task[s] = graph.new_task(
+            kind=TaskKind.DIAG,
+            rank=pmap(s, s),
+            op=kd.OP_POTRF,
+            flops=kf.potrf_flops(w),
+            buffer_elems=w * w,
+            operand_bytes=w * w * _F64,
+            run=run_d,
+            label=f"D[{s}]",
+            in_buffers=[(_diag_key(s), w * w * _F64)],
+            out_buffers=[(_diag_key(s), w * w * _F64)],
+            priority=float(s),
+        )
+
+        for bi, blk in enumerate(blocks.blocks[s]):
+            view = storage.off_block(s, bi)
+            m = blk.nrows
+
+            def run_f(view=view, diag=diag):
+                view[:, :] = kd.trsm_right_lower_trans(view, diag)
+
+            f_task[(s, bi)] = graph.new_task(
+                kind=TaskKind.FACTOR,
+                rank=pmap(blk.tgt, s),
+                op=kd.OP_TRSM,
+                flops=kf.trsm_flops(m, w),
+                buffer_elems=max(m * w, w * w),
+                operand_bytes=(m * w + w * w) * _F64,
+                run=run_f,
+                label=f"F[{blk.tgt},{s}]",
+                in_buffers=[(_block_key(s, bi), m * w * _F64),
+                            (_diag_key(s), w * w * _F64)],
+                out_buffers=[(_block_key(s, bi), m * w * _F64)],
+                priority=float(s),
+            )
+
+    # ------------------------------------------------------------------- U
+    # Consumers of each factorized block, grouped for message coalescing:
+    # produced key -> {dst_rank: [consumer tids]}.
+    d_consumers: list[dict[int, list[int]]] = [defaultdict(list)
+                                               for _ in range(part.nsup)]
+    f_consumers: dict[tuple[int, int], dict[int, list[int]]] = {
+        k: defaultdict(list) for k in f_task
+    }
+
+    # Local D -> F edges and remote D fan-out.
+    for s in range(part.nsup):
+        for bi, blk in enumerate(blocks.blocks[s]):
+            ft = f_task[(s, bi)]
+            if ft.rank == d_task[s].rank:
+                graph.add_dependency(d_task[s], ft)
+            else:
+                d_consumers[s][ft.rank].append(ft.tid)
+                ft.deps += 1
+
+    # Index of each supernode's blocks by target for O(1) lookup.
+    block_index: list[dict[int, int]] = [
+        {blk.tgt: bi for bi, blk in enumerate(blocks.blocks[t])}
+        for t in range(part.nsup)
+    ]
+
+    # Update tasks.  Iterate source supernode s; for each pair of blocks
+    # (bi >= bj) the update from columns of s lands in block B[tgt_i, tgt_j].
+    for s in range(part.nsup):
+        w = part.width(s)
+        blist = blocks.blocks[s]
+        for bj, col_blk in enumerate(blist):
+            t = col_blk.tgt
+            fc_t = part.first_col(t)
+            col_pos = col_blk.rows - fc_t  # columns within supernode t
+            for bi in range(bj, len(blist)):
+                row_blk = blist[bi]
+                j = row_blk.tgt
+                src_rows = storage.off_block(s, bi)
+                src_cols = storage.off_block(s, bj)
+                m, k = row_blk.nrows, col_blk.nrows
+
+                if j == t:
+                    # SYRK into the diagonal block of t.
+                    tgt_arr = storage.diag_block(t)
+                    rpos = row_blk.rows - fc_t
+                    cpos = col_pos
+                    op = kd.OP_SYRK
+                    flops = kf.syrk_flops(k, w)
+                    tgt_key = _diag_key(t)
+                    tgt_bytes = tgt_arr.nbytes
+                    rank = pmap(t, t)
+                    downstream = d_task[t]
+
+                    def run_u(tgt=tgt_arr, a=src_rows, r=rpos, c=cpos):
+                        tgt[np.ix_(r, c)] -= kd.syrk_lower(a)
+                else:
+                    # GEMM into block B[j, t]: locate it in supernode t.
+                    tb_index = block_index[t].get(j)
+                    if tb_index is None:
+                        raise RuntimeError(
+                            f"symbolic inconsistency: no block B[{j},{t}] "
+                            f"for update from supernode {s}"
+                        )
+                    tgt_blk = blocks.blocks[t][tb_index]
+                    tgt_arr = storage.off_block(t, tb_index)
+                    rpos = np.searchsorted(tgt_blk.rows, row_blk.rows)
+                    if not np.array_equal(tgt_blk.rows[rpos], row_blk.rows):
+                        raise RuntimeError(
+                            f"update rows of B[{j},{s}] missing from B[{j},{t}]"
+                        )
+                    cpos = col_pos
+                    op = kd.OP_GEMM
+                    flops = kf.gemm_flops(m, k, w)
+                    tgt_key = _block_key(t, tb_index)
+                    tgt_bytes = tgt_arr.nbytes
+                    rank = pmap(j, t)
+                    downstream = f_task[(t, tb_index)]
+
+                    def run_u(tgt=tgt_arr, a=src_rows, b=src_cols,
+                              r=rpos, c=cpos):
+                        tgt[np.ix_(r, c)] -= kd.gemm_nt(a, b)
+
+                ut = graph.new_task(
+                    kind=TaskKind.UPDATE,
+                    rank=rank,
+                    op=op,
+                    flops=flops,
+                    buffer_elems=max(m * w, k * w, m * k),
+                    operand_bytes=(m * w + (0 if bi == bj else k * w)
+                                   + m * k) * _F64,
+                    run=run_u,
+                    label=f"U[{j},{s},{t}]",
+                    in_buffers=[(_block_key(s, bi), m * w * _F64),
+                                (_block_key(s, bj), k * w * _F64),
+                                (tgt_key, tgt_bytes)],
+                    out_buffers=[(tgt_key, tgt_bytes)],
+                    priority=float(s),
+                )
+
+                # U -> downstream F/D edge is local by construction.
+                graph.add_dependency(ut, downstream)
+
+                # F(bi) -> U and F(bj) -> U dependencies (dedup when same).
+                for src_bi in {bi, bj}:
+                    src_ft = f_task[(s, src_bi)]
+                    if src_ft.rank == ut.rank:
+                        graph.add_dependency(src_ft, ut)
+                    else:
+                        f_consumers[(s, src_bi)][ut.rank].append(ut.tid)
+                        ut.deps += 1
+
+    # ---------------------------------------------------- message assembly
+    for s in range(part.nsup):
+        w = part.width(s)
+        nbytes = w * w * _F64
+        gpu_block = policy.is_gpu_block(w * w)
+        for dst_rank, consumers in sorted(d_consumers[s].items()):
+            d_task[s].messages.append(OutMessage(
+                dst_rank=dst_rank, nbytes=nbytes, consumers=consumers,
+                gpu_block=gpu_block, key=_diag_key(s),
+            ))
+    for (s, bi), per_rank in f_consumers.items():
+        blk = blocks.blocks[s][bi]
+        nbytes = blk.nrows * part.width(s) * _F64
+        for dst_rank, consumers in sorted(per_rank.items()):
+            f_task[(s, bi)].messages.append(OutMessage(
+                dst_rank=dst_rank, nbytes=nbytes, consumers=consumers,
+                gpu_block=False, key=_block_key(s, bi),
+            ))
+
+    return graph

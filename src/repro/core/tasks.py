@@ -1,0 +1,171 @@
+"""Task and message types of the fan-out engine.
+
+The numeric factorization is a DAG of three task kinds (paper Section 3.2):
+``D`` (diagonal factorization, POTRF), ``F`` (panel factorization, TRSM)
+and ``U`` (update, SYRK/GEMM).  The distributed triangular solve reuses the
+same machinery with ``FWD``/``BWD`` (per-supernode solves) and
+``FUP``/``BUP`` (update) kinds.
+
+A :class:`SimTask` is the unit of scheduling: statically mapped to a rank,
+carrying a dependency counter, a cost descriptor (op + dims + buffer
+bytes) for the machine model, and a ``run`` callable performing the real
+numeric work when the simulated task executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["TaskKind", "OutMessage", "SimTask", "TaskGraph"]
+
+
+class TaskKind:
+    """Task kind labels (string constants; cheap and explicit)."""
+
+    DIAG = "D"       # diagonal block factorization (POTRF)
+    FACTOR = "F"     # off-diagonal block factorization (TRSM)
+    UPDATE = "U"     # block update (SYRK/GEMM)
+    FWD = "FWD"      # forward-solve of a supernode
+    FUP = "FUP"      # forward-solve update contribution
+    BWD = "BWD"      # backward-solve of a supernode
+    BUP = "BUP"      # backward-solve update contribution
+
+
+@dataclass
+class OutMessage:
+    """Data one task fans out to one remote rank on completion.
+
+    One message satisfies every consumer task on the destination rank that
+    needs this payload (the factorized block is sent once per rank, not
+    once per consumer) — matching the paper's notification protocol.
+
+    Attributes
+    ----------
+    dst_rank:
+        Destination process.
+    nbytes:
+        Payload size.
+    consumers:
+        Task ids on ``dst_rank`` whose dependency counters drop when the
+        RMA get for this payload completes.
+    gpu_block:
+        Marked by the producer for sufficiently large blocks: with native
+        memory kinds these are copied *directly* into remote device memory
+        (paper Section 4.2), skipping the host bounce.
+    """
+
+    dst_rank: int
+    nbytes: int
+    consumers: list[int]
+    gpu_block: bool = False
+    # Buffer key of the payload; when the get lands in device memory the
+    # key becomes device-resident at the destination rank.
+    key: object = None
+    # Global pointer attached by the producer at send time (engine detail).
+    _ptr: object = None
+
+
+@dataclass
+class SimTask:
+    """One statically-mapped task of a distributed computation.
+
+    Attributes
+    ----------
+    tid:
+        Dense task id (index into :class:`TaskGraph.tasks`).
+    kind:
+        One of the :class:`TaskKind` labels.
+    rank:
+        Owning process (2D block-cyclic map for factor tasks).
+    op:
+        Kernel class for the offload heuristic (POTRF/TRSM/SYRK/GEMM).
+    flops:
+        Floating-point operations charged to the executing device.
+    buffer_elems:
+        Element count of the largest operand buffer — the quantity the
+        paper's per-operation offload thresholds inspect.
+    operand_bytes:
+        Bytes that must be device-resident to run the task on the GPU.
+    run:
+        Numeric action; executed exactly once, when the task runs.
+    local_consumers:
+        Task ids on the *same* rank depending on this task.
+    messages:
+        Remote fan-out on completion.
+    deps:
+        Incoming dependency count (decremented toward zero).
+    label:
+        Human-readable identity for traces/tests.
+    """
+
+    tid: int
+    kind: str
+    rank: int
+    op: str
+    flops: float
+    buffer_elems: int
+    operand_bytes: int
+    run: Callable[[], None]
+    local_consumers: list[int] = field(default_factory=list)
+    messages: list[OutMessage] = field(default_factory=list)
+    deps: int = 0
+    label: str = ""
+    # Buffer keys for device-residency tracking: (hashable key, nbytes).
+    # Inputs not yet device-resident are charged a PCIe transfer when the
+    # task runs on the GPU; outputs become resident there afterwards.
+    in_buffers: list[tuple[object, int]] = field(default_factory=list)
+    out_buffers: list[tuple[object, int]] = field(default_factory=list)
+    priority: float = 0.0
+    # Total outgoing sends to charge sender occupancy for; 0 means "the
+    # number of messages".  Baselines that broadcast (e.g. PaStiX-style
+    # solve-vector replication) set this to the broadcast fan-out so the
+    # sender serialises the full fan-out even when only some destinations
+    # carry dependency payloads.
+    send_fanout: int = 0
+
+
+@dataclass
+class TaskGraph:
+    """A complete distributed task DAG plus bookkeeping totals."""
+
+    tasks: list[SimTask] = field(default_factory=list)
+
+    def new_task(self, **kwargs) -> SimTask:
+        """Append a task, assigning its id."""
+        task = SimTask(tid=len(self.tasks), **kwargs)
+        self.tasks.append(task)
+        return task
+
+    def add_dependency(self, producer: SimTask, consumer: SimTask) -> None:
+        """Register a same-rank dependency edge (no communication)."""
+        if producer.rank != consumer.rank:
+            raise ValueError(
+                "add_dependency is for local edges; use messages for remote"
+            )
+        producer.local_consumers.append(consumer.tid)
+        consumer.deps += 1
+
+    def validate(self) -> None:
+        """Structural sanity: consumer ids valid, dep counts consistent."""
+        incoming = [0] * len(self.tasks)
+        for t in self.tasks:
+            for c in t.local_consumers:
+                incoming[c] += 1
+            for msg in t.messages:
+                for c in msg.consumers:
+                    if self.tasks[c].rank != msg.dst_rank:
+                        raise ValueError(
+                            f"message consumer {c} not on rank {msg.dst_rank}"
+                        )
+                    incoming[c] += 1
+        for t in self.tasks:
+            if incoming[t.tid] != t.deps:
+                raise ValueError(
+                    f"task {t.tid} ({t.label}): deps={t.deps} but "
+                    f"{incoming[t.tid]} incoming edges"
+                )
+
+    def roots(self) -> list[SimTask]:
+        """Tasks with no dependencies (initially ready)."""
+        return [t for t in self.tasks if t.deps == 0]

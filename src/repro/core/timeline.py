@@ -1,0 +1,96 @@
+"""Execution-timeline analysis and text rendering.
+
+Turns an :class:`~repro.core.tracing.ExecutionTrace` recorded with
+``keep_timeline=True`` into per-rank utilisation figures, task-kind time
+breakdowns and a text Gantt chart — the observability layer used to study
+scheduling behaviour (paper Section 6 lists intra-node scheduling tuning
+as future work; you cannot tune what you cannot see).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from .tracing import ExecutionTrace
+
+__all__ = ["TimelineStats", "analyze_timeline", "render_gantt"]
+
+
+@dataclass
+class TimelineStats:
+    """Aggregated timeline metrics of one run."""
+
+    makespan: float
+    rank_busy: dict[int, float] = field(default_factory=dict)
+    rank_tasks: dict[int, int] = field(default_factory=dict)
+    kind_time: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def nranks(self) -> int:
+        """Number of ranks that executed at least one task."""
+        return len(self.rank_busy)
+
+    def utilization(self, rank: int) -> float:
+        """Busy fraction of one rank over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.rank_busy.get(rank, 0.0) / self.makespan
+
+    def mean_utilization(self) -> float:
+        """Average busy fraction across participating ranks."""
+        if not self.rank_busy or self.makespan <= 0:
+            return 0.0
+        return sum(self.rank_busy.values()) / (self.nranks * self.makespan)
+
+    def load_imbalance(self) -> float:
+        """max/mean busy time (1.0 = perfectly balanced)."""
+        if not self.rank_busy:
+            return 1.0
+        mean = sum(self.rank_busy.values()) / len(self.rank_busy)
+        return max(self.rank_busy.values()) / mean if mean > 0 else 1.0
+
+
+def _kind_of(label: str) -> str:
+    """Task kind from its label (``D[3]`` -> ``D``)."""
+    return label.split("[", 1)[0] if "[" in label else label
+
+
+def analyze_timeline(trace: ExecutionTrace) -> TimelineStats:
+    """Aggregate a recorded timeline into :class:`TimelineStats`."""
+    if not trace.timeline:
+        raise ValueError(
+            "trace has no timeline; run with ExecutionTrace(keep_timeline=True)"
+        )
+    makespan = max(end for _, end, _, _ in trace.timeline)
+    busy: dict[int, float] = defaultdict(float)
+    count: dict[int, int] = defaultdict(int)
+    kind_time: dict[str, float] = defaultdict(float)
+    for start, end, rank, label in trace.timeline:
+        busy[rank] += end - start
+        count[rank] += 1
+        kind_time[_kind_of(label)] += end - start
+    return TimelineStats(makespan=makespan, rank_busy=dict(busy),
+                         rank_tasks=dict(count), kind_time=dict(kind_time))
+
+
+def render_gantt(trace: ExecutionTrace, width: int = 72) -> str:
+    """Text Gantt chart: one row per rank, ``#`` for busy time slices."""
+    if not trace.timeline:
+        raise ValueError("trace has no timeline")
+    makespan = max(end for _, end, _, _ in trace.timeline)
+    ranks = sorted({rank for _, _, rank, _ in trace.timeline})
+    rows = []
+    for rank in ranks:
+        cells = [" "] * width
+        for start, end, r, _ in trace.timeline:
+            if r != rank:
+                continue
+            a = int(start / makespan * (width - 1))
+            b = max(a, int(end / makespan * (width - 1)))
+            for c in range(a, b + 1):
+                cells[c] = "#"
+        rows.append(f"rank {rank:3d} |{''.join(cells)}|")
+    header = (f"timeline: {makespan * 1e3:.3f} ms simulated, "
+              f"{len(trace.timeline)} tasks")
+    return "\n".join([header] + rows)

@@ -1,0 +1,68 @@
+"""Execution tracing: exact operation, placement and communication counters.
+
+Paper Figure 6 reports how many POTRF/TRSM/SYRK/GEMM calls land on the CPU
+versus the GPU (per rank); these counters are incremented by the engine as
+tasks execute, so they are exact counts of the executed protocol, not
+estimates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["OpCounters", "ExecutionTrace"]
+
+
+@dataclass
+class OpCounters:
+    """Per-(rank, op, device) call and flop counters."""
+
+    calls: dict[tuple[int, str, str], int] = field(
+        default_factory=lambda: defaultdict(int)
+    )
+    flops: dict[tuple[int, str, str], float] = field(
+        default_factory=lambda: defaultdict(float)
+    )
+
+    def record(self, rank: int, op: str, device: str, flops: float) -> None:
+        """Count one kernel call."""
+        self.calls[(rank, op, device)] += 1
+        self.flops[(rank, op, device)] += flops
+
+    def calls_by_op(self, rank: int | None = None) -> dict[str, dict[str, int]]:
+        """``{op: {'cpu': n, 'gpu': n}}``, optionally restricted to a rank."""
+        out: dict[str, dict[str, int]] = defaultdict(lambda: {"cpu": 0, "gpu": 0})
+        for (r, op, device), n in self.calls.items():
+            if rank is None or r == rank:
+                out[op][device] += n
+        return {op: dict(v) for op, v in out.items()}
+
+    def total_calls(self, device: str | None = None) -> int:
+        """Total kernel calls, optionally filtered by device."""
+        return sum(n for (_, _, d), n in self.calls.items()
+                   if device is None or d == device)
+
+    def total_flops(self, device: str | None = None) -> float:
+        """Total flops, optionally filtered by device."""
+        return sum(f for (_, _, d), f in self.flops.items()
+                   if device is None or d == device)
+
+
+@dataclass
+class ExecutionTrace:
+    """Full execution record of one simulated run."""
+
+    ops: OpCounters = field(default_factory=OpCounters)
+    tasks_executed: int = 0
+    gpu_fallbacks: int = 0          # device-OOM falls back to CPU
+    h2d_bytes: int = 0
+    d2h_bytes: int = 0
+    timeline: list[tuple[float, float, int, str]] = field(default_factory=list)
+    keep_timeline: bool = False
+
+    def record_task(self, start: float, end: float, rank: int, label: str) -> None:
+        """Record one executed task (timeline optional to bound memory)."""
+        self.tasks_executed += 1
+        if self.keep_timeline:
+            self.timeline.append((start, end, rank, label))

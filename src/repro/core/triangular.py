@@ -1,0 +1,177 @@
+"""Distributed supernodal triangular solve.
+
+Solves ``L y = b`` (forward) then ``L^T x = y`` (backward) with the block
+layout and 2D mapping of the factorization, as task DAGs executed by the
+same fan-out engine (the paper benchmarks the solve phase in Figs. 8, 10
+and 12 with the same runtime).
+
+Forward tasks: ``FWD_s`` (dense triangular solve of supernode ``s``'s
+diagonal block, on ``map(s, s)``) and ``FUP_{j,s}`` (the contribution of
+block ``B[j, s]`` to the rows of supernode ``j``, on ``map(j, s)``).
+Backward tasks mirror them against ``L^T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+from ..kernels import dense as kd
+from ..kernels import flops as kf
+from ..symbolic.analysis import SymbolicAnalysis
+from .mapping import ProcessMap
+from .storage import FactorStorage
+from .tasks import OutMessage, SimTask, TaskGraph, TaskKind
+
+__all__ = ["build_forward_graph", "build_backward_graph"]
+
+_F64 = 8
+
+
+def build_forward_graph(
+    analysis: SymbolicAnalysis,
+    storage: FactorStorage,
+    pmap: ProcessMap,
+    rhs: np.ndarray,
+) -> TaskGraph:
+    """Task DAG computing ``y = L^{-1} rhs`` in place in ``rhs``.
+
+    ``rhs`` has shape ``(n, nrhs)`` in the permuted ordering.
+    """
+    part = analysis.supernodes
+    blocks = analysis.blocks
+    nrhs = rhs.shape[1]
+    graph = TaskGraph()
+
+    fwd: list[SimTask] = [None] * part.nsup  # type: ignore[list-item]
+    for s in range(part.nsup):
+        fc, lc = part.first_col(s), part.last_col(s)
+        w = lc - fc + 1
+        diag = storage.diag_block(s)
+
+        def run_fwd(diag=diag, fc=fc, lc=lc):
+            rhs[fc : lc + 1] = la.solve_triangular(
+                diag, rhs[fc : lc + 1], lower=True, check_finite=False
+            )
+
+        fwd[s] = graph.new_task(
+            kind=TaskKind.FWD,
+            rank=pmap(s, s),
+            op=kd.OP_TRSM,
+            flops=kf.trsv_flops(w, nrhs),
+            buffer_elems=w * w,
+            operand_bytes=(w * w + w * nrhs) * _F64,
+            run=run_fwd,
+            label=f"FWD[{s}]",
+            in_buffers=[(("diag", s), w * w * _F64)],
+            priority=float(s),
+        )
+
+    for s in range(part.nsup):
+        fc, lc = part.first_col(s), part.last_col(s)
+        w = lc - fc + 1
+        for bi, blk in enumerate(blocks.blocks[s]):
+            view = storage.off_block(s, bi)
+            rows = blk.rows
+            j = blk.tgt
+
+            def run_fup(view=view, rows=rows, fc=fc, lc=lc):
+                rhs[rows] -= view @ rhs[fc : lc + 1]
+
+            fup = graph.new_task(
+                kind=TaskKind.FUP,
+                rank=pmap(j, s),
+                op=kd.OP_GEMM,
+                flops=kf.gemv_flops(blk.nrows, w, nrhs),
+                buffer_elems=blk.nrows * w,
+                operand_bytes=(blk.nrows * w + (w + blk.nrows) * nrhs) * _F64,
+                run=run_fup,
+                label=f"FUP[{j},{s}]",
+                in_buffers=[(("blk", s, bi), blk.nrows * w * _F64)],
+                priority=float(s),
+            )
+            _wire(graph, fwd[s], fup, nbytes=w * nrhs * _F64)
+            _wire(graph, fup, fwd[j], nbytes=blk.nrows * nrhs * _F64)
+
+    return graph
+
+
+def build_backward_graph(
+    analysis: SymbolicAnalysis,
+    storage: FactorStorage,
+    pmap: ProcessMap,
+    rhs: np.ndarray,
+) -> TaskGraph:
+    """Task DAG computing ``x = L^{-T} rhs`` in place in ``rhs``."""
+    part = analysis.supernodes
+    blocks = analysis.blocks
+    nrhs = rhs.shape[1]
+    graph = TaskGraph()
+
+    bwd: list[SimTask] = [None] * part.nsup  # type: ignore[list-item]
+    for s in range(part.nsup):
+        fc, lc = part.first_col(s), part.last_col(s)
+        w = lc - fc + 1
+        diag = storage.diag_block(s)
+
+        def run_bwd(diag=diag, fc=fc, lc=lc):
+            rhs[fc : lc + 1] = la.solve_triangular(
+                diag.T, rhs[fc : lc + 1], lower=False, check_finite=False
+            )
+
+        bwd[s] = graph.new_task(
+            kind=TaskKind.BWD,
+            rank=pmap(s, s),
+            op=kd.OP_TRSM,
+            flops=kf.trsv_flops(w, nrhs),
+            buffer_elems=w * w,
+            operand_bytes=(w * w + w * nrhs) * _F64,
+            run=run_bwd,
+            label=f"BWD[{s}]",
+            in_buffers=[(("diag", s), w * w * _F64)],
+            priority=float(-s),
+        )
+
+    for s in range(part.nsup):
+        fc, lc = part.first_col(s), part.last_col(s)
+        w = lc - fc + 1
+        for bi, blk in enumerate(blocks.blocks[s]):
+            view = storage.off_block(s, bi)
+            rows = blk.rows
+            j = blk.tgt
+
+            def run_bup(view=view, rows=rows, fc=fc, lc=lc):
+                rhs[fc : lc + 1] -= view.T @ rhs[rows]
+
+            bup = graph.new_task(
+                kind=TaskKind.BUP,
+                rank=pmap(j, s),
+                op=kd.OP_GEMM,
+                flops=kf.gemv_flops(w, blk.nrows, nrhs),
+                buffer_elems=blk.nrows * w,
+                operand_bytes=(blk.nrows * w + (w + blk.nrows) * nrhs) * _F64,
+                run=run_bup,
+                label=f"BUP[{j},{s}]",
+                in_buffers=[(("blk", s, bi), blk.nrows * w * _F64)],
+                priority=float(-s),
+            )
+            _wire(graph, bwd[j], bup, nbytes=blk.nrows * nrhs * _F64)
+            _wire(graph, bup, bwd[s], nbytes=w * nrhs * _F64)
+
+    return graph
+
+
+def _wire(graph: TaskGraph, producer: SimTask, consumer: SimTask,
+          nbytes: int) -> None:
+    """Add a dependency edge, as a local edge or a one-message fan-out."""
+    if producer.rank == consumer.rank:
+        graph.add_dependency(producer, consumer)
+        return
+    for msg in producer.messages:
+        if msg.dst_rank == consumer.rank and msg.nbytes == nbytes:
+            msg.consumers.append(consumer.tid)
+            consumer.deps += 1
+            return
+    producer.messages.append(OutMessage(dst_rank=consumer.rank, nbytes=nbytes,
+                                         consumers=[consumer.tid]))
+    consumer.deps += 1

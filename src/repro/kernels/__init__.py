@@ -1,0 +1,39 @@
+"""Dense kernels (POTRF/TRSM/SYRK/GEMM) and flop-count formulas."""
+
+from .dense import (
+    OP_GEMM,
+    OP_POTRF,
+    OP_SYRK,
+    OP_TRSM,
+    gemm_nt,
+    potrf,
+    syrk_lower,
+    trsm_right_lower_trans,
+)
+from .flops import (
+    gemm_flops,
+    gemv_flops,
+    kernel_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+    trsv_flops,
+)
+
+__all__ = [
+    "OP_GEMM",
+    "OP_POTRF",
+    "OP_SYRK",
+    "OP_TRSM",
+    "gemm_nt",
+    "potrf",
+    "syrk_lower",
+    "trsm_right_lower_trans",
+    "gemm_flops",
+    "gemv_flops",
+    "kernel_flops",
+    "potrf_flops",
+    "syrk_flops",
+    "trsm_flops",
+    "trsv_flops",
+]

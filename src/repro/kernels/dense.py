@@ -1,0 +1,60 @@
+"""Dense BLAS-3 / LAPACK kernels used by the supernodal factorization.
+
+symPACK performs all local computation with four routines (paper
+Section 3.2): POTRF (diagonal block factorization), TRSM (panel
+factorization), SYRK (update to a diagonal block) and GEMM (update to an
+off-diagonal block).  These wrappers give them solver-shaped signatures on
+NumPy arrays; SciPy routes them to the platform BLAS/LAPACK.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as la
+
+from ..sparse.validate import NotPositiveDefiniteError
+
+__all__ = ["potrf", "trsm_right_lower_trans", "syrk_lower", "gemm_nt",
+           "OP_POTRF", "OP_TRSM", "OP_SYRK", "OP_GEMM"]
+
+OP_POTRF = "POTRF"
+OP_TRSM = "TRSM"
+OP_SYRK = "SYRK"
+OP_GEMM = "GEMM"
+
+
+def potrf(a: np.ndarray) -> np.ndarray:
+    """Cholesky factor of a dense SPD block: returns lower-triangular ``L``.
+
+    Raises :class:`NotPositiveDefiniteError` on a non-positive pivot, the
+    numeric signal that the (permuted) input was not SPD.
+    """
+    try:
+        return la.cholesky(a, lower=True, check_finite=False)
+    except la.LinAlgError as exc:
+        raise NotPositiveDefiniteError(str(exc)) from exc
+
+
+def trsm_right_lower_trans(b: np.ndarray, l_diag: np.ndarray) -> np.ndarray:
+    """Solve ``X @ L^T = B`` for a panel ``B`` given the diagonal factor ``L``.
+
+    This is the off-diagonal factorization step: ``L[rows, snode] =
+    A[rows, snode] @ L_diag^{-T}`` (paper task ``F``).
+    """
+    # Solve L X^T = B^T  =>  X = (L^{-1} B^T)^T
+    xt = la.solve_triangular(l_diag, b.T, lower=True, check_finite=False)
+    return np.ascontiguousarray(xt.T)
+
+
+def syrk_lower(l_panel: np.ndarray) -> np.ndarray:
+    """Symmetric rank-k update contribution ``L_panel @ L_panel^T``.
+
+    Used for updates to diagonal blocks (paper task ``U`` with the target
+    on the diagonal); only the lower triangle of the result is meaningful.
+    """
+    return l_panel @ l_panel.T
+
+
+def gemm_nt(l_a: np.ndarray, l_b: np.ndarray) -> np.ndarray:
+    """General update contribution ``L_a @ L_b^T`` (off-diagonal targets)."""
+    return l_a @ l_b.T

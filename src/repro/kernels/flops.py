@@ -1,0 +1,59 @@
+"""Floating-point operation counts for the dense kernels.
+
+The discrete-event simulator charges execution time as
+``flops / rate + fixed overheads``; these formulas are the standard dense
+linear algebra counts (Golub & Van Loan) used by every performance model in
+:mod:`repro.machine`.
+"""
+
+from __future__ import annotations
+
+__all__ = ["potrf_flops", "trsm_flops", "syrk_flops", "gemm_flops",
+           "kernel_flops", "trsv_flops", "gemv_flops"]
+
+
+def potrf_flops(n: int) -> float:
+    """Cholesky of an ``n``-by-``n`` block: ``n^3/3 + n^2/2`` flops."""
+    return n**3 / 3.0 + n**2 / 2.0
+
+
+def trsm_flops(m: int, n: int) -> float:
+    """Triangular solve of an ``m``-by-``n`` panel against ``n``-by-``n``: ``m n^2``."""
+    return float(m) * n * n
+
+
+def syrk_flops(n: int, k: int) -> float:
+    """Rank-``k`` symmetric update of an ``n``-by-``n`` block: ``n(n+1)k``."""
+    return float(n) * (n + 1) * k
+
+
+def gemm_flops(m: int, n: int, k: int) -> float:
+    """``m``-by-``n`` times ``n``... general product ``(m,k)@(k,n)``: ``2mnk``."""
+    return 2.0 * m * n * k
+
+
+def trsv_flops(n: int, nrhs: int = 1) -> float:
+    """Dense triangular solve with ``nrhs`` right-hand sides: ``n^2 nrhs``."""
+    return float(n) * n * nrhs
+
+
+def gemv_flops(m: int, n: int, nrhs: int = 1) -> float:
+    """Dense matrix-vector (or skinny matrix) product: ``2 m n nrhs``."""
+    return 2.0 * m * n * nrhs
+
+
+def kernel_flops(op: str, dims: tuple[int, ...]) -> float:
+    """Dispatch flop count by op name (see :mod:`repro.kernels.dense`).
+
+    ``dims`` conventions: POTRF ``(n,)``; TRSM ``(m, n)``; SYRK ``(n, k)``;
+    GEMM ``(m, n, k)``.
+    """
+    if op == "POTRF":
+        return potrf_flops(*dims)
+    if op == "TRSM":
+        return trsm_flops(*dims)
+    if op == "SYRK":
+        return syrk_flops(*dims)
+    if op == "GEMM":
+        return gemm_flops(*dims)
+    raise ValueError(f"unknown kernel op {op!r}")

@@ -1,0 +1,9 @@
+"""Machine performance models: Perlmutter (NVIDIA), Frontier (AMD),
+Aurora (Intel) GPU-node presets plus free-form overrides."""
+
+from .aurora import aurora
+from .frontier import frontier
+from .model import MachineModel
+from .perlmutter import PERLMUTTER, perlmutter
+
+__all__ = ["MachineModel", "PERLMUTTER", "perlmutter", "frontier", "aurora"]

@@ -1,0 +1,39 @@
+"""Aurora (ALCF) GPU-node machine model.
+
+An Intel-GPU target for the portability path of paper Section 6: two Xeon
+Max CPUs, six Intel Data Center GPU Max 1550 ("Ponte Vecchio")
+accelerators.  Effective rates: PVC tile ~17 TF/s FP64, Level-Zero launch
+overheads above CUDA's, PCIe 5.0 host links.
+"""
+
+from __future__ import annotations
+
+from .model import MachineModel
+
+__all__ = ["aurora"]
+
+
+def aurora() -> MachineModel:
+    """Aurora GPU-node model (Intel PVC, ze_device kind)."""
+    return MachineModel(
+        cpu_flops=3.0e10,
+        cpu_call_overhead_s=1.2e-6,
+        gpu_flops=1.7e13,
+        kernel_launch_s=1.2e-5,    # Level Zero launch overhead (1.5x CUDA)
+        pcie_bw=4.5e10,            # PCIe 5.0 x16 effective
+        pcie_lat=3.5e-6,
+        nic_bw=2.3e10,
+        nic_lat=2.2e-6,
+        shm_bw=9.0e10,
+        shm_lat=6.0e-7,
+        rpc_overhead_s=1.5e-6,
+        send_occupancy_s=4.0e-7,
+        staged_copy_bw=2.0e10,
+        staged_extra_lat=1.0e-5,
+        mpi_lat_factor=1.15,
+        task_overhead_s=8.0e-7,
+        gpus_per_node=6,
+        cores_per_node=104,
+        nics_per_node=8,
+        gpu_mem_bytes=128 * 2**30,
+    )

@@ -1,0 +1,40 @@
+"""Frontier (OLCF) GPU-node machine model.
+
+An AMD-GPU target for the portability path of paper Section 6: one 64-core
+EPYC 7A53 "Trento" CPU, four AMD MI250X accelerators (eight GCDs), four
+Slingshot-11 NICs.  Effective rates: MI250X GCD ~20 TF/s FP64 (vector),
+HIP launch overhead somewhat above CUDA's, Infinity-Fabric host link
+~36 GB/s effective.
+"""
+
+from __future__ import annotations
+
+from .model import MachineModel
+
+__all__ = ["frontier"]
+
+
+def frontier() -> MachineModel:
+    """Frontier GPU-node model (AMD MI250X, hip_device kind)."""
+    return MachineModel(
+        cpu_flops=3.3e10,
+        cpu_call_overhead_s=1.2e-6,
+        gpu_flops=2.0e13,          # one MI250X GCD, FP64 vector
+        kernel_launch_s=1.04e-5,   # HIP launch overhead (1.3x CUDA)
+        pcie_bw=3.6e10,            # Infinity Fabric host<->device
+        pcie_lat=4.0e-6,
+        nic_bw=2.3e10,
+        nic_lat=2.2e-6,
+        shm_bw=8.0e10,
+        shm_lat=6.0e-7,
+        rpc_overhead_s=1.5e-6,
+        send_occupancy_s=4.0e-7,
+        staged_copy_bw=1.7e10,
+        staged_extra_lat=1.0e-5,
+        mpi_lat_factor=1.15,
+        task_overhead_s=8.0e-7,
+        gpus_per_node=8,           # 4 MI250X = 8 GCDs visible as devices
+        cores_per_node=64,
+        nics_per_node=4,
+        gpu_mem_bytes=64 * 2**30,  # 64 GB HBM2e per GCD pair / 2
+    )

@@ -1,0 +1,92 @@
+"""Machine performance model.
+
+All simulated time in the PGAS runtime and the solvers derives from one
+:class:`MachineModel`: compute rates, kernel-launch and RPC overheads, and
+link latencies/bandwidths.  Absolute values are calibrated to published
+Perlmutter GPU-node numbers (see :mod:`repro.machine.perlmutter`); the
+reproduced *shapes* (scaling curves, crossovers) depend only on the ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["MachineModel"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Rates and overheads of one heterogeneous HPC node + its network.
+
+    Attributes (units: seconds, bytes/second, flop/s)
+    -------------------------------------------------
+    cpu_flops:
+        Effective per-core double-precision BLAS-3 rate.
+    cpu_call_overhead_s:
+        Fixed cost of one host BLAS/LAPACK invocation.
+    gpu_flops:
+        Effective double-precision rate of one GPU.
+    kernel_launch_s:
+        Fixed cost of launching + synchronising one GPU kernel.
+    pcie_bw / pcie_lat:
+        Host<->device link within a node.
+    nic_bw / nic_lat:
+        Per-NIC network injection bandwidth and one-way latency.
+    shm_bw / shm_lat:
+        Intra-node (shared-memory) transfer path.
+    rpc_overhead_s:
+        Cost of executing one remote procedure call at the target.
+    send_occupancy_s:
+        CPU time the *sender* spends initiating one outgoing message.
+        Small for one-sided RMA (NIC-offloaded; just the RPC injection),
+        several microseconds for two-sided MPI (matching + rendezvous) —
+        the distinction paper Section 3.4 draws.
+    staged_copy_bw / staged_extra_lat:
+        Reference (non-GDR) memory kinds: device transfers staged through a
+        host bounce buffer pay this extra copy bandwidth and latency.
+    mpi_lat_factor:
+        MPI RMA latency relative to UPC++ native (Fig. 5 comparison).
+    task_overhead_s:
+        Scheduler bookkeeping charged per executed task.
+    gpus_per_node / cores_per_node / nics_per_node:
+        Node shape (Perlmutter GPU node: 4 / 64 / 4).
+    gpu_mem_bytes:
+        Device memory capacity per GPU.
+    """
+
+    cpu_flops: float = 3.5e10
+    cpu_call_overhead_s: float = 1.2e-6
+    gpu_flops: float = 9.7e12
+    kernel_launch_s: float = 8.0e-6
+    pcie_bw: float = 2.2e10
+    pcie_lat: float = 4.0e-6
+    nic_bw: float = 2.3e10
+    nic_lat: float = 2.2e-6
+    shm_bw: float = 8.0e10
+    shm_lat: float = 6.0e-7
+    rpc_overhead_s: float = 1.5e-6
+    send_occupancy_s: float = 4.0e-7
+    staged_copy_bw: float = 1.7e10
+    staged_extra_lat: float = 1.0e-5
+    mpi_lat_factor: float = 1.15
+    task_overhead_s: float = 8.0e-7
+    gpus_per_node: int = 4
+    cores_per_node: int = 64
+    nics_per_node: int = 4
+    gpu_mem_bytes: int = 40 * 2**30
+
+    def with_overrides(self, **kwargs: float | int) -> "MachineModel":
+        """Copy with selected fields replaced (ablation studies)."""
+        return replace(self, **kwargs)
+
+    def cpu_time(self, flops: float) -> float:
+        """Host execution time of a kernel with the given flop count."""
+        return self.cpu_call_overhead_s + flops / self.cpu_flops
+
+    def gpu_time(self, flops: float) -> float:
+        """Device execution time (excluding transfers) of a kernel."""
+        return self.kernel_launch_s + flops / self.gpu_flops
+
+    def pcie_time(self, nbytes: int) -> float:
+        """Host<->device copy time within one node."""
+        return self.pcie_lat + nbytes / self.pcie_bw

@@ -1,0 +1,49 @@
+"""Perlmutter GPU-node machine model preset.
+
+Values follow the published node architecture (paper Section 5 and the
+AD/AE appendix): one 64-core AMD EPYC 7763, four NVIDIA A100 GPUs, four
+Slingshot-11 NICs at 200 Gb/s.  Rates are *effective* (achievable, not
+peak) figures so the simulated curves land in the right regime:
+
+* CPU core: ~35 GF/s effective DGEMM (peak ~39.2 GF/s per Milan core);
+* A100 FP64: 9.7 TF/s (non-tensor-core, which is what cuSOLVER POTRF and
+  large DGEMM sustain);
+* Slingshot-11: 25 GB/s wire speed per NIC, ~23 GB/s achievable
+  (the "limiting wire speed" line in paper Fig. 5);
+* PCIe 4.0 x16: ~22 GB/s effective.
+"""
+
+from __future__ import annotations
+
+from .model import MachineModel
+
+__all__ = ["perlmutter", "PERLMUTTER"]
+
+
+def perlmutter() -> MachineModel:
+    """Fresh Perlmutter GPU-node model with default calibration."""
+    return MachineModel(
+        cpu_flops=3.5e10,
+        cpu_call_overhead_s=1.2e-6,
+        gpu_flops=9.7e12,
+        kernel_launch_s=8.0e-6,
+        pcie_bw=2.2e10,
+        pcie_lat=4.0e-6,
+        nic_bw=2.3e10,
+        nic_lat=2.2e-6,
+        shm_bw=8.0e10,
+        shm_lat=6.0e-7,
+        rpc_overhead_s=1.5e-6,
+        send_occupancy_s=4.0e-7,
+        staged_copy_bw=1.7e10,
+        staged_extra_lat=1.0e-5,
+        mpi_lat_factor=1.15,
+        task_overhead_s=8.0e-7,
+        gpus_per_node=4,
+        cores_per_node=64,
+        nics_per_node=4,
+        gpu_mem_bytes=40 * 2**30,
+    )
+
+
+PERLMUTTER = perlmutter()

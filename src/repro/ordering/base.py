@@ -1,0 +1,46 @@
+"""Common interface for fill-reducing orderings."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..sparse.csc import SymmetricCSC
+from .permutation import Permutation
+
+__all__ = ["Ordering", "ORDERINGS", "register_ordering", "natural_ordering",
+           "compute_ordering"]
+
+Ordering = Callable[[SymmetricCSC], Permutation]
+
+ORDERINGS: dict[str, Ordering] = {}
+
+
+def register_ordering(name: str) -> Callable[[Ordering], Ordering]:
+    """Decorator registering an ordering under ``name`` (lowercase)."""
+
+    def wrap(fn: Ordering) -> Ordering:
+        ORDERINGS[name.lower()] = fn
+        return fn
+
+    return wrap
+
+
+@register_ordering("natural")
+def natural_ordering(a: SymmetricCSC) -> Permutation:
+    """The identity (no reordering)."""
+    return Permutation.identity(a.n)
+
+
+def compute_ordering(a: SymmetricCSC, method: str = "scotch_like") -> Permutation:
+    """Compute a fill-reducing ordering by registered name.
+
+    Available methods: ``natural``, ``rcm``, ``amd``, ``nd``,
+    ``scotch_like`` (the default, matching the paper's use of Scotch).
+    """
+    try:
+        fn = ORDERINGS[method.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown ordering {method!r}; available: {sorted(ORDERINGS)}"
+        ) from None
+    return fn(a)

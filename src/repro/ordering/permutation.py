@@ -1,0 +1,97 @@
+"""Permutation algebra shared by all orderings.
+
+Convention: a permutation ``perm`` reorders a vector ``x`` as
+``x_new[i] = x_old[perm[i]]`` (i.e. ``perm[i]`` is the *old* index placed at
+new position ``i``).  The inverse ``iperm`` satisfies
+``iperm[perm[i]] == i`` and maps old indices to new positions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Permutation", "identity_permutation", "invert_permutation",
+           "is_permutation", "compose_permutations"]
+
+
+def is_permutation(perm: np.ndarray) -> bool:
+    """True iff ``perm`` is a permutation of ``0..n-1``."""
+    perm = np.asarray(perm)
+    n = perm.size
+    if perm.ndim != 1:
+        return False
+    seen = np.zeros(n, dtype=bool)
+    ok = (perm >= 0) & (perm < n)
+    if not ok.all():
+        return False
+    seen[perm] = True
+    return bool(seen.all())
+
+
+def invert_permutation(perm: np.ndarray) -> np.ndarray:
+    """Inverse permutation: ``iperm[perm[i]] = i``."""
+    perm = np.asarray(perm, dtype=np.int64)
+    iperm = np.empty_like(perm)
+    iperm[perm] = np.arange(perm.size, dtype=np.int64)
+    return iperm
+
+
+def identity_permutation(n: int) -> np.ndarray:
+    """The identity permutation on ``n`` elements."""
+    return np.arange(n, dtype=np.int64)
+
+
+def compose_permutations(outer: np.ndarray, inner: np.ndarray) -> np.ndarray:
+    """Composition applying ``inner`` first, then ``outer``.
+
+    If ``B = P_inner A P_inner^T`` and ``C = P_outer B P_outer^T``, then
+    ``C = P A P^T`` with ``P = compose_permutations(outer, inner)``.
+    """
+    outer = np.asarray(outer, dtype=np.int64)
+    inner = np.asarray(inner, dtype=np.int64)
+    return inner[outer]
+
+
+class Permutation:
+    """A validated permutation with cached inverse.
+
+    Parameters
+    ----------
+    perm:
+        Forward permutation (new -> old index).
+    """
+
+    def __init__(self, perm: np.ndarray):
+        perm = np.asarray(perm, dtype=np.int64)
+        if not is_permutation(perm):
+            raise ValueError("not a valid permutation")
+        self.perm = perm
+        self.iperm = invert_permutation(perm)
+
+    @property
+    def n(self) -> int:
+        """Number of elements."""
+        return self.perm.size
+
+    @staticmethod
+    def identity(n: int) -> "Permutation":
+        """Identity permutation."""
+        return Permutation(identity_permutation(n))
+
+    def apply_to_vector(self, x: np.ndarray) -> np.ndarray:
+        """Reorder ``x`` into the permuted index space (``x[perm]``)."""
+        return np.asarray(x)[self.perm]
+
+    def undo_on_vector(self, y: np.ndarray) -> np.ndarray:
+        """Map a permuted-space vector back to original indexing."""
+        return np.asarray(y)[self.iperm]
+
+    def compose(self, inner: "Permutation") -> "Permutation":
+        """Composition applying ``inner`` first, then ``self``."""
+        return Permutation(compose_permutations(self.perm, inner.perm))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Permutation) and np.array_equal(self.perm, other.perm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Permutation(n={self.n})"

@@ -1,0 +1,29 @@
+"""Simulated UPC++ PGAS runtime: events, network, RMA, RPC, memory kinds."""
+
+from .device import DeviceAllocator, DeviceOutOfMemory, OomFallback
+from .device_kinds import DeviceKind, VendorLibraries, vendor_libraries
+from .events import EventQueue
+from .global_ptr import BufferRegistry, GlobalPtr
+from .network import MemoryKindsMode, MemorySpace, NetworkModel
+from .rpc import PendingRpc, RpcInbox
+from .runtime import CommStats, RankState, World
+
+__all__ = [
+    "DeviceAllocator",
+    "DeviceOutOfMemory",
+    "OomFallback",
+    "DeviceKind",
+    "VendorLibraries",
+    "vendor_libraries",
+    "EventQueue",
+    "BufferRegistry",
+    "GlobalPtr",
+    "MemoryKindsMode",
+    "MemorySpace",
+    "NetworkModel",
+    "PendingRpc",
+    "RpcInbox",
+    "CommStats",
+    "RankState",
+    "World",
+]

@@ -1,0 +1,86 @@
+"""Device allocators: the simulated "memory kinds" facility.
+
+Mirrors ``upcxx::device_allocator`` / ``upcxx::make_gpu_allocator``: each
+process binds to a device and carves allocations out of a fixed-capacity
+segment.  Allocation failure behaviour is configurable exactly like the
+paper's fallback options (Section 4.2): fall back to the CPU or throw.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+import numpy as np
+
+from .device_kinds import DeviceKind
+from .global_ptr import BufferRegistry, GlobalPtr
+from .network import MemorySpace
+
+__all__ = ["DeviceOutOfMemory", "OomFallback", "DeviceAllocator"]
+
+
+class DeviceOutOfMemory(MemoryError):
+    """Raised when a device segment cannot satisfy an allocation."""
+
+
+class OomFallback(Enum):
+    """What to do when a device allocation fails (paper Section 4.2)."""
+
+    CPU = "cpu"      # default: run the computation on the host instead
+    RAISE = "raise"  # terminate the factorization with an exception
+
+
+@dataclass
+class DeviceAllocator:
+    """Fixed-capacity device memory segment bound to one process.
+
+    Attributes
+    ----------
+    device_id:
+        Physical GPU index the owning process is bound to
+        (``p mod gpus_per_node`` in the recommended cyclic binding).
+    capacity:
+        Segment size in bytes.
+    registry:
+        Buffer registry of the owning rank (device buffers are registered
+        there with ``MemorySpace.DEVICE`` so RMA can address them).
+    """
+
+    device_id: int
+    capacity: int
+    registry: BufferRegistry
+    kind: DeviceKind = DeviceKind.CUDA
+    used: int = 0
+    peak: int = 0
+    alloc_count: int = 0
+    failed_allocs: int = 0
+    _sizes: dict[int, int] = field(default_factory=dict)
+
+    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> GlobalPtr:
+        """Allocate a device buffer; raises :class:`DeviceOutOfMemory` if full."""
+        nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
+        if self.used + nbytes > self.capacity:
+            self.failed_allocs += 1
+            raise DeviceOutOfMemory(
+                f"device {self.device_id}: requested {nbytes} bytes, "
+                f"{self.capacity - self.used} available"
+            )
+        array = np.zeros(shape, dtype=dtype)
+        ptr = self.registry.register(array, MemorySpace.DEVICE)
+        self.used += nbytes
+        self.peak = max(self.peak, self.used)
+        self.alloc_count += 1
+        self._sizes[ptr.buffer_id] = nbytes
+        return ptr
+
+    def free(self, ptr: GlobalPtr) -> None:
+        """Release a device buffer."""
+        nbytes = self._sizes.pop(ptr.buffer_id, 0)
+        self.used -= nbytes
+        self.registry.deregister(ptr)
+
+    @property
+    def available(self) -> int:
+        """Bytes remaining in the segment."""
+        return self.capacity - self.used

@@ -1,0 +1,68 @@
+"""Multi-vendor device kinds (paper Sections 4.1 and 6).
+
+UPC++ memory kinds select the device flavour with a C++ template parameter
+(``cuda_device``, ``hip_device``, ``ze_device``), making the same
+communication code portable across NVIDIA, AMD and Intel GPUs; the paper
+lists AMD/Intel support as future work and notes that porting amounts to
+"replacing the calls to CuBLAS/CuSolver with calls to the vendor
+equivalents".  This module is the simulated analogue: a :class:`DeviceKind`
+selects the vendor math libraries and their overhead characteristics, and
+everything else — allocator, RMA, offload heuristic — is kind-agnostic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["DeviceKind", "VendorLibraries", "vendor_libraries"]
+
+
+class DeviceKind(Enum):
+    """The UPC++ memory-kinds template parameter, as a runtime value."""
+
+    CUDA = "cuda_device"   # NVIDIA
+    HIP = "hip_device"     # AMD
+    ZE = "ze_device"       # Intel (Level Zero)
+    ANY = "gpu_device"     # the wildcard parameter
+
+
+@dataclass(frozen=True)
+class VendorLibraries:
+    """Vendor math-library stack backing one device kind.
+
+    Attributes
+    ----------
+    blas / solver:
+        Library names (cuBLAS/cuSOLVER, rocBLAS/rocSOLVER, oneMKL).
+    launch_factor:
+        Kernel launch + synchronisation overhead relative to the CUDA
+        stack (HIP and Level Zero runtimes carry somewhat higher launch
+        costs in practice).
+    """
+
+    kind: DeviceKind
+    blas: str
+    solver: str
+    launch_factor: float
+
+
+_VENDOR_STACKS: dict[DeviceKind, VendorLibraries] = {
+    DeviceKind.CUDA: VendorLibraries(DeviceKind.CUDA, "cuBLAS", "cuSOLVER",
+                                     launch_factor=1.0),
+    DeviceKind.HIP: VendorLibraries(DeviceKind.HIP, "rocBLAS", "rocSOLVER",
+                                    launch_factor=1.3),
+    DeviceKind.ZE: VendorLibraries(DeviceKind.ZE, "oneMKL", "oneMKL",
+                                   launch_factor=1.5),
+}
+
+
+def vendor_libraries(kind: DeviceKind) -> VendorLibraries:
+    """The math-library stack for a device kind.
+
+    ``DeviceKind.ANY`` (the wildcard template parameter) resolves to the
+    CUDA stack, matching the paper's currently-supported hardware.
+    """
+    if kind is DeviceKind.ANY:
+        kind = DeviceKind.CUDA
+    return _VENDOR_STACKS[kind]

@@ -1,0 +1,68 @@
+"""Discrete-event simulation core.
+
+A minimal, deterministic event queue: events are ``(time, seq, callback)``
+triples, popped in time order with insertion order (``seq``) breaking ties.
+Everything time-dependent in the simulated PGAS runtime — RPC arrivals,
+RMA completions, task completions — is an event on one shared queue.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+class EventQueue:
+    """Deterministic priority queue of timed callbacks."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Callable[[float], None]]] = []
+        self._seq = 0
+        self.now = 0.0
+        self.events_processed = 0
+
+    def schedule(self, time: float, callback: Callable[[float], None]) -> None:
+        """Schedule ``callback(time)`` at the given simulated time.
+
+        Scheduling in the past (before the current event's time) is a logic
+        error and raises ``ValueError``; the simulation is conservative.
+        """
+        if time < self.now - 1e-15:
+            raise ValueError(
+                f"cannot schedule event at t={time} before now={self.now}"
+            )
+        heapq.heappush(self._heap, (time, self._seq, callback))
+        self._seq += 1
+
+    def empty(self) -> bool:
+        """True when no events remain."""
+        return not self._heap
+
+    def step(self) -> bool:
+        """Pop and run the next event.  Returns ``False`` when drained."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self.now = time
+        self.events_processed += 1
+        callback(time)
+        return True
+
+    def run(self, max_events: int | None = None) -> float:
+        """Run events until the queue drains.  Returns the final time.
+
+        ``max_events`` guards against runaway simulations (deadlock in the
+        simulated protocol would otherwise look like silent starvation, so
+        exceeding the bound raises ``RuntimeError``).
+        """
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count > max_events:
+                raise RuntimeError(
+                    f"simulation exceeded {max_events} events; "
+                    "likely a dependency cycle or protocol deadlock"
+                )
+        return self.now

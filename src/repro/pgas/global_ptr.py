@@ -1,0 +1,87 @@
+"""Global pointers: references to buffers anywhere in the simulated machine.
+
+A ``GlobalPtr`` names a registered buffer (NumPy array) living in the host
+or device memory of a specific rank, mirroring ``upcxx::global_ptr`` and
+its memory-kinds device flavour.  Payloads are real arrays — RMA operations
+deliver actual data — while the network model charges simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .network import MemorySpace
+
+__all__ = ["GlobalPtr", "BufferRegistry"]
+
+
+@dataclass(frozen=True)
+class GlobalPtr:
+    """A typed reference to a remote (or local) buffer.
+
+    Attributes
+    ----------
+    rank:
+        Owning process.
+    space:
+        Host or device memory kind.
+    buffer_id:
+        Registry key on the owning rank.
+    nbytes:
+        Size of the referenced region.
+    """
+
+    rank: int
+    space: MemorySpace
+    buffer_id: int
+    nbytes: int
+
+    def is_device(self) -> bool:
+        """True for device-resident memory (a "memory kinds" pointer)."""
+        return self.space is MemorySpace.DEVICE
+
+
+@dataclass
+class BufferRegistry:
+    """Per-rank table of registered buffers addressable by global pointers."""
+
+    rank: int
+    _buffers: dict[int, np.ndarray] = field(default_factory=dict)
+    _spaces: dict[int, MemorySpace] = field(default_factory=dict)
+    _next_id: int = 0
+
+    def register(self, array: np.ndarray,
+                 space: MemorySpace = MemorySpace.HOST,
+                 nbytes: int | None = None) -> GlobalPtr:
+        """Register ``array`` and mint a global pointer to it.
+
+        ``nbytes`` overrides the advertised size — used when the registered
+        array is a zero-copy stand-in for a larger logical payload.
+        """
+        bid = self._next_id
+        self._next_id += 1
+        self._buffers[bid] = array
+        self._spaces[bid] = space
+        size = int(array.nbytes) if nbytes is None else int(nbytes)
+        return GlobalPtr(rank=self.rank, space=space, buffer_id=bid,
+                         nbytes=size)
+
+    def resolve(self, ptr: GlobalPtr) -> np.ndarray:
+        """Local dereference; only valid on the owning rank."""
+        if ptr.rank != self.rank:
+            raise ValueError(
+                f"rank {self.rank} cannot locally dereference a pointer "
+                f"owned by rank {ptr.rank}"
+            )
+        return self._buffers[ptr.buffer_id]
+
+    def deregister(self, ptr: GlobalPtr) -> None:
+        """Drop a buffer (frees simulated memory)."""
+        self._buffers.pop(ptr.buffer_id, None)
+        self._spaces.pop(ptr.buffer_id, None)
+
+    def live_bytes(self) -> int:
+        """Total registered bytes on this rank."""
+        return sum(int(b.nbytes) for b in self._buffers.values())

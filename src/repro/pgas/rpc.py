@@ -1,0 +1,76 @@
+"""Remote procedure calls with ``progress()``-driven execution.
+
+Mirrors the UPC++ RPC facility the paper's communication paradigm is built
+on (Section 3.4, Fig. 4): an RPC issued by a source rank is delivered to a
+queue on the target rank, and *executed* only when the target calls
+``progress()`` — i.e. between its computations, never preemptively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["PendingRpc", "RpcInbox"]
+
+
+@dataclass(frozen=True)
+class PendingRpc:
+    """An RPC sitting in a target rank's queue.
+
+    Attributes
+    ----------
+    arrival_time:
+        Simulated time the payload reached the target's queue.
+    fn:
+        The function to execute at the next ``progress()`` call.
+    payload:
+        Opaque arguments, passed through to ``fn``.
+    src_rank:
+        Issuing rank (for tracing).
+    """
+
+    arrival_time: float
+    fn: Callable[[Any], None]
+    payload: Any
+    src_rank: int
+
+
+@dataclass
+class RpcInbox:
+    """Arrival-ordered RPC queue of one rank."""
+
+    rank: int
+    _queue: list[PendingRpc] = field(default_factory=list)
+    delivered: int = 0
+    executed: int = 0
+
+    def deliver(self, rpc: PendingRpc) -> None:
+        """Enqueue an RPC (called by the network at arrival time)."""
+        self._queue.append(rpc)
+        self.delivered += 1
+
+    def progress(self, now: float) -> int:
+        """Execute every queued RPC that has arrived by ``now``.
+
+        Returns the number executed.  This is the simulated
+        ``upcxx::progress()``: user-level progress happens only here.
+        """
+        ready = [r for r in self._queue if r.arrival_time <= now + 1e-15]
+        if not ready:
+            return 0
+        self._queue = [r for r in self._queue if r.arrival_time > now + 1e-15]
+        for rpc in ready:
+            rpc.fn(rpc.payload)
+            self.executed += 1
+        return len(ready)
+
+    def pending(self) -> int:
+        """RPCs delivered but not yet executed."""
+        return len(self._queue)
+
+    def next_arrival(self) -> float | None:
+        """Earliest queued arrival time, or ``None`` when empty."""
+        if not self._queue:
+            return None
+        return min(r.arrival_time for r in self._queue)

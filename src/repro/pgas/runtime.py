@@ -1,0 +1,222 @@
+"""The simulated UPC++ world.
+
+Ties the discrete-event queue, network model, buffer registries, RPC
+inboxes and device allocators into one :class:`World` exposing the UPC++
+shaped operations the solver engine uses:
+
+* ``rpc(src, dst, fn, payload, t)`` — one-sided notification, executed at
+  the target's next ``progress()``;
+* ``rma_get(dst, ptr, t, ...)`` — one-sided pull of a remote buffer, with
+  the completion time computed by the memory-kinds-aware network model;
+* ``copy(src_ptr, dst_ptr, t)`` — the device-agnostic ``upcxx::copy()``.
+
+Numerics are real (the payload arrays move); only time is simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+from ..machine.model import MachineModel
+from .device import DeviceAllocator
+from .device_kinds import DeviceKind
+from .events import EventQueue
+from .global_ptr import BufferRegistry, GlobalPtr
+from .network import MemoryKindsMode, MemorySpace, NetworkModel
+from .rpc import PendingRpc, RpcInbox
+
+__all__ = ["CommStats", "RankState", "World"]
+
+
+@dataclass
+class CommStats:
+    """Exact communication counters (not estimates) for one world."""
+
+    rpcs_sent: int = 0
+    gets_issued: int = 0
+    bytes_get: int = 0
+    bytes_device_direct: int = 0
+    bytes_staged: int = 0
+    puts_issued: int = 0
+    bytes_put: int = 0
+
+
+@dataclass
+class RankState:
+    """Per-rank runtime state."""
+
+    rank: int
+    registry: BufferRegistry
+    inbox: RpcInbox
+    device: DeviceAllocator | None = None
+    clock: float = 0.0  # time through which this rank's compute is committed
+    tasks_run: int = 0
+    busy_time: float = 0.0
+
+
+class World:
+    """A simulated PGAS job of ``nranks`` processes.
+
+    Parameters
+    ----------
+    nranks:
+        Number of UPC++ processes.
+    machine:
+        Node performance model.
+    ranks_per_node:
+        Folding of ranks onto nodes.
+    mode:
+        Memory-kinds implementation (native GDR vs reference staging).
+    device_capacity:
+        Device segment bytes per rank; ``None`` disables GPU allocators
+        (CPU-only run).  Processes bind to device ``rank % gpus_per_node``
+        within their node and share its capacity equally, the recommended
+        cyclic binding of paper Section 4.2.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: MachineModel,
+        ranks_per_node: int = 1,
+        mode: MemoryKindsMode = MemoryKindsMode.NATIVE,
+        device_capacity: int | None = None,
+        device_kind: DeviceKind = DeviceKind.CUDA,
+    ) -> None:
+        if nranks < 1:
+            raise ValueError("world needs at least one rank")
+        self.nranks = nranks
+        self.machine = machine
+        self.device_kind = device_kind
+        self.network = NetworkModel(machine=machine, ranks_per_node=ranks_per_node,
+                                    mode=mode)
+        self.events = EventQueue()
+        self.stats = CommStats()
+        self.ranks: list[RankState] = []
+        for r in range(nranks):
+            registry = BufferRegistry(rank=r)
+            device = None
+            if device_capacity is not None:
+                local = r % ranks_per_node
+                device_id = local % machine.gpus_per_node
+                device = DeviceAllocator(device_id=device_id,
+                                         capacity=device_capacity,
+                                         registry=registry,
+                                         kind=device_kind)
+            self.ranks.append(RankState(rank=r, registry=registry,
+                                        inbox=RpcInbox(rank=r), device=device))
+
+    # ------------------------------------------------------------------ RPC
+
+    def rpc(self, src: int, dst: int, fn: Callable[[Any], None], payload: Any,
+            t: float, on_delivered: Callable[[float], None] | None = None) -> None:
+        """Issue an RPC from ``src`` to ``dst`` at time ``t``.
+
+        The payload is enqueued at the target at the network arrival time;
+        it executes at the target's next ``progress()``.  ``on_delivered``
+        (if given) fires as a simulation event at arrival, letting the
+        driver wake an idle target.
+        """
+        arrival = self.network.rpc_arrival_time(src, dst, t)
+        self.stats.rpcs_sent += 1
+        inbox = self.ranks[dst].inbox
+
+        def deliver(now: float) -> None:
+            inbox.deliver(PendingRpc(arrival_time=now, fn=fn, payload=payload,
+                                     src_rank=src))
+            if on_delivered is not None:
+                on_delivered(now)
+
+        self.events.schedule(arrival, deliver)
+
+    def progress(self, rank: int, t: float) -> int:
+        """Run the rank's queued RPCs that have arrived by ``t``."""
+        return self.ranks[rank].inbox.progress(t)
+
+    # ------------------------------------------------------------------ RMA
+
+    def rma_get(
+        self,
+        dst: int,
+        ptr: GlobalPtr,
+        t: float,
+        dst_space: MemorySpace = MemorySpace.HOST,
+        on_complete: Callable[[float, np.ndarray], None] | None = None,
+    ) -> float:
+        """One-sided get of ``ptr``'s data into ``dst``'s memory at time ``t``.
+
+        Returns the completion time; ``on_complete(time, data)`` is invoked
+        as a simulation event carrying the actual array.  On modern HPC
+        networks this is RDMA-offloaded: the *owner* rank is not involved
+        and its clock is untouched.
+        """
+        data = self.ranks[ptr.rank].registry.resolve(ptr)
+        dt = self.network.transfer_time(ptr.nbytes, src_rank=ptr.rank,
+                                        dst_rank=dst, src_space=ptr.space,
+                                        dst_space=dst_space)
+        done = t + dt
+        self.stats.gets_issued += 1
+        self.stats.bytes_get += ptr.nbytes
+        device_endpoint = ptr.is_device() or dst_space is MemorySpace.DEVICE
+        if device_endpoint:
+            if self.network.mode is MemoryKindsMode.NATIVE:
+                self.stats.bytes_device_direct += ptr.nbytes
+            else:
+                self.stats.bytes_staged += ptr.nbytes
+        if on_complete is not None:
+            self.events.schedule(done, lambda now: on_complete(now, data))
+        return done
+
+    def copy(
+        self,
+        src_ptr: GlobalPtr,
+        dst: int,
+        t: float,
+        dst_space: MemorySpace = MemorySpace.HOST,
+        on_complete: Callable[[float, np.ndarray], None] | None = None,
+    ) -> float:
+        """``upcxx::copy()``: device-agnostic data movement between any
+        combination of host/device memories anywhere in the system."""
+        return self.rma_get(dst, src_ptr, t, dst_space=dst_space,
+                            on_complete=on_complete)
+
+    def rma_put(self, src: int, data: np.ndarray, dst_ptr: GlobalPtr,
+                t: float) -> float:
+        """One-sided put; returns completion time (used by the baseline)."""
+        target = self.ranks[dst_ptr.rank].registry.resolve(dst_ptr)
+        np.copyto(target, data)
+        dt = self.network.transfer_time(int(data.nbytes), src_rank=src,
+                                        dst_rank=dst_ptr.rank,
+                                        dst_space=dst_ptr.space)
+        self.stats.puts_issued += 1
+        self.stats.bytes_put += int(data.nbytes)
+        return t + dt
+
+    # ------------------------------------------------------------- helpers
+
+    def register(self, rank: int, array: np.ndarray,
+                 space: MemorySpace = MemorySpace.HOST) -> GlobalPtr:
+        """Register a buffer on ``rank`` and return its global pointer."""
+        return self.ranks[rank].registry.register(array, space)
+
+    def register_bytes(self, rank: int, nbytes: int,
+                       space: MemorySpace = MemorySpace.HOST) -> GlobalPtr:
+        """Register a size-only payload handle (data lives elsewhere).
+
+        The solver's blocks are shared in simulation memory; messages only
+        need a pointer with the correct byte count for the network model.
+        """
+        return self.ranks[rank].registry.register(
+            np.empty(0), space=space, nbytes=nbytes
+        )
+
+    def run(self, max_events: int | None = None) -> float:
+        """Drain the event queue; returns final simulated time."""
+        return self.events.run(max_events=max_events)
+
+    def makespan(self) -> float:
+        """Latest committed per-rank clock (the job's simulated runtime)."""
+        return max(r.clock for r in self.ranks)

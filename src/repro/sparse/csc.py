@@ -1,0 +1,136 @@
+"""Symmetric sparse matrix utilities.
+
+symPACK operates on sparse symmetric positive definite matrices.  Internally
+we standardise on SciPy CSC storage of the *lower triangle* (including the
+diagonal), which is the natural input for a left-to-right supernodal
+Cholesky.  This module provides the :class:`SymmetricCSC` wrapper plus
+conversion and structural helpers shared by the ordering, symbolic and
+numeric phases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "SymmetricCSC",
+    "lower_csc",
+    "expand_symmetric",
+    "permute_symmetric",
+    "structural_nnz_symmetric",
+]
+
+
+def lower_csc(a: sp.spmatrix | np.ndarray) -> sp.csc_matrix:
+    """Return the lower triangle (with diagonal) of ``a`` in canonical CSC.
+
+    Accepts either a full symmetric matrix or one that already stores only a
+    triangle; in the latter case the stored triangle is mirrored first so
+    both conventions normalise identically.
+    """
+    a = sp.csc_matrix(a)
+    a.sum_duplicates()
+    lower = sp.tril(a, format="csc")
+    upper = sp.triu(a, k=1, format="csc")
+    if upper.nnz and not lower.nnz - a.diagonal().size:
+        # Matrix stored as upper triangle only: mirror it down.
+        lower = sp.tril(upper.T + sp.diags(a.diagonal()), format="csc")
+    lower.sort_indices()
+    lower.eliminate_zeros()
+    return lower
+
+
+def expand_symmetric(lower: sp.spmatrix) -> sp.csc_matrix:
+    """Expand a lower-triangular CSC into the full symmetric matrix."""
+    lower = sp.csc_matrix(lower)
+    strict = sp.tril(lower, k=-1, format="csc")
+    full = lower + strict.T
+    full = sp.csc_matrix(full)
+    full.sort_indices()
+    return full
+
+
+def permute_symmetric(lower: sp.spmatrix, perm: np.ndarray) -> sp.csc_matrix:
+    """Symmetrically permute ``P A P^T`` and return the new lower triangle.
+
+    ``perm`` follows the "new[i] = old[perm[i]]" convention used throughout
+    :mod:`repro.ordering`.
+    """
+    full = expand_symmetric(lower)
+    n = full.shape[0]
+    perm = np.asarray(perm, dtype=np.int64)
+    if perm.shape != (n,):
+        raise ValueError(f"permutation has length {perm.size}, expected {n}")
+    permuted = full[np.ix_(perm, perm)]
+    return lower_csc(permuted)
+
+
+def structural_nnz_symmetric(lower: sp.spmatrix) -> int:
+    """Number of structurally nonzero entries of the *full* symmetric matrix."""
+    lower = sp.csc_matrix(lower)
+    n_diag = int(np.count_nonzero(lower.diagonal()))
+    return 2 * lower.nnz - n_diag
+
+
+@dataclass(frozen=True)
+class SymmetricCSC:
+    """A symmetric matrix stored as its lower triangle in CSC form.
+
+    Attributes
+    ----------
+    lower:
+        Lower triangle (diagonal included) in canonical CSC form: sorted
+        row indices, duplicates summed, explicit zeros removed.
+    name:
+        Optional human-readable identifier used in benchmark reports.
+    """
+
+    lower: sp.csc_matrix
+    name: str = "matrix"
+
+    @staticmethod
+    def from_any(a: sp.spmatrix | np.ndarray, name: str = "matrix") -> "SymmetricCSC":
+        """Build from a dense array or any SciPy sparse matrix."""
+        low = lower_csc(a)
+        if low.shape[0] != low.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {low.shape}")
+        return SymmetricCSC(low, name=name)
+
+    @property
+    def n(self) -> int:
+        """Matrix dimension."""
+        return self.lower.shape[0]
+
+    @property
+    def nnz_full(self) -> int:
+        """Structural nonzeros of the full symmetric matrix."""
+        return structural_nnz_symmetric(self.lower)
+
+    @property
+    def nnz_lower(self) -> int:
+        """Stored nonzeros of the lower triangle."""
+        return int(self.lower.nnz)
+
+    def to_dense(self) -> np.ndarray:
+        """Full symmetric matrix as a dense array (small problems only)."""
+        return expand_symmetric(self.lower).toarray()
+
+    def full(self) -> sp.csc_matrix:
+        """Full symmetric matrix in CSC form."""
+        return expand_symmetric(self.lower)
+
+    def permuted(self, perm: np.ndarray) -> "SymmetricCSC":
+        """Return ``P A P^T`` under ``perm`` as a new :class:`SymmetricCSC`."""
+        return SymmetricCSC(permute_symmetric(self.lower, perm), name=self.name)
+
+    def column_structure(self, j: int) -> np.ndarray:
+        """Row indices (>= j) of the stored lower-triangular column ``j``."""
+        lo, hi = self.lower.indptr[j], self.lower.indptr[j + 1]
+        return self.lower.indices[lo:hi]
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Dense matrix-vector product ``A @ x`` using the full symmetry."""
+        return self.full() @ x

@@ -1,0 +1,161 @@
+"""Adjacency-graph utilities for symmetric sparse matrices.
+
+The ordering algorithms (nested dissection, AMD, RCM) operate on the
+undirected adjacency graph of the matrix: vertex ``i`` is adjacent to ``j``
+iff ``a_ij != 0`` for ``i != j``.  This module provides a compact CSR-style
+adjacency structure plus traversal helpers (BFS levels, connected
+components, pseudo-peripheral vertices) used by several orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from .csc import SymmetricCSC, expand_symmetric
+
+__all__ = [
+    "AdjacencyGraph",
+    "bfs_levels",
+    "connected_components",
+    "pseudo_peripheral_vertex",
+]
+
+
+@dataclass(frozen=True)
+class AdjacencyGraph:
+    """Undirected adjacency graph in CSR-like (indptr, indices) form.
+
+    Self-loops are removed; the structure is symmetric by construction.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+
+    @staticmethod
+    def from_symmetric(a: SymmetricCSC) -> "AdjacencyGraph":
+        """Adjacency graph of the full symmetric matrix, diagonal dropped."""
+        full = expand_symmetric(a.lower)
+        return AdjacencyGraph.from_sparse(full)
+
+    @staticmethod
+    def from_sparse(full: sp.spmatrix) -> "AdjacencyGraph":
+        """Adjacency graph of an already-full symmetric sparse matrix."""
+        full = sp.csr_matrix(full)
+        full = full - sp.diags(full.diagonal())
+        full = sp.csr_matrix(full)
+        full.eliminate_zeros()
+        full.sort_indices()
+        return AdjacencyGraph(
+            indptr=full.indptr.astype(np.int64),
+            indices=full.indices.astype(np.int64),
+        )
+
+    @property
+    def n(self) -> int:
+        """Number of vertices."""
+        return self.indptr.size - 1
+
+    def degree(self, v: int) -> int:
+        """Degree of vertex ``v``."""
+        return int(self.indptr[v + 1] - self.indptr[v])
+
+    def degrees(self) -> np.ndarray:
+        """Vector of all vertex degrees."""
+        return np.diff(self.indptr)
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Neighbors of vertex ``v``."""
+        return self.indices[self.indptr[v] : self.indptr[v + 1]]
+
+    def subgraph(self, vertices: np.ndarray) -> tuple["AdjacencyGraph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph and the vertex list (mapping local -> global).
+        Local vertex ``i`` corresponds to global vertex ``vertices[i]``.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        local = np.full(self.n, -1, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size)
+        indptr = [0]
+        indices: list[int] = []
+        for v in vertices:
+            nbrs = local[self.neighbors(v)]
+            nbrs = nbrs[nbrs >= 0]
+            indices.extend(int(u) for u in np.sort(nbrs))
+            indptr.append(len(indices))
+        return (
+            AdjacencyGraph(
+                indptr=np.asarray(indptr, dtype=np.int64),
+                indices=np.asarray(indices, dtype=np.int64),
+            ),
+            vertices,
+        )
+
+
+def bfs_levels(graph: AdjacencyGraph, root: int) -> tuple[np.ndarray, list[np.ndarray]]:
+    """Breadth-first level structure rooted at ``root``.
+
+    Returns ``(level, levels)`` where ``level[v]`` is the BFS depth of ``v``
+    (-1 if unreachable) and ``levels[d]`` lists the vertices at depth ``d``.
+    """
+    level = np.full(graph.n, -1, dtype=np.int64)
+    level[root] = 0
+    frontier = np.asarray([root], dtype=np.int64)
+    levels = [frontier]
+    depth = 0
+    while frontier.size:
+        nxt: list[int] = []
+        for v in frontier:
+            for u in graph.neighbors(v):
+                if level[u] < 0:
+                    level[u] = depth + 1
+                    nxt.append(int(u))
+        frontier = np.asarray(sorted(set(nxt)), dtype=np.int64)
+        if frontier.size:
+            levels.append(frontier)
+        depth += 1
+    return level, levels
+
+
+def connected_components(graph: AdjacencyGraph) -> list[np.ndarray]:
+    """Connected components as sorted vertex arrays (deterministic order)."""
+    seen = np.zeros(graph.n, dtype=bool)
+    components: list[np.ndarray] = []
+    for start in range(graph.n):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            v = stack.pop()
+            comp.append(v)
+            for u in graph.neighbors(v):
+                if not seen[u]:
+                    seen[u] = True
+                    stack.append(int(u))
+        components.append(np.asarray(sorted(comp), dtype=np.int64))
+    return components
+
+
+def pseudo_peripheral_vertex(graph: AdjacencyGraph, start: int) -> int:
+    """Find a pseudo-peripheral vertex by repeated BFS (George-Liu sweep).
+
+    Used to pick good roots for level-set separators and RCM: a vertex at
+    (approximately) maximal eccentricity within its component.
+    """
+    v = start
+    _, levels = bfs_levels(graph, v)
+    ecc = len(levels) - 1
+    while True:
+        last = levels[-1]
+        degs = np.asarray([graph.degree(int(u)) for u in last])
+        candidate = int(last[int(np.argmin(degs))])
+        _, levels = bfs_levels(graph, candidate)
+        new_ecc = len(levels) - 1
+        if new_ecc <= ecc:
+            return v
+        v, ecc = candidate, new_ecc

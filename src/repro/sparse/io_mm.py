@@ -1,0 +1,102 @@
+"""Matrix Market I/O for symmetric matrices.
+
+The paper's PaStiX runs consume Matrix Market files.  We implement a small,
+dependency-free reader/writer for the ``coordinate real symmetric`` and
+``coordinate real general`` flavours plus ``array`` dense format, matching
+the subset of the MM spec needed for SPD solver inputs.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from .csc import SymmetricCSC, lower_csc
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket"
+
+
+def read_matrix_market(path: str | Path | io.TextIOBase) -> SymmetricCSC:
+    """Read a symmetric matrix from a Matrix Market file.
+
+    ``general`` matrices are accepted if they are numerically symmetric.
+    """
+    if isinstance(path, (str, Path)):
+        with open(path, "r", encoding="ascii") as fh:
+            return read_matrix_market(fh)
+
+    header = path.readline().split()
+    if len(header) < 5 or header[0] != _HEADER:
+        raise ValueError("not a MatrixMarket file (bad header line)")
+    _, obj, fmt, field, symmetry = header[:5]
+    obj, fmt = obj.lower(), fmt.lower()
+    field, symmetry = field.lower(), symmetry.lower()
+    if obj != "matrix":
+        raise ValueError(f"unsupported MatrixMarket object {obj!r}")
+    if field not in ("real", "integer", "pattern"):
+        raise ValueError(f"unsupported MatrixMarket field {field!r}")
+    if symmetry not in ("symmetric", "general"):
+        raise ValueError(f"unsupported MatrixMarket symmetry {symmetry!r}")
+
+    line = path.readline()
+    while line.startswith("%"):
+        line = path.readline()
+    dims = line.split()
+
+    if fmt == "coordinate":
+        nrows, ncols, nnz = (int(x) for x in dims[:3])
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz)
+        for k in range(nnz):
+            parts = path.readline().split()
+            rows[k] = int(parts[0]) - 1
+            cols[k] = int(parts[1]) - 1
+            if field != "pattern":
+                vals[k] = float(parts[2])
+        a = sp.coo_matrix((vals, (rows, cols)), shape=(nrows, ncols)).tocsc()
+        if symmetry == "symmetric":
+            strict = sp.tril(a, k=-1) + sp.triu(a, k=1)
+            a = a + strict.T
+    elif fmt == "array":
+        nrows, ncols = (int(x) for x in dims[:2])
+        data = np.array([float(path.readline()) for _ in range(nrows * ncols)])
+        a = sp.csc_matrix(data.reshape((ncols, nrows)).T)
+        if symmetry == "symmetric":
+            # array symmetric stores the lower triangle column-wise; we do
+            # not support that packing here.
+            raise ValueError("array+symmetric MatrixMarket packing unsupported")
+    else:
+        raise ValueError(f"unsupported MatrixMarket format {fmt!r}")
+
+    if nrows != ncols:
+        raise ValueError("matrix must be square")
+    full = sp.csc_matrix(a)
+    asym = abs(full - full.T)
+    if asym.nnz and asym.max() > 1e-12 * max(1.0, abs(full).max()):
+        raise ValueError("general MatrixMarket matrix is not symmetric")
+    return SymmetricCSC(lower_csc(full))
+
+
+def write_matrix_market(
+    path: str | Path | io.TextIOBase, a: SymmetricCSC, comment: str = ""
+) -> None:
+    """Write ``a`` as ``coordinate real symmetric`` Matrix Market."""
+    if isinstance(path, (str, Path)):
+        with open(path, "w", encoding="ascii") as fh:
+            write_matrix_market(fh, a, comment=comment)
+        return
+
+    low = a.lower.tocoo()
+    path.write(f"{_HEADER} matrix coordinate real symmetric\n")
+    if comment:
+        for line in comment.splitlines():
+            path.write(f"% {line}\n")
+    path.write(f"{a.n} {a.n} {low.nnz}\n")
+    for i, j, v in zip(low.row, low.col, low.data):
+        path.write(f"{i + 1} {j + 1} {float(v)!r}\n")

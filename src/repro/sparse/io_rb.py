@@ -1,0 +1,97 @@
+"""Rutherford-Boeing I/O for symmetric matrices.
+
+symPACK itself consumes Rutherford-Boeing (RB) files (paper appendix
+A.2.4).  We implement the compressed-column ``rsa`` (real symmetric
+assembled) flavour with standard Fortran-style fixed-width sections, which
+is the format the paper's runs used.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from .csc import SymmetricCSC, lower_csc
+
+__all__ = ["read_rutherford_boeing", "write_rutherford_boeing"]
+
+
+def _read_int_block(lines: list[str], count: int) -> tuple[np.ndarray, list[str]]:
+    vals: list[int] = []
+    while len(vals) < count:
+        vals.extend(int(tok) for tok in lines[0].split())
+        lines = lines[1:]
+    return np.asarray(vals[:count], dtype=np.int64), lines
+
+
+def _read_float_block(lines: list[str], count: int) -> tuple[np.ndarray, list[str]]:
+    vals: list[float] = []
+    while len(vals) < count:
+        vals.extend(float(tok.replace("D", "E").replace("d", "e"))
+                    for tok in lines[0].split())
+        lines = lines[1:]
+    return np.asarray(vals[:count]), lines
+
+
+def read_rutherford_boeing(path: str | Path) -> SymmetricCSC:
+    """Read a real symmetric assembled (``rsa``) Rutherford-Boeing file."""
+    text = Path(path).read_text(encoding="ascii").splitlines()
+    if len(text) < 4:
+        raise ValueError("truncated Rutherford-Boeing file")
+    # line 1: title + key; line 2: totals; line 3: type + dims; line 4: formats
+    header3 = text[2].split()
+    mtype = header3[0].lower()
+    if not (mtype.startswith("rs") or mtype.startswith("ps")):
+        raise ValueError(f"unsupported Rutherford-Boeing matrix type {mtype!r}")
+    nrow, ncol, nnz = int(header3[1]), int(header3[2]), int(header3[3])
+    if nrow != ncol:
+        raise ValueError("matrix must be square")
+    pattern_only = mtype.startswith("ps")
+
+    body = text[4:]
+    indptr, body = _read_int_block(body, ncol + 1)
+    indices, body = _read_int_block(body, nnz)
+    if pattern_only:
+        data = np.ones(nnz)
+    else:
+        data, body = _read_float_block(body, nnz)
+
+    a = sp.csc_matrix(
+        (data, indices - 1, indptr - 1), shape=(nrow, ncol)
+    )
+    # rsa stores the lower triangle of the symmetric matrix.
+    return SymmetricCSC(lower_csc(a + sp.tril(a, k=-1).T))
+
+
+def write_rutherford_boeing(
+    path: str | Path, a: SymmetricCSC, title: str = "repro", key: str = "repro"
+) -> None:
+    """Write ``a`` as an ``rsa`` Rutherford-Boeing file."""
+    low = a.lower
+    low.sort_indices()
+    indptr = low.indptr + 1
+    indices = low.indices + 1
+    data = low.data
+
+    def chunk(vals, per_line: int, fmt: str) -> list[str]:
+        out = []
+        for start in range(0, len(vals), per_line):
+            out.append("".join(fmt.format(v) for v in vals[start : start + per_line]))
+        return out or [""]
+
+    ptr_lines = chunk(indptr, 8, "{:>10d}")
+    ind_lines = chunk(indices, 8, "{:>10d}")
+    val_lines = chunk(data, 4, "{:>20.12E}")
+    lines = [
+        f"{title:<72.72}{key:<8.8}",
+        f"{len(ptr_lines) + len(ind_lines) + len(val_lines):>14d}"
+        f"{len(ptr_lines):>14d}{len(ind_lines):>14d}{len(val_lines):>14d}",
+        f"{'rsa':<14}{a.n:>14d}{a.n:>14d}{low.nnz:>14d}{0:>14d}",
+        f"{'(8I10)':<16}{'(8I10)':<16}{'(4E20.12)':<20}",
+        *ptr_lines,
+        *ind_lines,
+        *val_lines,
+    ]
+    Path(path).write_text("\n".join(lines) + "\n", encoding="ascii")

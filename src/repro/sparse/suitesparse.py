@@ -1,0 +1,106 @@
+"""SuiteSparse Matrix Collection registry and local loader.
+
+The paper's experiments use three SuiteSparse matrices (Table 1).  This
+environment has no network access, so benchmarks run on synthetic
+stand-ins — but a user *with* the real files (downloaded from
+https://sparse.tamu.edu, in Matrix Market or Rutherford-Boeing format, the
+two formats the paper's drivers consume) can drop them into a directory
+and run every experiment on the genuine article via
+:func:`load_suitesparse`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .csc import SymmetricCSC
+from .io_mm import read_matrix_market
+from .io_rb import read_rutherford_boeing
+
+__all__ = ["SuiteSparseEntry", "PAPER_MATRICES", "load_suitesparse",
+           "find_matrix_file"]
+
+
+@dataclass(frozen=True)
+class SuiteSparseEntry:
+    """Provenance record of one paper matrix."""
+
+    name: str
+    group: str
+    n: int
+    nnz: int
+    description: str
+    url: str
+
+
+PAPER_MATRICES: dict[str, SuiteSparseEntry] = {
+    "Flan_1565": SuiteSparseEntry(
+        name="Flan_1565", group="Janna", n=1_564_794, nnz=114_165_372,
+        description="3D model of a steel flange",
+        url="https://sparse.tamu.edu/Janna/Flan_1565",
+    ),
+    "boneS10": SuiteSparseEntry(
+        name="boneS10", group="Oberwolfach", n=914_898, nnz=40_878_708,
+        description="3D trabecular bone",
+        url="https://sparse.tamu.edu/Oberwolfach/boneS10",
+    ),
+    "thermal2": SuiteSparseEntry(
+        name="thermal2", group="Schmid", n=1_228_045, nnz=8_580_313,
+        description="steady state thermal",
+        url="https://sparse.tamu.edu/Schmid/thermal2",
+    ),
+}
+
+_EXTENSIONS = (".mtx", ".mm", ".rb", ".rsa")
+
+
+def find_matrix_file(directory: str | Path, name: str) -> Path | None:
+    """Locate ``<name>.{mtx,mm,rb,rsa}`` under ``directory`` (recursive)."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return None
+    for ext in _EXTENSIONS:
+        direct = directory / f"{name}{ext}"
+        if direct.is_file():
+            return direct
+    for ext in _EXTENSIONS:
+        hits = sorted(directory.rglob(f"{name}{ext}"))
+        if hits:
+            return hits[0]
+    return None
+
+
+def load_suitesparse(directory: str | Path, name: str,
+                     verify_shape: bool = True) -> SymmetricCSC:
+    """Load a paper matrix from a local SuiteSparse download directory.
+
+    Parameters
+    ----------
+    directory:
+        Root directory holding downloaded matrix files.
+    name:
+        Matrix name (one of :data:`PAPER_MATRICES`, or any file stem).
+    verify_shape:
+        For known paper matrices, cross-check ``n`` against the published
+        value and raise on mismatch (catches truncated downloads).
+    """
+    path = find_matrix_file(directory, name)
+    if path is None:
+        entry = PAPER_MATRICES.get(name)
+        hint = f" (download: {entry.url})" if entry else ""
+        raise FileNotFoundError(
+            f"no file for matrix {name!r} under {directory}{hint}"
+        )
+    if path.suffix.lower() in (".mtx", ".mm"):
+        a = read_matrix_market(path)
+    else:
+        a = read_rutherford_boeing(path)
+    a = SymmetricCSC(a.lower, name=name)
+    entry = PAPER_MATRICES.get(name)
+    if verify_shape and entry is not None and a.n != entry.n:
+        raise ValueError(
+            f"{name}: file has n={a.n}, published n={entry.n} "
+            "(truncated or wrong file?)"
+        )
+    return a

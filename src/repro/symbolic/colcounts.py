@@ -1,0 +1,100 @@
+"""Column counts of ``L`` without forming structures (Gilbert-Ng-Peyton).
+
+:mod:`repro.symbolic.structure` computes counts as a by-product of the
+explicit structure merge (``O(nnz(L))`` space).  For huge problems the
+classic Gilbert-Ng-Peyton skeleton algorithm computes the same counts in
+near-``O(nnz(A))`` time and ``O(n)`` space using row-subtree leaves and
+least-common-ancestor path compression.  Both implementations are kept and
+cross-validated: an independent second derivation of the quantity every
+downstream phase (supernodes, flop estimates, memory planning) relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .etree import elimination_tree, postorder
+
+__all__ = ["column_counts_gnp"]
+
+
+def _leaf(i: int, j: int, first: np.ndarray, maxfirst: np.ndarray,
+          prevleaf: np.ndarray, ancestor: np.ndarray) -> tuple[int, int]:
+    """Is ``j`` a leaf of row ``i``'s subtree?  (Davis, cs_leaf.)
+
+    Returns ``(jleaf, q)`` where ``jleaf`` is 0 (not a leaf), 1 (first
+    leaf) or 2 (subsequent leaf) and ``q`` is the least common ancestor of
+    ``j`` and the previous leaf when ``jleaf == 2``.
+    """
+    if i <= j or first[j] <= maxfirst[i]:
+        return 0, -1
+    maxfirst[i] = first[j]
+    jprev = prevleaf[i]
+    prevleaf[i] = j
+    if jprev == -1:
+        return 1, j
+    q = jprev
+    while q != ancestor[q]:
+        q = ancestor[q]
+    s = jprev
+    while s != q:
+        s_parent = ancestor[s]
+        ancestor[s] = q
+        s = s_parent
+    return 2, q
+
+
+def column_counts_gnp(lower: sp.csc_matrix,
+                      parent: np.ndarray | None = None) -> np.ndarray:
+    """Column counts of the Cholesky factor (diagonal included).
+
+    Parameters
+    ----------
+    lower:
+        Lower triangle of the symmetric matrix, canonical CSC.
+    parent:
+        Optional precomputed elimination tree.
+    """
+    lower = sp.csc_matrix(lower)
+    n = lower.shape[0]
+    if parent is None:
+        parent = elimination_tree(lower)
+    post = postorder(parent)
+
+    delta = np.zeros(n, dtype=np.int64)
+    first = np.full(n, -1, dtype=np.int64)
+    for k in range(n):
+        j = int(post[k])
+        delta[j] = 1 if first[j] == -1 else 0  # j is a leaf of its subtree
+        node = j
+        while node != -1 and first[node] == -1:
+            first[node] = k
+            node = int(parent[node])
+
+    maxfirst = np.full(n, -1, dtype=np.int64)
+    prevleaf = np.full(n, -1, dtype=np.int64)
+    ancestor = np.arange(n, dtype=np.int64)
+    indptr, indices = lower.indptr, lower.indices
+
+    for k in range(n):
+        j = int(post[k])
+        if parent[j] != -1:
+            delta[parent[j]] -= 1
+        # Strict-lower entries of column j: rows i > j with a_ij != 0,
+        # i.e. the skeleton entries whose row subtrees j may be a leaf of.
+        for p in range(indptr[j], indptr[j + 1]):
+            i = int(indices[p])
+            jleaf, q = _leaf(i, j, first, maxfirst, prevleaf, ancestor)
+            if jleaf >= 1:
+                delta[j] += 1
+            if jleaf == 2:
+                delta[q] -= 1
+        if parent[j] != -1:
+            ancestor[j] = int(parent[j])
+
+    counts = delta.copy()
+    for j in range(n):
+        if parent[j] != -1:
+            counts[parent[j]] += counts[j]
+    return counts

@@ -1,0 +1,25 @@
+"""Algorithm-family variants (Ashcraft's taxonomy, paper Section 2.3).
+
+symPACK's core is *fan-out*; this package adds the *fan-in* family member
+(aggregate-vector communication) and the *multifrontal* approach (the
+MUMPS-like variant of right-looking), so the taxonomy the paper describes
+can be executed and measured rather than only cited.
+"""
+
+from .fanboth import FanBothOptions, FanBothSolver
+from .fanin import FanInOptions, FanInSolver
+from .multifrontal import (
+    MultifrontalOptions,
+    MultifrontalSolver,
+    proportional_supernode_mapping,
+)
+
+__all__ = [
+    "FanBothOptions",
+    "FanBothSolver",
+    "FanInOptions",
+    "FanInSolver",
+    "MultifrontalOptions",
+    "MultifrontalSolver",
+    "proportional_supernode_mapping",
+]

@@ -1,0 +1,314 @@
+"""Fan-both sparse Cholesky (paper Section 2.3; Jacquelin et al. [15]).
+
+symPACK descends from an asynchronous task-based *fan-both* solver (the
+paper's reference [15], explicitly credited in its acknowledgements).  The
+fan-both family generalises fan-out and fan-in: updates may be computed on
+*any* processor according to a computation map, and both kinds of message
+exist — *factors* (as in fan-out) and *aggregate vectors* (as in fan-in).
+
+This implementation uses the natural 2D computation map: update
+``U[j,s,t]`` executes on ``map(j, s)`` — the owner of the *source row
+block* — so each factor block never moves (its owner computes every update
+that reads it as the row operand), the column operand ``B[t,s]`` fans out
+along its block row, and contributions fan in to the target's owner as
+per-(rank, target-block) aggregates.  Setting the process grid to ``1 x P``
+degenerates to fan-in; computing updates at the target instead recovers
+fan-out — the generalisation the taxonomy describes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.engine import FanOutEngine
+from ..core.mapping import ProcessMap, make_map
+from ..core.offload import CPU_ONLY, OffloadPolicy
+from ..core.storage import FactorStorage
+from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
+from ..core.tracing import ExecutionTrace
+from ..core.triangular import build_backward_graph, build_forward_graph
+from ..kernels import dense as kd
+from ..kernels import flops as kf
+from ..machine.model import MachineModel
+from ..machine.perlmutter import perlmutter
+from ..pgas.network import MemoryKindsMode
+from ..pgas.runtime import World
+from ..sparse.csc import SymmetricCSC
+from ..symbolic.analysis import SymbolicAnalysis, analyze
+from ..symbolic.supernodes import AmalgamationOptions
+
+__all__ = ["FanBothOptions", "FanBothSolver"]
+
+_F64 = 8
+
+
+@dataclass(frozen=True)
+class FanBothOptions:
+    """Configuration of a fan-both run."""
+
+    nranks: int = 1
+    ranks_per_node: int = 1
+    ordering: str = "scotch_like"
+    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
+    machine: MachineModel = field(default_factory=perlmutter)
+    offload: OffloadPolicy = field(default_factory=lambda: CPU_ONLY)
+    mapping: str = "2d"
+
+
+class FanBothSolver:
+    """Fan-both supernodal Cholesky with a 2D computation map."""
+
+    def __init__(self, a: SymmetricCSC, options: FanBothOptions | None = None):
+        self.options = options or FanBothOptions()
+        self.a = a
+        self.analysis: SymbolicAnalysis = analyze(
+            a, ordering=self.options.ordering,
+            amalgamation=self.options.amalgamation)
+        self.pmap: ProcessMap = make_map(self.options.nranks,
+                                         self.options.mapping)
+        self.storage: FactorStorage | None = None
+        self.trace = ExecutionTrace()
+        self._factorized = False
+
+    def _new_world(self) -> World:
+        return World(nranks=self.options.nranks,
+                     machine=self.options.machine,
+                     ranks_per_node=self.options.ranks_per_node,
+                     mode=MemoryKindsMode.NATIVE)
+
+    # ---------------------------------------------------------- task graph
+
+    def _build_graph(self, storage: FactorStorage) -> TaskGraph:
+        analysis = self.analysis
+        part = analysis.supernodes
+        blocks = analysis.blocks
+        pmap = self.pmap
+        graph = TaskGraph()
+
+        block_index = [
+            {blk.tgt: bi for bi, blk in enumerate(blocks.blocks[t])}
+            for t in range(part.nsup)
+        ]
+
+        d_task: list[SimTask] = [None] * part.nsup  # type: ignore
+        f_task: dict[tuple[int, int], SimTask] = {}
+
+        for s in range(part.nsup):
+            w = part.width(s)
+            diag = storage.diag_block(s)
+
+            def run_d(diag=diag):
+                diag[:, :] = np.tril(kd.potrf(diag))
+
+            d_task[s] = graph.new_task(
+                kind=TaskKind.DIAG, rank=pmap(s, s), op=kd.OP_POTRF,
+                flops=kf.potrf_flops(w), buffer_elems=w * w,
+                operand_bytes=w * w * _F64, run=run_d, label=f"D[{s}]",
+                priority=float(s))
+
+            for bi, blk in enumerate(blocks.blocks[s]):
+                view = storage.off_block(s, bi)
+                m = blk.nrows
+
+                def run_f(view=view, diag=diag):
+                    view[:, :] = kd.trsm_right_lower_trans(view, diag)
+
+                f_task[(s, bi)] = graph.new_task(
+                    kind=TaskKind.FACTOR, rank=pmap(blk.tgt, s),
+                    op=kd.OP_TRSM, flops=kf.trsm_flops(m, w),
+                    buffer_elems=max(m * w, w * w),
+                    operand_bytes=(m * w + w * w) * _F64, run=run_f,
+                    label=f"F[{blk.tgt},{s}]", priority=float(s))
+
+        # Aggregate buffers per (computing rank, target supernode, target
+        # block index or -1 for the diagonal).
+        aggregates: dict[tuple[int, int, int], np.ndarray] = {}
+
+        def aggregate_for(rank: int, t: int, tb: int) -> np.ndarray:
+            key = (rank, t, tb)
+            if key not in aggregates:
+                if tb < 0:
+                    w_t = part.width(t)
+                    aggregates[key] = np.zeros((w_t, w_t))
+                else:
+                    blk = blocks.blocks[t][tb]
+                    aggregates[key] = np.zeros((blk.nrows, part.width(t)))
+            return aggregates[key]
+
+        d_consumers: list[dict[int, list[int]]] = [defaultdict(list)
+                                                   for _ in range(part.nsup)]
+        f_consumers: dict[tuple[int, int], dict[int, list[int]]] = {
+            k: defaultdict(list) for k in f_task}
+        # Update tasks contributing to each aggregate.
+        agg_updates: dict[tuple[int, int, int], list[SimTask]] = defaultdict(list)
+
+        for s in range(part.nsup):
+            for bi, blk in enumerate(blocks.blocks[s]):
+                ft = f_task[(s, bi)]
+                if ft.rank == d_task[s].rank:
+                    graph.add_dependency(d_task[s], ft)
+                else:
+                    d_consumers[s][ft.rank].append(ft.tid)
+                    ft.deps += 1
+
+        for s in range(part.nsup):
+            w = part.width(s)
+            blist = blocks.blocks[s]
+            for bj, col_blk in enumerate(blist):
+                t = col_blk.tgt
+                fc_t = part.first_col(t)
+                col_pos = col_blk.rows - fc_t
+                for bi in range(bj, len(blist)):
+                    row_blk = blist[bi]
+                    j = row_blk.tgt
+                    src_rows = storage.off_block(s, bi)
+                    src_cols = storage.off_block(s, bj)
+                    compute_rank = pmap(j, s)  # fan-both computation map
+                    if j == t:
+                        tb = -1
+                        tgt_rank = pmap(t, t)
+                        rpos = row_blk.rows - fc_t
+                        flops = kf.syrk_flops(col_blk.nrows, w)
+                    else:
+                        tb = block_index[t].get(j)
+                        if tb is None:
+                            raise RuntimeError(
+                                f"missing target block B[{j},{t}]")
+                        tgt_blk = blocks.blocks[t][tb]
+                        tgt_rank = pmap(j, t)
+                        rpos = np.searchsorted(tgt_blk.rows, row_blk.rows)
+                        flops = kf.gemm_flops(row_blk.nrows,
+                                              col_blk.nrows, w)
+
+                    local = compute_rank == tgt_rank
+                    if local:
+                        if tb < 0:
+                            tgt_arr = storage.diag_block(t)
+                        else:
+                            tgt_arr = storage.off_block(t, tb)
+                        sign = -1.0
+                    else:
+                        tgt_arr = aggregate_for(compute_rank, t, tb)
+                        sign = 1.0
+
+                    def run_u(tgt=tgt_arr, a_rows=src_rows, a_cols=src_cols,
+                              r=rpos, c=col_pos, is_diag=(tb < 0),
+                              sign=sign):
+                        if is_diag:
+                            tgt[np.ix_(r, c)] += sign * kd.syrk_lower(a_cols)
+                        else:
+                            tgt[np.ix_(r, c)] += sign * kd.gemm_nt(a_rows,
+                                                                   a_cols)
+
+                    ut = graph.new_task(
+                        kind=TaskKind.UPDATE, rank=compute_rank,
+                        op=kd.OP_SYRK if tb < 0 else kd.OP_GEMM,
+                        flops=flops,
+                        buffer_elems=max(row_blk.nrows * w,
+                                         col_blk.nrows * w),
+                        operand_bytes=2 * max(row_blk.nrows,
+                                              col_blk.nrows) * w * _F64,
+                        run=run_u, label=f"U[{j},{s},{t}]",
+                        priority=float(s))
+
+                    # Source dependencies (factor messages, fan-out style).
+                    for src_bi in {bi, bj}:
+                        src_ft = f_task[(s, src_bi)]
+                        if src_ft.rank == ut.rank:
+                            graph.add_dependency(src_ft, ut)
+                        else:
+                            f_consumers[(s, src_bi)][ut.rank].append(ut.tid)
+                            ut.deps += 1
+
+                    if local:
+                        downstream = (d_task[t] if tb < 0
+                                      else f_task[(t, tb)])
+                        graph.add_dependency(ut, downstream)
+                    else:
+                        agg_updates[(compute_rank, t, tb)].append(ut)
+
+        # Aggregate sends (fan-in style messages).
+        for (rank, t, tb), tasks in sorted(agg_updates.items()):
+            agg = aggregates[(rank, t, tb)]
+            if tb < 0:
+                downstream = d_task[t]
+
+                def run_apply(agg=agg, t=t, storage=storage):
+                    storage.diag_block(t)[:, :] -= agg
+            else:
+                downstream = f_task[(t, tb)]
+
+                def run_apply(agg=agg, t=t, tb=tb, storage=storage):
+                    storage.off_block(t, tb)[:, :] -= agg
+
+            apply_task = graph.new_task(
+                kind=TaskKind.UPDATE, rank=downstream.rank, op=kd.OP_GEMM,
+                flops=float(agg.size), buffer_elems=int(agg.size),
+                operand_bytes=int(agg.nbytes), run=run_apply,
+                label=f"APPLY[{rank}->{t},{tb}]", priority=float(t))
+            graph.add_dependency(apply_task, downstream)
+            sender = tasks[-1]
+            for upstream in tasks[:-1]:
+                graph.add_dependency(upstream, sender)
+            sender.messages.append(OutMessage(
+                dst_rank=downstream.rank, nbytes=int(agg.nbytes),
+                consumers=[apply_task.tid]))
+            apply_task.deps += 1
+
+        # Assemble the factor messages (D and F fan-out).
+        for s in range(part.nsup):
+            w = part.width(s)
+            for dst_rank, consumers in sorted(d_consumers[s].items()):
+                d_task[s].messages.append(OutMessage(
+                    dst_rank=dst_rank, nbytes=w * w * _F64,
+                    consumers=consumers))
+        for (s, bi), per_rank in f_consumers.items():
+            blk = blocks.blocks[s][bi]
+            nbytes = blk.nrows * part.width(s) * _F64
+            for dst_rank, consumers in sorted(per_rank.items()):
+                f_task[(s, bi)].messages.append(OutMessage(
+                    dst_rank=dst_rank, nbytes=nbytes, consumers=consumers))
+        return graph
+
+    # ------------------------------------------------------------- numeric
+
+    def factorize(self):
+        """Numeric fan-both factorization; returns the engine result."""
+        self.storage = FactorStorage(self.analysis)
+        world = self._new_world()
+        graph = self._build_graph(self.storage)
+        engine = FanOutEngine(world, graph, self.options.offload,
+                              trace=self.trace)
+        result = engine.run()
+        self._factorized = True
+        self._world_stats = world.stats
+        return result
+
+    def solve(self, b: np.ndarray):
+        """Standard distributed triangular solves over the 2D map."""
+        if not self._factorized or self.storage is None:
+            raise RuntimeError("call factorize() before solve()")
+        b = np.asarray(b, dtype=np.float64)
+        squeeze = b.ndim == 1
+        rhs = b.reshape(self.a.n, -1).copy()
+        rhs = rhs[self.analysis.perm.perm]
+        total = 0.0
+        for builder in (build_forward_graph, build_backward_graph):
+            world = self._new_world()
+            graph = builder(self.analysis, self.storage, self.pmap, rhs)
+            engine = FanOutEngine(world, graph, self.options.offload,
+                                  trace=self.trace)
+            total += engine.run().makespan
+        x = rhs[self.analysis.perm.iperm]
+        if squeeze:
+            x = x.ravel()
+        return x, total
+
+    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
+        """Relative residual ``||A x - b|| / ||b||``."""
+        r = self.a.full() @ x - b
+        denom = float(np.linalg.norm(b))
+        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

@@ -1,0 +1,305 @@
+"""Fan-in sparse Cholesky (Ashcraft's taxonomy, paper Section 2.3).
+
+The paper classifies parallel Cholesky algorithms into *fan-out* (symPACK:
+updates computed by the owner of the **target**, factor blocks broadcast),
+*fan-in* (updates computed by the owner of the **source** column, partial
+sums collected as *aggregate vectors*), and *fan-both*.  This module
+implements the fan-in family member so the taxonomy can be measured, not
+just cited:
+
+* supernodes are distributed 1D-cyclically (the classical fan-in layout);
+* the owner of source supernode ``s`` computes every update ``s -> t``
+  locally, accumulating all of its updates to a remote ``t`` into one
+  per-(rank, target) *aggregate buffer*;
+* one aggregate message per (rank, target) pair replaces the fan-out
+  broadcast of factor blocks — trading message count for the memory and
+  latency of aggregate accumulation.
+
+Numerics are identical to the fan-out solver (same symbolic phase, same
+kernels); only where updates execute and what travels on the network
+differ.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.engine import FanOutEngine
+from ..core.offload import CPU_ONLY, OffloadPolicy
+from ..core.storage import FactorStorage
+from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
+from ..core.tracing import ExecutionTrace
+from ..kernels import dense as kd
+from ..kernels import flops as kf
+from ..machine.model import MachineModel
+from ..machine.perlmutter import perlmutter
+from ..pgas.network import MemoryKindsMode
+from ..pgas.runtime import World
+from ..sparse.csc import SymmetricCSC
+from ..symbolic.analysis import SymbolicAnalysis, analyze
+from ..symbolic.supernodes import AmalgamationOptions
+
+__all__ = ["FanInOptions", "FanInSolver"]
+
+_F64 = 8
+
+
+@dataclass(frozen=True)
+class FanInOptions:
+    """Configuration of a fan-in run."""
+
+    nranks: int = 1
+    ranks_per_node: int = 1
+    ordering: str = "scotch_like"
+    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
+    machine: MachineModel = field(default_factory=perlmutter)
+    offload: OffloadPolicy = field(default_factory=lambda: CPU_ONLY)
+
+
+class FanInSolver:
+    """Fan-in supernodal Cholesky on the simulated PGAS runtime.
+
+    API mirrors :class:`~repro.core.solver.SymPackSolver` (factorize /
+    solve / residual_norm) so the family comparison bench can treat all
+    variants uniformly.
+    """
+
+    def __init__(self, a: SymmetricCSC, options: FanInOptions | None = None):
+        self.options = options or FanInOptions()
+        self.a = a
+        self.analysis: SymbolicAnalysis = analyze(
+            a, ordering=self.options.ordering,
+            amalgamation=self.options.amalgamation)
+        self.storage: FactorStorage | None = None
+        self.trace = ExecutionTrace()
+        self._factorized = False
+
+    def _owner(self, s: int) -> int:
+        return s % self.options.nranks
+
+    def _new_world(self) -> World:
+        return World(nranks=self.options.nranks,
+                     machine=self.options.machine,
+                     ranks_per_node=self.options.ranks_per_node,
+                     mode=MemoryKindsMode.NATIVE)
+
+    # ---------------------------------------------------------- task graph
+
+    def _build_graph(self, storage: FactorStorage) -> TaskGraph:
+        analysis = self.analysis
+        part = analysis.supernodes
+        blocks = analysis.blocks
+        nranks = self.options.nranks
+        graph = TaskGraph()
+
+        block_index = [
+            {blk.tgt: bi for bi, blk in enumerate(blocks.blocks[t])}
+            for t in range(part.nsup)
+        ]
+
+        # Aggregate buffers: one per (source rank, target supernode) pair
+        # that has at least one remote update.  Shaped like the target's
+        # full panel (diag + off-diag rows) for simple scatter-adds.
+        aggregates: dict[tuple[int, int], np.ndarray] = {}
+
+        def aggregate_for(rank: int, t: int) -> np.ndarray:
+            key = (rank, t)
+            if key not in aggregates:
+                w = part.width(t)
+                rows = part.structs[t].size
+                aggregates[key] = np.zeros((w + rows, w))
+            return aggregates[key]
+
+        panel_task: list[SimTask] = [None] * part.nsup  # type: ignore
+        for s in range(part.nsup):
+            w = part.width(s)
+            diag = storage.diag_block(s)
+            panel = storage.panels[s]
+            m = panel.shape[0]
+
+            def run_panel(diag=diag, panel=panel):
+                diag[:, :] = np.tril(kd.potrf(diag))
+                if panel.shape[0]:
+                    panel[:, :] = kd.trsm_right_lower_trans(panel, diag)
+
+            panel_task[s] = graph.new_task(
+                kind=TaskKind.FACTOR,
+                rank=self._owner(s),
+                op=kd.OP_TRSM,
+                flops=kf.potrf_flops(w) + kf.trsm_flops(m, w),
+                buffer_elems=max((m + w) * w, 1),
+                operand_bytes=(m + w) * w * _F64,
+                run=run_panel,
+                label=f"PANEL[{s}]",
+                priority=float(s),
+            )
+
+        # Update tasks on the OWNER OF THE SOURCE (the fan-in property),
+        # plus per-(rank, target) apply tasks on the target owner.
+        updates_into: dict[tuple[int, int], list[SimTask]] = defaultdict(list)
+        for s in range(part.nsup):
+            w = part.width(s)
+            blist = blocks.blocks[s]
+            src_rank = self._owner(s)
+            for bj, col_blk in enumerate(blist):
+                t = col_blk.tgt
+                fc_t = part.first_col(t)
+                w_t = part.width(t)
+                col_pos = col_blk.rows - fc_t
+                remote = self._owner(t) != src_rank
+                actions = []
+                flops = 0.0
+                max_buf = 0
+                for bi in range(bj, len(blist)):
+                    row_blk = blist[bi]
+                    j = row_blk.tgt
+                    src_rows = storage.off_block(s, bi)
+                    src_cols = storage.off_block(s, bj)
+                    if j == t:
+                        rpos = row_blk.rows - fc_t
+                        cpos = col_pos
+                        is_diag = True
+                        flops += kf.syrk_flops(col_blk.nrows, w)
+                        tb = None
+                    else:
+                        tb = block_index[t].get(j)
+                        if tb is None:
+                            raise RuntimeError(
+                                f"missing target block B[{j},{t}]")
+                        tgt_blk = blocks.blocks[t][tb]
+                        rpos = np.searchsorted(tgt_blk.rows, row_blk.rows)
+                        cpos = col_pos
+                        is_diag = False
+                        flops += kf.gemm_flops(row_blk.nrows,
+                                               col_blk.nrows, w)
+                    actions.append((tb, src_rows, src_cols, rpos, cpos,
+                                    is_diag))
+                    max_buf = max(max_buf, row_blk.nrows * w,
+                                  col_blk.nrows * w)
+
+                if remote:
+                    agg = aggregate_for(src_rank, t)
+
+                    def run_update(actions=actions, agg=agg, t=t, w_t=w_t,
+                                   blocks=blocks):
+                        for tb, a_rows, a_cols, rpos, cpos, is_diag in actions:
+                            if is_diag:
+                                agg[np.ix_(rpos, cpos)] += kd.syrk_lower(a_cols)
+                            else:
+                                off = w_t + blocks.blocks[t][tb].offset
+                                agg[np.ix_(off + rpos, cpos)] += kd.gemm_nt(
+                                    a_rows, a_cols)
+                else:
+
+                    def run_update(actions=actions, t=t,
+                                   storage=storage):
+                        diag_t = storage.diag_block(t)
+                        for tb, a_rows, a_cols, rpos, cpos, is_diag in actions:
+                            if is_diag:
+                                diag_t[np.ix_(rpos, cpos)] -= kd.syrk_lower(
+                                    a_cols)
+                            else:
+                                tgt = storage.off_block(t, tb)
+                                tgt[np.ix_(rpos, cpos)] -= kd.gemm_nt(
+                                    a_rows, a_cols)
+
+                ut = graph.new_task(
+                    kind=TaskKind.UPDATE,
+                    rank=src_rank,
+                    op=kd.OP_GEMM,
+                    flops=flops,
+                    buffer_elems=max_buf,
+                    operand_bytes=2 * max_buf * _F64,
+                    run=run_update,
+                    label=f"UPD[{s}->{t}]",
+                    priority=float(s),
+                )
+                graph.add_dependency(panel_task[s], ut)
+                updates_into[(src_rank, t)].append(ut)
+                if not remote:
+                    graph.add_dependency(ut, panel_task[t])
+
+        # Aggregate send + apply: one message per (source rank, target).
+        for (src_rank, t), tasks in sorted(updates_into.items()):
+            if src_rank == self._owner(t):
+                continue
+            agg = aggregate_for(src_rank, t)
+            w_t = part.width(t)
+
+            def run_apply(agg=agg, t=t, w_t=w_t, storage=storage):
+                storage.diag_block(t)[:, :] -= agg[:w_t, :]
+                if storage.panels[t].shape[0]:
+                    storage.panels[t][:, :] -= agg[w_t:, :]
+
+            apply_task = graph.new_task(
+                kind=TaskKind.UPDATE,
+                rank=self._owner(t),
+                op=kd.OP_GEMM,
+                flops=float(agg.size),  # an AXPY-like accumulation
+                buffer_elems=int(agg.size),
+                operand_bytes=int(agg.nbytes),
+                run=run_apply,
+                label=f"APPLY[{src_rank}->{t}]",
+                priority=float(t),
+            )
+            graph.add_dependency(apply_task, panel_task[t])
+            # The aggregate leaves once every contributing local update is
+            # folded in: the *last* update task carries the message, the
+            # others feed a zero-byte local chain.
+            sender = tasks[-1]
+            for upstream in tasks[:-1]:
+                graph.add_dependency(upstream, sender)
+            sender.messages.append(OutMessage(
+                dst_rank=self._owner(t), nbytes=int(agg.nbytes),
+                consumers=[apply_task.tid]))
+            apply_task.deps += 1
+
+        return graph
+
+    # ------------------------------------------------------------- numeric
+
+    def factorize(self):
+        """Numeric fan-in factorization; returns the engine result."""
+        self.storage = FactorStorage(self.analysis)
+        world = self._new_world()
+        graph = self._build_graph(self.storage)
+        engine = FanOutEngine(world, graph, self.options.offload,
+                              trace=self.trace)
+        result = engine.run()
+        self._factorized = True
+        self._world_stats = world.stats
+        return result
+
+    def solve(self, b: np.ndarray):
+        """Triangular solves reusing the fan-out solve graphs (the solve
+        phase is family-agnostic)."""
+        if not self._factorized or self.storage is None:
+            raise RuntimeError("call factorize() before solve()")
+        from ..core.mapping import column_cyclic_1d
+        from ..core.triangular import build_backward_graph, build_forward_graph
+
+        b = np.asarray(b, dtype=np.float64)
+        squeeze = b.ndim == 1
+        rhs = b.reshape(self.a.n, -1).copy()
+        rhs = rhs[self.analysis.perm.perm]
+        pmap = column_cyclic_1d(self.options.nranks)
+        total = 0.0
+        for builder in (build_forward_graph, build_backward_graph):
+            world = self._new_world()
+            graph = builder(self.analysis, self.storage, pmap, rhs)
+            engine = FanOutEngine(world, graph, self.options.offload,
+                                  trace=self.trace)
+            total += engine.run().makespan
+        x = rhs[self.analysis.perm.iperm]
+        if squeeze:
+            x = x.ravel()
+        return x, total
+
+    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
+        """Relative residual ``||A x - b|| / ||b||``."""
+        r = self.a.full() @ x - b
+        denom = float(np.linalg.norm(b))
+        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

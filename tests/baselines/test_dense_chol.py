@@ -1,0 +1,72 @@
+"""Tests of the reference dense Cholesky variants (paper Alg. 1, §2.3)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    backward_substitution,
+    basic_cholesky,
+    dense_solve,
+    forward_substitution,
+    left_looking_cholesky,
+    right_looking_cholesky,
+)
+from repro.sparse import NotPositiveDefiniteError
+
+
+def spd(n, seed=0):
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n))
+    return g @ g.T + n * np.eye(n)
+
+
+VARIANTS = [basic_cholesky, left_looking_cholesky, right_looking_cholesky]
+
+
+@pytest.mark.parametrize("chol", VARIANTS)
+class TestVariants:
+    def test_matches_numpy(self, chol):
+        a = spd(12, seed=1)
+        assert np.allclose(chol(a), np.linalg.cholesky(a))
+
+    def test_input_not_modified(self, chol):
+        a = spd(6, seed=2)
+        backup = a.copy()
+        chol(a)
+        assert np.array_equal(a, backup)
+
+    def test_raises_on_indefinite(self, chol):
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        with pytest.raises(NotPositiveDefiniteError):
+            chol(a)
+
+    def test_1x1(self, chol):
+        assert np.allclose(chol(np.array([[9.0]])), [[3.0]])
+
+
+class TestVariantsAgree:
+    def test_all_three_identical(self):
+        a = spd(15, seed=3)
+        l1, l2, l3 = (v(a) for v in VARIANTS)
+        assert np.allclose(l1, l2)
+        assert np.allclose(l2, l3)
+
+
+class TestSubstitution:
+    def test_forward(self, rng):
+        l = np.linalg.cholesky(spd(8, seed=4))
+        b = rng.standard_normal(8)
+        y = forward_substitution(l, b)
+        assert np.allclose(l @ y, b)
+
+    def test_backward(self, rng):
+        l = np.linalg.cholesky(spd(8, seed=5))
+        y = rng.standard_normal(8)
+        x = backward_substitution(l, y)
+        assert np.allclose(l.T @ x, y)
+
+    def test_dense_solve_end_to_end(self, rng):
+        a = spd(10, seed=6)
+        b = rng.standard_normal(10)
+        x = dense_solve(a, b)
+        assert np.allclose(a @ x, b)

@@ -1,0 +1,83 @@
+"""Tests of the PaStiX-like right-looking baseline."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.baselines import PastixLikeSolver, PastixOptions
+from repro.sparse import grid_laplacian_2d, random_spd, thermal_like
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 7])
+    def test_solves_correctly(self, nranks, rng):
+        a = random_spd(35, density=0.15, seed=1)
+        b = rng.standard_normal(a.n)
+        solver = PastixLikeSolver(a, PastixOptions(nranks=nranks,
+                                                   offload=CPU_ONLY))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_corner_cases(self, corner_case, rng):
+        b = rng.standard_normal(corner_case.n)
+        solver = PastixLikeSolver(corner_case, PastixOptions(
+            nranks=3, offload=CPU_ONLY))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-9
+
+    def test_same_factor_as_sympack(self, lap2d):
+        """Both solvers share numerics: identical factor values."""
+        sym = SymPackSolver(lap2d, SolverOptions(nranks=4, offload=CPU_ONLY))
+        sym.factorize()
+        pas = PastixLikeSolver(lap2d, PastixOptions(nranks=4,
+                                                    offload=CPU_ONLY))
+        pas.factorize()
+        l_sym = sym.storage.to_sparse_factor().toarray()
+        l_pas = pas.storage.to_sparse_factor().toarray()
+        assert np.allclose(l_sym, l_pas, atol=1e-12)
+
+    def test_solve_before_factorize_raises(self, lap2d):
+        solver = PastixLikeSolver(lap2d)
+        with pytest.raises(RuntimeError):
+            solver.solve(np.ones(lap2d.n))
+
+
+class TestModelledBehaviour:
+    def test_sympack_faster_at_scale(self):
+        """The paper's headline: symPACK outperforms PaStiX (Section 5.3)."""
+        a = grid_laplacian_2d(24, 24)
+        b = np.ones(a.n)
+        sym = SymPackSolver(a, SolverOptions(nranks=16, ranks_per_node=4))
+        fi = sym.factorize()
+        pas = PastixLikeSolver(a, PastixOptions(nranks=16, ranks_per_node=4))
+        pr = pas.factorize()
+        assert fi.simulated_seconds < pr.makespan
+
+    def test_pastix_solve_degrades_on_irregular(self):
+        """Fig. 12: PaStiX solve time grows with ranks on thermal-like."""
+        a = thermal_like(n=1500, seed=3)
+        b = np.ones(a.n)
+        times = []
+        for p in (4, 32, 128):
+            solver = PastixLikeSolver(a, PastixOptions(nranks=p,
+                                                       ranks_per_node=4))
+            solver.factorize()
+            _, t = solver.solve(b)
+            times.append(t)
+        assert times[-1] > times[0]
+
+    def test_higher_task_overhead_than_sympack(self):
+        opts = PastixOptions()
+        assert (opts.tuned_machine().task_overhead_s
+                > opts.machine.task_overhead_s)
+        assert (opts.tuned_machine().send_occupancy_s
+                > opts.machine.send_occupancy_s)
+
+    def test_uses_reference_memory_kinds(self, lap2d):
+        """PaStiX has no GDR memory kinds: staged transfers only."""
+        from repro.pgas import MemoryKindsMode
+        solver = PastixLikeSolver(lap2d, PastixOptions(nranks=2))
+        world = solver._new_world()
+        assert world.network.mode is MemoryKindsMode.REFERENCE

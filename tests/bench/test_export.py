@@ -1,0 +1,79 @@
+"""Tests of benchmark-result export (CSV/JSON)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench import run_memory_kinds_bench, run_strong_scaling
+from repro.bench.export import (
+    export_memory_kinds,
+    export_scaling,
+    memory_kinds_to_rows,
+    scaling_to_rows,
+    write_csv,
+    write_json,
+)
+from repro.sparse import grid_laplacian_2d
+
+
+@pytest.fixture(scope="module")
+def scaling_result():
+    return run_strong_scaling(grid_laplacian_2d(8, 8), node_counts=(1, 2),
+                              ppn_sweep=(1,))
+
+
+class TestFlattening:
+    def test_scaling_rows(self, scaling_result):
+        rows = scaling_to_rows(scaling_result)
+        assert len(rows) == 4  # 2 solvers x 2 node counts
+        assert {r["solver"] for r in rows} == {"symPACK", "PaStiX-like"}
+        for r in rows:
+            assert r["factor_seconds"] > 0
+            assert r["residual"] < 1e-10
+
+    def test_memory_kinds_rows(self):
+        result = run_memory_kinds_bench(sizes=(1024, 4096))
+        rows = memory_kinds_to_rows(result)
+        assert len(rows) == 6  # 3 modes x 2 sizes
+        assert all(r["bandwidth_mib_s"] > 0 for r in rows)
+
+
+class TestWriters:
+    def test_csv_roundtrip(self, tmp_path, scaling_result):
+        rows = scaling_to_rows(scaling_result)
+        path = tmp_path / "out.csv"
+        write_csv(rows, path)
+        with open(path, newline="") as fh:
+            back = list(csv.DictReader(fh))
+        assert len(back) == len(rows)
+        assert float(back[0]["factor_seconds"]) == rows[0]["factor_seconds"]
+
+    def test_json_roundtrip(self, tmp_path, scaling_result):
+        rows = scaling_to_rows(scaling_result)
+        path = tmp_path / "out.json"
+        write_json(rows, path)
+        back = json.loads(path.read_text())
+        assert back == json.loads(json.dumps(rows))
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "x.csv")
+
+
+class TestExportHelpers:
+    def test_export_scaling_creates_both(self, tmp_path, scaling_result):
+        csv_path, json_path = export_scaling(scaling_result, tmp_path)
+        assert csv_path.exists() and json_path.exists()
+        assert csv_path.stem == json_path.stem
+
+    def test_export_memory_kinds(self, tmp_path):
+        result = run_memory_kinds_bench(sizes=(8192,))
+        csv_path, json_path = export_memory_kinds(result, tmp_path)
+        rows = json.loads(json_path.read_text())
+        assert len(rows) == 3
+
+    def test_creates_missing_directory(self, tmp_path, scaling_result):
+        target = tmp_path / "deep" / "dir"
+        export_scaling(scaling_result, target)
+        assert target.is_dir()

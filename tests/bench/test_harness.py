@@ -1,0 +1,43 @@
+"""Tests of the strong-scaling harness (small configurations)."""
+
+import pytest
+
+from repro.bench import run_strong_scaling
+from repro.sparse import grid_laplacian_2d
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    a = grid_laplacian_2d(14, 14)
+    return run_strong_scaling(a, node_counts=(1, 2, 4), ppn_sweep=(2,))
+
+
+class TestHarness:
+    def test_point_per_node_count(self, small_result):
+        assert small_result.nodes == [1, 2, 4]
+        assert len(small_result.sympack.points) == 3
+        assert len(small_result.pastix.points) == 3
+
+    def test_residuals_verified(self, small_result):
+        for series in (small_result.sympack, small_result.pastix):
+            for p in series.points:
+                assert p.residual < 1e-10
+
+    def test_sympack_wins(self, small_result):
+        """The headline comparison: speedup >= 1 at every node count."""
+        for s in small_result.speedups_factor():
+            assert s > 1.0
+        for s in small_result.speedups_solve():
+            assert s > 1.0
+
+    def test_sympack_scales(self, small_result):
+        times = small_result.sympack.factor_times()
+        assert times[-1] < times[0]
+
+    def test_ranks_recorded(self, small_result):
+        assert [p.ranks for p in small_result.sympack.points] == [2, 4, 8]
+
+    def test_ppn_sweep_picks_best(self):
+        a = grid_laplacian_2d(10, 10)
+        res = run_strong_scaling(a, node_counts=(1,), ppn_sweep=(1, 2, 4))
+        assert res.sympack.points[0].ranks_per_node in (1, 2, 4)

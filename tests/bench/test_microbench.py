@@ -1,0 +1,51 @@
+"""Tests of the memory-kinds microbenchmark (paper Figure 5)."""
+
+import pytest
+
+from repro.bench import PAYLOAD_SIZES, run_memory_kinds_bench
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_memory_kinds_bench()
+
+
+class TestFigure5:
+    def test_three_series(self, result):
+        modes = {p.mode for p in result.points}
+        assert modes == {"native", "reference", "mpi"}
+
+    def test_all_sizes_covered(self, result):
+        for mode in ("native", "reference", "mpi"):
+            series = result.series(mode)
+            assert [p.nbytes for p in series] == sorted(PAYLOAD_SIZES)
+
+    def test_native_beats_reference_everywhere(self, result):
+        for nbytes in PAYLOAD_SIZES:
+            assert result.ratio("native", "reference", nbytes) > 1.0
+
+    def test_mpi_within_20_percent_of_native(self, result):
+        """Paper: 'bandwidth gap ... within 20% across the entire range'."""
+        for nbytes in PAYLOAD_SIZES:
+            r = result.ratio("mpi", "native", nbytes)
+            assert 0.8 < r <= 1.01
+
+    def test_gap_shrinks_with_size(self, result):
+        small = result.ratio("native", "reference", 4096)
+        large = result.ratio("native", "reference", 4 << 20)
+        assert small > large > 2.0
+
+    def test_paper_quantified_ratios(self):
+        """5.9x at 8 KiB and 2.3x above 1 MiB (paper Section 5.1)."""
+        r = run_memory_kinds_bench(sizes=(8192, 2 << 20, 4 << 20))
+        assert r.ratio("native", "reference", 8192) == pytest.approx(5.9, rel=0.2)
+        assert r.ratio("native", "reference", 4 << 20) == pytest.approx(2.3, rel=0.1)
+
+    def test_native_saturates_wire_speed(self, result):
+        top = result.series("native")[-1]
+        assert top.bandwidth_mib_s > 0.9 * result.wire_speed_mib_s
+
+    def test_bandwidth_monotone_nondecreasing(self, result):
+        for mode in ("native", "reference", "mpi"):
+            bws = [p.bandwidth_mib_s for p in result.series(mode)]
+            assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))

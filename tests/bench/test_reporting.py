@@ -1,0 +1,49 @@
+"""Tests of the text reporting helpers."""
+
+from repro.bench import (
+    format_memory_kinds,
+    format_scaling,
+    format_table,
+    format_table1,
+    format_workload_split,
+    paper_table1,
+    run_memory_kinds_bench,
+    run_strong_scaling,
+)
+from repro.sparse import grid_laplacian_2d
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [["1", "2"], ["33", "44"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(l) for l in lines)) == 1  # rectangular
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestPaperTables:
+    def test_table1_contains_names(self):
+        out = format_table1(paper_table1())
+        for name in ("Flan_1565", "boneS10", "thermal2"):
+            assert name in out
+
+    def test_scaling_format(self):
+        res = run_strong_scaling(grid_laplacian_2d(8, 8),
+                                 node_counts=(1, 2), ppn_sweep=(1,))
+        out_f = format_scaling(res, phase="factor")
+        out_s = format_scaling(res, phase="solve")
+        assert "Factorization" in out_f and "Solve" in out_s
+        assert "speedup" in out_f
+
+    def test_memory_kinds_format(self):
+        out = format_memory_kinds(run_memory_kinds_bench(sizes=(8192,)))
+        assert "8KiB" in out and "native" in out
+
+    def test_workload_split_format(self):
+        out = format_workload_split(
+            {"GEMM": {"cpu": 10, "gpu": 2}, "POTRF": {"cpu": 5, "gpu": 0}})
+        assert "GEMM" in out and "POTRF" in out

@@ -1,0 +1,59 @@
+"""Shared fixtures: small deterministic matrices used across the suite."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    SymmetricCSC,
+    arrow_matrix,
+    block_dense_spd,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_spd,
+    tridiagonal_spd,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def lap2d():
+    return grid_laplacian_2d(8, 8)
+
+
+@pytest.fixture
+def lap3d():
+    return grid_laplacian_3d(5, 5, 5)
+
+
+@pytest.fixture
+def tiny_spd():
+    """A hand-checkable 4x4 SPD matrix."""
+    a = np.array([
+        [4.0, 1.0, 0.0, 1.0],
+        [1.0, 5.0, 2.0, 0.0],
+        [0.0, 2.0, 6.0, 1.0],
+        [1.0, 0.0, 1.0, 7.0],
+    ])
+    return SymmetricCSC.from_any(a, name="tiny4")
+
+
+# A corner-case gallery exercised by integration and property tests.
+CORNER_CASES = {
+    "diagonal": lambda: SymmetricCSC.from_any(np.diag([3.0, 1.0, 2.5, 9.0])),
+    "singleton": lambda: SymmetricCSC.from_any(np.array([[2.0]])),
+    "tridiag": lambda: tridiagonal_spd(17),
+    "arrow": lambda: arrow_matrix(15),
+    "blockdense": lambda: block_dense_spd(4, 5),
+    "random_sparse": lambda: random_spd(30, density=0.1, seed=3),
+    "random_denser": lambda: random_spd(25, density=0.4, seed=4),
+    "lap2d_rect": lambda: grid_laplacian_2d(6, 9),
+}
+
+
+@pytest.fixture(params=sorted(CORNER_CASES))
+def corner_case(request):
+    return CORNER_CASES[request.param]()

@@ -1,0 +1,109 @@
+"""Tests of the analytical threshold framework and autotuner (paper §6)."""
+
+import numpy as np
+import pytest
+
+from repro import SolverOptions, analytical_policy, analytical_thresholds
+from repro.core import DEFAULT_THRESHOLDS, autotune_thresholds
+from repro.kernels import OP_GEMM, OP_POTRF, OP_SYRK, OP_TRSM
+from repro.machine import aurora, frontier, perlmutter
+from repro.sparse import flan_like
+
+
+class TestAnalyticalThresholds:
+    def test_all_ops_covered(self):
+        t = analytical_thresholds(perlmutter())
+        assert set(t) == {OP_GEMM, OP_SYRK, OP_TRSM, OP_POTRF}
+        assert all(v >= 1 for v in t.values())
+
+    def test_gemm_lowest_potrf_highest(self):
+        """Arithmetic-intensity ordering: GEMM amortises the GPU best,
+        POTRF worst (paper's rationale for per-op thresholds)."""
+        t = analytical_thresholds(perlmutter())
+        assert t[OP_GEMM] <= t[OP_SYRK] <= t[OP_POTRF]
+        assert t[OP_GEMM] <= t[OP_TRSM]
+
+    def test_threshold_is_exact_crossover(self):
+        """At the returned threshold GPU wins; one element below it loses."""
+        from repro.core.autotune import _flops_for_buffer, _operand_buffers
+        m = perlmutter()
+        t = analytical_thresholds(m, transfer_discount=0.5)
+        for op, thr in t.items():
+            if thr in (1, 1 << 30):
+                continue
+            nbufs = _operand_buffers(op)
+
+            def gpu_cost(e):
+                return (m.gpu_time(_flops_for_buffer(op, e))
+                        + 0.5 * nbufs * m.pcie_time(e * 8))
+
+            def cpu_cost(e):
+                return m.cpu_time(_flops_for_buffer(op, e))
+
+            assert gpu_cost(thr) < cpu_cost(thr)
+            assert gpu_cost(thr - 1) >= cpu_cost(thr - 1)
+
+    def test_hardware_agnostic(self):
+        """Different machines -> different thresholds (the 'framework'
+        aspect): a slower-launch GPU needs bigger buffers."""
+        fast = perlmutter()
+        slow_launch = perlmutter().with_overrides(kernel_launch_s=1e-4)
+        t_fast = analytical_thresholds(fast)
+        t_slow = analytical_thresholds(slow_launch)
+        for op in t_fast:
+            assert t_slow[op] >= t_fast[op]
+
+    def test_gpu_never_profitable_edge(self):
+        """A machine whose GPU is slower than its CPU never offloads."""
+        m = perlmutter().with_overrides(gpu_flops=1e9)  # slower than CPU
+        t = analytical_thresholds(m)
+        assert all(v == 1 << 30 for v in t.values())
+
+    def test_vendor_machines_produce_thresholds(self):
+        for machine in (frontier(), aurora()):
+            t = analytical_thresholds(machine)
+            assert all(1 <= v < 1 << 30 for v in t.values())
+
+    def test_same_order_of_magnitude_as_tuned_defaults(self):
+        """The analytical model must land in the regime of the
+        brute-force-tuned defaults (within ~30x both ways)."""
+        t = analytical_thresholds(perlmutter())
+        for op, default in DEFAULT_THRESHOLDS.items():
+            assert default / 30 < t[op] < default * 30
+
+    def test_invalid_discount_rejected(self):
+        with pytest.raises(ValueError):
+            analytical_thresholds(perlmutter(), transfer_discount=1.5)
+
+    def test_policy_wrapper(self):
+        p = analytical_policy(perlmutter())
+        assert p.enabled
+        assert p.gpu_block_threshold == p.thresholds[OP_POTRF]
+
+
+class TestAutotune:
+    def test_sweep_returns_best(self):
+        a = flan_like(scale=8)
+        result = autotune_thresholds(
+            a,
+            lambda policy: SolverOptions(nranks=2, ranks_per_node=2,
+                                         offload=policy),
+            scales=(0.25, 1.0, 4.0),
+        )
+        assert len(result.sweep) == 3
+        assert result.best_time == min(t for _, t in result.sweep)
+        assert result.best_scale in (0.25, 1.0, 4.0)
+        assert "best scale" in result.summary()
+
+    def test_best_policy_usable(self):
+        from repro import SymPackSolver
+        a = flan_like(scale=8)
+        result = autotune_thresholds(
+            a, lambda p: SolverOptions(nranks=2, offload=p),
+            scales=(1.0,))
+        solver = SymPackSolver(a, SolverOptions(nranks=2,
+                                                offload=result.best_policy))
+        solver.factorize()
+        b = np.ones(a.n)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10

@@ -1,0 +1,64 @@
+"""Unit tests for block-to-process mappings."""
+
+import numpy as np
+import pytest
+
+from repro.core import block_cyclic_2d, column_cyclic_1d, make_map, row_cyclic_1d
+
+
+class TestGrid:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 6, 8, 12, 16, 64, 100, 256])
+    def test_grid_covers_all_ranks(self, p):
+        m = block_cyclic_2d(p)
+        assert m.pr * m.pc == p
+        hits = {m(i, j) for i in range(2 * p) for j in range(2 * p)}
+        assert hits == set(range(p))
+
+    def test_near_square(self):
+        m = block_cyclic_2d(16)
+        assert (m.pr, m.pc) == (4, 4)
+        m = block_cyclic_2d(12)
+        assert (m.pr, m.pc) == (3, 4)
+
+    def test_prime_degenerates_to_1d(self):
+        m = block_cyclic_2d(7)
+        assert {m.pr, m.pc} == {1, 7}
+
+
+class TestSchemes:
+    def test_2d_distributes_rows_and_cols(self):
+        m = block_cyclic_2d(4)  # 2x2 grid
+        assert m(0, 0) != m(1, 0)  # row matters
+        assert m(0, 0) != m(0, 1)  # column matters
+
+    def test_1d_col_ignores_rows(self):
+        m = column_cyclic_1d(4)
+        assert all(m(i, 2) == m(0, 2) for i in range(10))
+
+    def test_1d_row_ignores_cols(self):
+        m = row_cyclic_1d(4)
+        assert all(m(3, j) == m(3, 0) for j in range(10))
+
+    def test_factory(self):
+        assert make_map(4, "2d").scheme == "2d"
+        assert make_map(4, "1d-col").scheme == "1d-col"
+        assert make_map(4, "1d-row").scheme == "1d-row"
+        with pytest.raises(ValueError):
+            make_map(4, "hilbert")
+
+    def test_single_rank_everything_local(self):
+        m = make_map(1)
+        assert m(5, 3) == 0
+
+
+class TestBalance:
+    def test_2d_balanced_on_dense_block_grid(self):
+        """Every rank gets within 2x of the mean over a dense block grid."""
+        p = 16
+        m = block_cyclic_2d(p)
+        counts = np.zeros(p, int)
+        n = 32
+        for i in range(n):
+            for j in range(i + 1):
+                counts[m(i, j)] += 1
+        assert counts.max() <= 2 * counts.mean()

@@ -1,0 +1,69 @@
+"""Unit tests for the GPU offload policy."""
+
+import pytest
+
+from repro.core import CPU_ONLY, DEFAULT_THRESHOLDS, OffloadPolicy
+from repro.kernels import OP_GEMM, OP_POTRF, OP_SYRK, OP_TRSM
+from repro.pgas import OomFallback
+
+
+class TestThresholds:
+    def test_large_buffers_offloaded(self):
+        p = OffloadPolicy()
+        for op in (OP_GEMM, OP_SYRK, OP_TRSM, OP_POTRF):
+            assert p.wants_gpu(op, 10**7)
+
+    def test_small_buffers_stay_on_cpu(self):
+        p = OffloadPolicy()
+        for op in (OP_GEMM, OP_SYRK, OP_TRSM, OP_POTRF):
+            assert not p.wants_gpu(op, 16)
+
+    def test_per_op_thresholds_distinct(self):
+        """Each op has its own threshold (different arithmetic intensity —
+        paper Section 4.2)."""
+        assert len(set(DEFAULT_THRESHOLDS.values())) == 4
+        assert DEFAULT_THRESHOLDS[OP_GEMM] < DEFAULT_THRESHOLDS[OP_POTRF]
+
+    def test_boundary_inclusive(self):
+        p = OffloadPolicy()
+        t = DEFAULT_THRESHOLDS[OP_GEMM]
+        assert p.wants_gpu(OP_GEMM, t)
+        assert not p.wants_gpu(OP_GEMM, t - 1)
+
+    def test_unknown_op_stays_cpu(self):
+        assert not OffloadPolicy().wants_gpu("FFT", 10**9)
+
+
+class TestUserOverrides:
+    def test_with_thresholds(self):
+        p = OffloadPolicy().with_thresholds(GEMM=10)
+        assert p.wants_gpu(OP_GEMM, 10)
+        # Other ops untouched.
+        assert p.thresholds[OP_SYRK] == DEFAULT_THRESHOLDS[OP_SYRK]
+
+    def test_original_unchanged(self):
+        base = OffloadPolicy()
+        base.with_thresholds(GEMM=10)
+        assert base.thresholds[OP_GEMM] == DEFAULT_THRESHOLDS[OP_GEMM]
+
+
+class TestDisabled:
+    def test_cpu_only_never_offloads(self):
+        assert not CPU_ONLY.wants_gpu(OP_GEMM, 10**9)
+        assert not CPU_ONLY.is_gpu_block(10**9)
+
+
+class TestGpuBlocks:
+    def test_large_diag_blocks_marked(self):
+        p = OffloadPolicy()
+        assert p.is_gpu_block(p.gpu_block_threshold)
+        assert not p.is_gpu_block(p.gpu_block_threshold - 1)
+
+
+class TestFallback:
+    def test_default_is_cpu(self):
+        assert OffloadPolicy().oom_fallback is OomFallback.CPU
+
+    def test_raise_option(self):
+        p = OffloadPolicy(oom_fallback=OomFallback.RAISE)
+        assert p.oom_fallback is OomFallback.RAISE

@@ -1,0 +1,67 @@
+"""Tests of iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver, refine_solution
+from repro.sparse import SymmetricCSC, grid_laplacian_2d
+
+
+@pytest.fixture
+def ill_conditioned_solver():
+    """SPD system with condition number ~1e10."""
+    n = 30
+    rng = np.random.default_rng(5)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    d = np.logspace(0, 10, n)
+    a = q @ np.diag(d) @ q.T
+    a = (a + a.T) / 2
+    solver = SymPackSolver(SymmetricCSC.from_any(a),
+                           SolverOptions(nranks=2, offload=CPU_ONLY))
+    solver.factorize()
+    return solver
+
+
+class TestRefinement:
+    def test_improves_or_maintains_residual(self, ill_conditioned_solver, rng):
+        solver = ill_conditioned_solver
+        b = rng.standard_normal(30)
+        x0, _ = solver.solve(b)
+        r0 = solver.residual_norm(x0, b)
+        result = refine_solution(solver, b, x0=x0, max_iters=4)
+        # The returned iterate is the best seen: never worse than x0.
+        assert min(result.residuals) <= r0 * (1 + 1e-12)
+        assert solver.residual_norm(result.x, b) <= r0 * (1 + 1e-12)
+
+    def test_converges_on_well_conditioned(self, rng):
+        a = grid_laplacian_2d(10, 10)
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        b = rng.standard_normal(a.n)
+        result = refine_solution(solver, b, rtol=1e-13)
+        assert result.converged
+        assert result.residuals[-1] < 1e-13
+
+    def test_initial_solve_when_no_x0(self, rng):
+        a = grid_laplacian_2d(8, 8)
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        b = rng.standard_normal(a.n)
+        result = refine_solution(solver, b)
+        assert result.simulated_seconds > 0
+        assert solver.residual_norm(result.x, b) < 1e-12
+
+    def test_residual_history_monotone_until_stall(self, ill_conditioned_solver, rng):
+        b = rng.standard_normal(30)
+        result = refine_solution(ill_conditioned_solver, b, max_iters=5,
+                                 rtol=0.0)
+        # Up to the stall point, each step must not increase the residual
+        # by more than the stall factor.
+        for r1, r2 in zip(result.residuals, result.residuals[1:-1]):
+            assert r2 <= r1
+
+    def test_iteration_budget_respected(self, ill_conditioned_solver, rng):
+        b = rng.standard_normal(30)
+        result = refine_solution(ill_conditioned_solver, b, max_iters=2,
+                                 rtol=0.0)
+        assert result.iterations <= 2

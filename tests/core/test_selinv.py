@@ -1,0 +1,92 @@
+"""Tests of selected inversion (Takahashi equations, PEXSI application)."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.core.selinv import selected_inversion
+from repro.sparse import grid_laplacian_2d, random_spd, tridiagonal_spd
+from repro.variants import MultifrontalOptions, MultifrontalSolver
+
+
+def factorize(a, nranks=2):
+    solver = SymPackSolver(a, SolverOptions(nranks=nranks, offload=CPU_ONLY))
+    solver.factorize()
+    return solver
+
+
+class TestDiagonal:
+    def test_matches_dense_inverse(self, lap2d):
+        solver = factorize(lap2d)
+        sel = selected_inversion(solver)
+        expected = np.diag(np.linalg.inv(lap2d.to_dense()))
+        assert np.allclose(sel.diag_inverse(), expected, atol=1e-10)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_matrices(self, seed):
+        a = random_spd(25, density=0.2, seed=seed)
+        sel = selected_inversion(factorize(a))
+        expected = np.diag(np.linalg.inv(a.to_dense()))
+        assert np.allclose(sel.diag_inverse(), expected, atol=1e-10)
+
+    def test_corner_cases(self, corner_case):
+        sel = selected_inversion(factorize(corner_case))
+        expected = np.diag(np.linalg.inv(corner_case.to_dense()))
+        assert np.allclose(sel.diag_inverse(), expected, atol=1e-8)
+
+    def test_tridiagonal(self):
+        a = tridiagonal_spd(15)
+        sel = selected_inversion(factorize(a))
+        expected = np.diag(np.linalg.inv(a.to_dense()))
+        assert np.allclose(sel.diag_inverse(), expected, atol=1e-12)
+
+
+class TestPatternEntries:
+    def test_off_diagonal_entries_correct(self):
+        a = random_spd(20, density=0.25, seed=5)
+        solver = factorize(a)
+        sel = selected_inversion(solver)
+        z_dense = np.linalg.inv(a.to_dense())
+        # Every original nonzero of A is on the factor pattern.
+        low = a.lower.tocoo()
+        for i, j in zip(low.row, low.col):
+            assert sel.entry(int(i), int(j)) == pytest.approx(
+                z_dense[i, j], abs=1e-10)
+
+    def test_symmetric_lookup(self, lap2d):
+        sel = selected_inversion(factorize(lap2d))
+        low = lap2d.lower.tocoo()
+        i, j = int(low.row[1]), int(low.col[1])
+        assert sel.entry(i, j) == sel.entry(j, i)
+
+    def test_outside_pattern_rejected(self):
+        a = tridiagonal_spd(20)
+        sel = selected_inversion(factorize(a, nranks=1))
+        # (0, 19) is far outside a tridiagonal factor's pattern.
+        with pytest.raises(KeyError, match="pattern"):
+            sel.entry(0, 19)
+
+
+class TestSolverFamilies:
+    def test_works_on_multifrontal_factor(self):
+        a = grid_laplacian_2d(7, 7)
+        solver = MultifrontalSolver(a, MultifrontalOptions(nranks=2))
+        solver.factorize()
+        sel = selected_inversion(solver)
+        expected = np.diag(np.linalg.inv(a.to_dense()))
+        assert np.allclose(sel.diag_inverse(), expected, atol=1e-10)
+
+    def test_unfactorized_rejected(self, lap2d):
+        solver = SymPackSolver(lap2d, SolverOptions(offload=CPU_ONLY))
+        with pytest.raises(RuntimeError, match="factorize"):
+            selected_inversion(solver)
+
+
+class TestPhysics:
+    def test_trace_of_inverse_via_selinv(self):
+        """trace(A^{-1}) — the PEXSI-style quantity — from the selected
+        inverse, without ever forming A^{-1}."""
+        a = grid_laplacian_2d(9, 9)
+        sel = selected_inversion(factorize(a))
+        expected = np.trace(np.linalg.inv(a.to_dense()))
+        assert sel.diag_inverse().sum() == pytest.approx(expected, rel=1e-10)

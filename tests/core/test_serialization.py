@@ -1,0 +1,81 @@
+"""Tests of factor save/load."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.core.serialization import load_factor, save_factor
+from repro.sparse import grid_laplacian_2d, random_spd
+from repro.variants import MultifrontalOptions, MultifrontalSolver
+
+
+@pytest.fixture
+def factored(lap2d):
+    solver = SymPackSolver(lap2d, SolverOptions(nranks=2, offload=CPU_ONLY))
+    solver.factorize()
+    return solver
+
+
+class TestRoundTrip:
+    def test_solve_after_reload(self, factored, tmp_path, rng):
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        loaded = load_factor(path)
+        b = rng.standard_normal(loaded.n)
+        x_loaded = loaded.solve(b)
+        x_live, _ = factored.solve(b)
+        assert np.allclose(x_loaded, x_live, atol=1e-10)
+
+    def test_matrix_rhs(self, factored, tmp_path, rng):
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        loaded = load_factor(path)
+        b = rng.standard_normal((loaded.n, 3))
+        x = loaded.solve(b)
+        assert x.shape == b.shape
+
+    def test_provenance_name(self, factored, tmp_path):
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        assert load_factor(path).matrix_name == factored.a.name
+
+    def test_works_for_multifrontal(self, tmp_path, rng):
+        a = random_spd(25, density=0.2, seed=2)
+        solver = MultifrontalSolver(a, MultifrontalOptions(nranks=2))
+        solver.factorize()
+        path = tmp_path / "mf.npz"
+        save_factor(solver, path)
+        b = rng.standard_normal(a.n)
+        x = load_factor(path).solve(b)
+        assert np.linalg.norm(a.full() @ x - b) < 1e-8
+
+
+class TestLogdet:
+    def test_matches_dense(self, tmp_path):
+        a = grid_laplacian_2d(6, 6)
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        path = tmp_path / "f.npz"
+        save_factor(solver, path)
+        loaded = load_factor(path)
+        sign, expected = np.linalg.slogdet(a.to_dense())
+        assert sign == 1.0
+        assert loaded.logdet() == pytest.approx(expected, rel=1e-10)
+
+
+class TestGuards:
+    def test_unfactorized_rejected(self, lap2d, tmp_path):
+        solver = SymPackSolver(lap2d, SolverOptions(offload=CPU_ONLY))
+        with pytest.raises(RuntimeError, match="factorize"):
+            save_factor(solver, tmp_path / "x.npz")
+
+    def test_version_check(self, factored, tmp_path):
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        import numpy as np_mod
+        with np_mod.load(path) as archive:
+            contents = {k: archive[k] for k in archive.files}
+        contents["version"] = np_mod.int64(99)
+        np_mod.savez(path, **contents)
+        with pytest.raises(ValueError, match="version"):
+            load_factor(path)

@@ -1,0 +1,68 @@
+"""Unit tests for task graph structures."""
+
+import pytest
+
+from repro.core import OutMessage, TaskGraph, TaskKind
+
+
+def noop():
+    pass
+
+
+def add_task(g, rank=0, **kw):
+    defaults = dict(kind=TaskKind.DIAG, rank=rank, op="POTRF", flops=1.0,
+                    buffer_elems=1, operand_bytes=8, run=noop)
+    defaults.update(kw)
+    return g.new_task(**defaults)
+
+
+class TestTaskGraph:
+    def test_ids_dense(self):
+        g = TaskGraph()
+        tasks = [add_task(g) for _ in range(5)]
+        assert [t.tid for t in tasks] == [0, 1, 2, 3, 4]
+
+    def test_local_dependency_counts(self):
+        g = TaskGraph()
+        a, b = add_task(g), add_task(g)
+        g.add_dependency(a, b)
+        assert b.deps == 1
+        assert b.tid in a.local_consumers
+
+    def test_cross_rank_local_edge_rejected(self):
+        g = TaskGraph()
+        a, b = add_task(g, rank=0), add_task(g, rank=1)
+        with pytest.raises(ValueError, match="local"):
+            g.add_dependency(a, b)
+
+    def test_roots(self):
+        g = TaskGraph()
+        a, b, c = (add_task(g) for _ in range(3))
+        g.add_dependency(a, b)
+        assert {t.tid for t in g.roots()} == {a.tid, c.tid}
+
+    def test_validate_accepts_consistent(self):
+        g = TaskGraph()
+        a = add_task(g, rank=0)
+        b = add_task(g, rank=1)
+        a.messages.append(OutMessage(dst_rank=1, nbytes=8,
+                                     consumers=[b.tid]))
+        b.deps += 1
+        g.validate()
+
+    def test_validate_rejects_wrong_count(self):
+        g = TaskGraph()
+        a, b = add_task(g), add_task(g)
+        a.local_consumers.append(b.tid)  # edge without counting deps
+        with pytest.raises(ValueError, match="incoming"):
+            g.validate()
+
+    def test_validate_rejects_misrouted_message(self):
+        g = TaskGraph()
+        a = add_task(g, rank=0)
+        b = add_task(g, rank=1)
+        a.messages.append(OutMessage(dst_rank=0, nbytes=8,
+                                     consumers=[b.tid]))
+        b.deps += 1
+        with pytest.raises(ValueError, match="not on rank"):
+            g.validate()

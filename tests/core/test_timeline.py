@@ -1,0 +1,62 @@
+"""Tests of timeline analysis and Gantt rendering."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.core import ExecutionTrace, analyze_timeline, render_gantt
+from repro.sparse import grid_laplacian_2d
+
+
+@pytest.fixture
+def traced_solver(rng):
+    a = grid_laplacian_2d(10, 10)
+    solver = SymPackSolver(a, SolverOptions(nranks=4, offload=CPU_ONLY,
+                                            keep_timeline=True))
+    solver.factorize()
+    return solver
+
+
+class TestAnalyzeTimeline:
+    def test_requires_timeline(self):
+        with pytest.raises(ValueError, match="no timeline"):
+            analyze_timeline(ExecutionTrace())
+
+    def test_stats_consistent(self, traced_solver):
+        stats = analyze_timeline(traced_solver.trace)
+        assert stats.makespan > 0
+        assert stats.nranks <= 4
+        assert sum(stats.rank_tasks.values()) == len(
+            traced_solver.trace.timeline)
+
+    def test_utilization_bounded(self, traced_solver):
+        stats = analyze_timeline(traced_solver.trace)
+        for rank in stats.rank_busy:
+            assert 0.0 < stats.utilization(rank) <= 1.0 + 1e-9
+        assert 0.0 < stats.mean_utilization() <= 1.0 + 1e-9
+
+    def test_kind_breakdown(self, traced_solver):
+        stats = analyze_timeline(traced_solver.trace)
+        assert set(stats.kind_time) >= {"D", "F", "U"}
+        assert all(t > 0 for t in stats.kind_time.values())
+
+    def test_load_imbalance_at_least_one(self, traced_solver):
+        assert analyze_timeline(traced_solver.trace).load_imbalance() >= 1.0
+
+    def test_busy_time_below_makespan(self, traced_solver):
+        stats = analyze_timeline(traced_solver.trace)
+        for busy in stats.rank_busy.values():
+            assert busy <= stats.makespan + 1e-12
+
+
+class TestGantt:
+    def test_renders_rows_per_rank(self, traced_solver):
+        out = render_gantt(traced_solver.trace, width=40)
+        lines = out.splitlines()
+        assert lines[0].startswith("timeline:")
+        assert sum(1 for l in lines if l.startswith("rank")) <= 4
+        assert "#" in out
+
+    def test_requires_timeline(self):
+        with pytest.raises(ValueError):
+            render_gantt(ExecutionTrace())

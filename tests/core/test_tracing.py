@@ -1,0 +1,42 @@
+"""Unit tests for execution tracing and op counters."""
+
+from repro.core import ExecutionTrace, OpCounters
+
+
+class TestOpCounters:
+    def test_record_and_query(self):
+        c = OpCounters()
+        c.record(0, "GEMM", "cpu", 100.0)
+        c.record(0, "GEMM", "gpu", 200.0)
+        c.record(1, "POTRF", "cpu", 50.0)
+        by_op = c.calls_by_op()
+        assert by_op["GEMM"] == {"cpu": 1, "gpu": 1}
+        assert by_op["POTRF"] == {"cpu": 1, "gpu": 0}
+
+    def test_rank_filter(self):
+        c = OpCounters()
+        c.record(0, "SYRK", "cpu", 1.0)
+        c.record(1, "SYRK", "cpu", 1.0)
+        assert c.calls_by_op(rank=0)["SYRK"]["cpu"] == 1
+
+    def test_totals(self):
+        c = OpCounters()
+        c.record(0, "GEMM", "cpu", 10.0)
+        c.record(0, "TRSM", "gpu", 30.0)
+        assert c.total_calls() == 2
+        assert c.total_calls("gpu") == 1
+        assert c.total_flops() == 40.0
+        assert c.total_flops("cpu") == 10.0
+
+
+class TestExecutionTrace:
+    def test_timeline_off_by_default(self):
+        t = ExecutionTrace()
+        t.record_task(0.0, 1.0, 0, "D[0]")
+        assert t.tasks_executed == 1
+        assert t.timeline == []
+
+    def test_timeline_opt_in(self):
+        t = ExecutionTrace(keep_timeline=True)
+        t.record_task(0.0, 1.0, 2, "F[1,0]")
+        assert t.timeline == [(0.0, 1.0, 2, "F[1,0]")]

@@ -1,0 +1,82 @@
+"""Tests of the numerical validation / error-analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.core.validation import (
+    condition_estimate_1norm,
+    diagnose_solve,
+    factor_reconstruction_error,
+    normwise_backward_error,
+)
+from repro.sparse import SymmetricCSC, grid_laplacian_2d, random_spd
+
+
+@pytest.fixture
+def solved(lap2d, rng):
+    solver = SymPackSolver(lap2d, SolverOptions(nranks=2, offload=CPU_ONLY))
+    solver.factorize()
+    b = rng.standard_normal(lap2d.n)
+    x, _ = solver.solve(b)
+    return solver, x, b
+
+
+class TestReconstructionError:
+    def test_near_epsilon_for_good_factor(self, solved):
+        solver, _, _ = solved
+        err = factor_reconstruction_error(solver.analysis.a_perm.lower,
+                                          solver.factor_sparse())
+        assert err < 1e-13
+
+    def test_detects_corrupted_factor(self, solved):
+        solver, _, _ = solved
+        l_factor = solver.factor_sparse().tolil()
+        l_factor[0, 0] *= 2.0
+        err = factor_reconstruction_error(solver.analysis.a_perm.lower,
+                                          l_factor.tocsc())
+        assert err > 1e-3
+
+
+class TestBackwardError:
+    def test_solve_is_backward_stable(self, solved):
+        solver, x, b = solved
+        assert normwise_backward_error(solver.a, x, b) < 1e-13
+
+    def test_perturbed_solution_detected(self, solved):
+        solver, x, b = solved
+        bad = x.copy()
+        bad[0] += 1.0
+        assert (normwise_backward_error(solver.a, bad, b)
+                > 100 * normwise_backward_error(solver.a, x, b))
+
+
+class TestConditionEstimate:
+    def test_within_factor_of_true_condition(self, rng):
+        a = grid_laplacian_2d(8, 8)
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        est = condition_estimate_1norm(a, lambda b: solver.solve(b)[0])
+        dense = a.to_dense()
+        true_cond = (np.linalg.norm(dense, 1)
+                     * np.linalg.norm(np.linalg.inv(dense), 1))
+        assert true_cond / 10 < est < true_cond * 10
+
+    def test_identity_is_one(self):
+        a = SymmetricCSC.from_any(np.eye(10))
+        est = condition_estimate_1norm(a, lambda b: b)
+        assert est == pytest.approx(1.0, rel=0.2)
+
+
+class TestDiagnostics:
+    def test_healthy_solve(self, solved):
+        solver, x, b = solved
+        diag = diagnose_solve(solver, x, b)
+        assert diag.healthy()
+        assert diag.relative_residual < 1e-12
+        assert diag.forward_error_bound >= diag.backward_error
+
+    def test_unhealthy_detected(self, solved):
+        solver, x, b = solved
+        diag = diagnose_solve(solver, x + 0.5, b)
+        assert not diag.healthy()

@@ -1,0 +1,80 @@
+"""End-to-end integration tests: full pipeline vs SciPy on every family."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, OffloadPolicy, SolverOptions, SymPackSolver
+from repro.baselines import PastixLikeSolver, PastixOptions, reference_solve
+from repro.sparse import (
+    bone_like,
+    flan_like,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    random_spd,
+    thermal_like,
+)
+
+FAMILIES = [
+    ("flan", lambda: flan_like(scale=6)),
+    ("bone", lambda: bone_like(scale=8, seed=1)),
+    ("thermal", lambda: thermal_like(n=300, seed=2)),
+    ("lap2d", lambda: grid_laplacian_2d(12, 9)),
+    ("lap3d", lambda: grid_laplacian_3d(5, 4, 6)),
+    ("random", lambda: random_spd(60, density=0.1, seed=8)),
+]
+
+
+@pytest.mark.parametrize("name,factory", FAMILIES)
+class TestFullPipeline:
+    def test_sympack_matches_scipy(self, name, factory, rng):
+        a = factory()
+        b = rng.standard_normal(a.n)
+        solver = SymPackSolver(a, SolverOptions(nranks=4, ranks_per_node=4,
+                                                offload=CPU_ONLY))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        x_ref = reference_solve(a, b)
+        assert np.allclose(x, x_ref, atol=1e-6), name
+
+    def test_sympack_gpu_mode(self, name, factory, rng):
+        a = factory()
+        b = rng.standard_normal(a.n)
+        solver = SymPackSolver(a, SolverOptions(
+            nranks=4, ranks_per_node=4,
+            offload=OffloadPolicy().with_thresholds(GEMM=512, SYRK=512,
+                                                    TRSM=512, POTRF=512)))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_pastix_matches_sympack(self, name, factory, rng):
+        a = factory()
+        b = rng.standard_normal(a.n)
+        sym = SymPackSolver(a, SolverOptions(nranks=3, offload=CPU_ONLY))
+        sym.factorize()
+        x_sym, _ = sym.solve(b)
+        pas = PastixLikeSolver(a, PastixOptions(nranks=3, offload=CPU_ONLY))
+        pas.factorize()
+        x_pas, _ = pas.solve(b)
+        assert np.allclose(x_sym, x_pas, atol=1e-9)
+
+
+class TestNumericalQuality:
+    def test_residual_scales_with_machine_eps(self, rng):
+        """Residuals stay near machine epsilon even for moderate
+        condition numbers."""
+        a = grid_laplacian_2d(20, 20, shift=1e-4)  # milder shift: worse cond
+        b = rng.standard_normal(a.n)
+        solver = SymPackSolver(a, SolverOptions(nranks=2, offload=CPU_ONLY))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-9
+
+    def test_identity_rhs_columns(self):
+        """Solving against identity columns yields A^{-1} columns."""
+        a = random_spd(20, density=0.3, seed=13)
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        eye = np.eye(20)
+        x, _ = solver.solve(eye)
+        assert np.allclose(a.to_dense() @ x, eye, atol=1e-8)

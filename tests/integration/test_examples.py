@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Each example must at least compile and expose a ``main`` entry point; the
+two fastest are executed end-to-end (the others exercise exactly the same
+library paths at larger sizes and are run by the documented workflow).
+"""
+
+import py_compile
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in ALL_EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5  # quickstart + >= 4 scenario examples
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize("path", ALL_EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main(path):
+    text = path.read_text()
+    assert "def main()" in text
+    assert '__name__ == "__main__"' in text
+    assert path.read_text().startswith('"""')  # documented
+
+
+def test_run_repeated_factorization(monkeypatch, capsys):
+    """The PEXSI-style example end-to-end (the fastest full scenario)."""
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    runpy.run_path(str(EXAMPLES_DIR / "repeated_factorization_pexsi.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "located lambda_min" in out
+
+
+def test_run_factor_reuse(monkeypatch, capsys):
+    monkeypatch.syspath_prepend(str(EXAMPLES_DIR))
+    runpy.run_path(str(EXAMPLES_DIR / "factor_reuse_and_diagnostics.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "healthy           : True" in out

@@ -1,0 +1,142 @@
+"""Failure-injection tests: the solver's behaviour under bad inputs and
+resource exhaustion (paper Section 4.2 fallback options)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro import CPU_ONLY, OffloadPolicy, SolverOptions, SymPackSolver
+from repro.pgas import DeviceOutOfMemory, OomFallback
+from repro.sparse import (
+    NotPositiveDefiniteError,
+    SymmetricCSC,
+    grid_laplacian_2d,
+    random_spd,
+)
+
+
+class TestBadInputs:
+    def test_nan_rejected_up_front(self):
+        a = grid_laplacian_2d(4, 4)
+        a.lower.data[3] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            SymPackSolver(a)
+
+    def test_inf_rejected_up_front(self):
+        a = grid_laplacian_2d(4, 4)
+        a.lower.data[0] = np.inf
+        with pytest.raises(ValueError, match="non-finite"):
+            SymPackSolver(a)
+
+    def test_zero_diagonal_rejected(self):
+        a = SymmetricCSC.from_any(np.array([[0.0, 1.0], [1.0, 2.0]]))
+        with pytest.raises(ValueError, match="SPD"):
+            SymPackSolver(a)
+
+    @pytest.mark.parametrize("bad_col", [0, 5, 15])
+    def test_indefinite_detected_wherever_it_hides(self, bad_col):
+        """POTRF must fail whichever supernode holds the bad pivot."""
+        a = random_spd(16, density=0.2, seed=1).to_dense()
+        # Make the matrix indefinite by cratering one diagonal entry while
+        # keeping it positive (passes the pre-check, fails numerically).
+        a[bad_col, bad_col] = 1e-8
+        off = np.abs(a[bad_col]).sum() - abs(a[bad_col, bad_col])
+        if off == 0:
+            a[bad_col, (bad_col + 1) % 16] = 5.0
+            a[(bad_col + 1) % 16, bad_col] = 5.0
+        solver = SymPackSolver(SymmetricCSC.from_any(a),
+                               SolverOptions(nranks=2, offload=CPU_ONLY))
+        with pytest.raises(NotPositiveDefiniteError):
+            solver.factorize()
+
+    def test_explicitly_negative_pivot_detected(self):
+        """A 2x2 block with a negative Schur complement must fail: the
+        second pivot of [[1, 2], [2, 1]] is 1 - 4 = -3."""
+        a = np.eye(6) * 5.0
+        a[3, 4] = a[4, 3] = 2.0
+        a[3, 3] = a[4, 4] = 1.0
+        solver = SymPackSolver(SymmetricCSC.from_any(a),
+                               SolverOptions(offload=CPU_ONLY))
+        with pytest.raises(NotPositiveDefiniteError):
+            solver.factorize()
+
+    def test_ill_conditioned_degrades_gracefully(self, rng):
+        """Very ill-conditioned but SPD: must complete with a residual
+        bounded by cond(A) * eps, not crash."""
+        d = np.logspace(0, 12, 12)  # cond ~ 1e12
+        a = SymmetricCSC.from_any(np.diag(d))
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        b = rng.standard_normal(12)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-3
+
+
+class TestDeviceExhaustion:
+    """The paper's 'fallback options' (Section 4.2): CPU fallback by
+    default, or an exception for users who prefer to rerun with more
+    device memory."""
+
+    def _solver(self, fallback, capacity):
+        a = grid_laplacian_2d(16, 16)
+        policy = OffloadPolicy(oom_fallback=fallback).with_thresholds(
+            GEMM=32, SYRK=32, TRSM=32, POTRF=32)
+        return SymPackSolver(a, SolverOptions(
+            nranks=2, ranks_per_node=2, offload=policy,
+            device_capacity=capacity))
+
+    def test_default_fallback_completes_on_cpu(self, rng):
+        solver = self._solver(OomFallback.CPU, capacity=4096)
+        solver.factorize()
+        b = rng.standard_normal(256)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+        assert solver.trace.gpu_fallbacks > 0
+
+    def test_raise_option_terminates(self):
+        solver = self._solver(OomFallback.RAISE, capacity=4096)
+        with pytest.raises(DeviceOutOfMemory):
+            solver.factorize()
+
+    def test_ample_memory_no_fallbacks(self, rng):
+        solver = self._solver(OomFallback.CPU, capacity=1 << 30)
+        solver.factorize()
+        assert solver.trace.gpu_fallbacks == 0
+
+
+class TestDegenerateShapes:
+    def test_1x1_matrix(self):
+        a = SymmetricCSC.from_any(np.array([[4.0]]))
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        x, _ = solver.solve(np.array([8.0]))
+        assert np.allclose(x, [2.0])
+
+    def test_more_ranks_than_supernodes(self, rng):
+        """Gross over-decomposition must still work (idle ranks)."""
+        a = SymmetricCSC.from_any(np.diag([1.0, 2.0, 3.0]))
+        solver = SymPackSolver(a, SolverOptions(nranks=32,
+                                                offload=CPU_ONLY))
+        solver.factorize()
+        b = rng.standard_normal(3)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-12
+
+    def test_fully_dense_matrix(self, rng):
+        g = rng.standard_normal((12, 12))
+        a = SymmetricCSC.from_any(g @ g.T + 12 * np.eye(12))
+        solver = SymPackSolver(a, SolverOptions(nranks=4, offload=CPU_ONLY))
+        solver.factorize()
+        b = rng.standard_normal(12)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_disconnected_components(self, rng):
+        blocks = [random_spd(8, density=0.3, seed=s).to_dense()
+                  for s in range(3)]
+        a = SymmetricCSC.from_any(sp.block_diag(blocks, format="csc"))
+        solver = SymPackSolver(a, SolverOptions(nranks=3, offload=CPU_ONLY))
+        solver.factorize()
+        b = rng.standard_normal(24)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10

@@ -1,0 +1,52 @@
+"""Unit tests for flop-count formulas."""
+
+import pytest
+
+from repro.kernels import (
+    gemm_flops,
+    gemv_flops,
+    kernel_flops,
+    potrf_flops,
+    syrk_flops,
+    trsm_flops,
+    trsv_flops,
+)
+
+
+class TestFormulas:
+    def test_potrf_cubic(self):
+        assert potrf_flops(10) == pytest.approx(10**3 / 3 + 50)
+        assert potrf_flops(20) / potrf_flops(10) > 7  # ~cubic growth
+
+    def test_trsm(self):
+        assert trsm_flops(4, 3) == 36.0
+
+    def test_syrk(self):
+        assert syrk_flops(3, 5) == 60.0
+
+    def test_gemm(self):
+        assert gemm_flops(2, 3, 4) == 48.0
+
+    def test_trsv(self):
+        assert trsv_flops(5) == 25.0
+        assert trsv_flops(5, nrhs=2) == 50.0
+
+    def test_gemv(self):
+        assert gemv_flops(4, 5) == 40.0
+
+
+class TestDispatch:
+    def test_all_ops(self):
+        assert kernel_flops("POTRF", (8,)) == potrf_flops(8)
+        assert kernel_flops("TRSM", (4, 3)) == trsm_flops(4, 3)
+        assert kernel_flops("SYRK", (3, 5)) == syrk_flops(3, 5)
+        assert kernel_flops("GEMM", (2, 3, 4)) == gemm_flops(2, 3, 4)
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            kernel_flops("AXPY", (3,))
+
+    def test_all_nonnegative(self):
+        for op, dims in [("POTRF", (1,)), ("TRSM", (0, 5)),
+                         ("SYRK", (0, 0)), ("GEMM", (1, 1, 1))]:
+            assert kernel_flops(op, dims) >= 0

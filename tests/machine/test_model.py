@@ -1,0 +1,46 @@
+"""Unit tests for the machine performance model."""
+
+import pytest
+
+from repro.machine import MachineModel, perlmutter
+
+
+class TestMachineModel:
+    def test_gpu_faster_for_large_kernels(self):
+        m = perlmutter()
+        big = 1e10  # 10 Gflop
+        assert m.gpu_time(big) < m.cpu_time(big)
+
+    def test_cpu_faster_for_tiny_kernels(self):
+        m = perlmutter()
+        tiny = 1e3
+        assert m.cpu_time(tiny) < m.gpu_time(tiny)
+
+    def test_crossover_exists(self):
+        """There is a flop count where GPU and CPU times cross."""
+        m = perlmutter()
+        lo, hi = 1e2, 1e12
+        assert m.cpu_time(lo) < m.gpu_time(lo)
+        assert m.cpu_time(hi) > m.gpu_time(hi)
+
+    def test_pcie_time_monotone(self):
+        m = perlmutter()
+        assert m.pcie_time(1 << 20) < m.pcie_time(1 << 24)
+
+    def test_with_overrides(self):
+        m = perlmutter().with_overrides(cpu_flops=1e9)
+        assert m.cpu_flops == 1e9
+        assert m.gpu_flops == perlmutter().gpu_flops  # untouched
+
+    def test_frozen(self):
+        m = perlmutter()
+        with pytest.raises(Exception):
+            m.cpu_flops = 1.0  # type: ignore[misc]
+
+    def test_perlmutter_shape(self):
+        m = perlmutter()
+        assert m.gpus_per_node == 4
+        assert m.cores_per_node == 64
+        assert m.nics_per_node == 4
+        # A100 FP64 is ~275x a Milan core.
+        assert 100 < m.gpu_flops / m.cpu_flops < 1000

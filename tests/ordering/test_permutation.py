@@ -1,0 +1,82 @@
+"""Unit tests for permutation algebra."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import (
+    Permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    is_permutation,
+)
+
+
+class TestIsPermutation:
+    def test_valid(self):
+        assert is_permutation(np.array([2, 0, 1]))
+
+    def test_duplicate(self):
+        assert not is_permutation(np.array([0, 0, 1]))
+
+    def test_out_of_range(self):
+        assert not is_permutation(np.array([0, 1, 3]))
+
+    def test_wrong_ndim(self):
+        assert not is_permutation(np.array([[0, 1], [1, 0]]))
+
+
+class TestInvert:
+    def test_inverse_property(self, rng):
+        p = rng.permutation(50)
+        ip = invert_permutation(p)
+        assert np.array_equal(ip[p], np.arange(50))
+        assert np.array_equal(p[ip], np.arange(50))
+
+    def test_identity_self_inverse(self):
+        p = identity_permutation(7)
+        assert np.array_equal(invert_permutation(p), p)
+
+
+class TestCompose:
+    def test_identity_neutral(self, rng):
+        p = rng.permutation(20)
+        ident = identity_permutation(20)
+        assert np.array_equal(compose_permutations(ident, p), p)
+        assert np.array_equal(compose_permutations(p, ident), p)
+
+    def test_matches_matrix_composition(self, rng):
+        """compose(outer, inner) permutes like applying inner then outer."""
+        n = 12
+        inner = rng.permutation(n)
+        outer = rng.permutation(n)
+        x = rng.standard_normal(n)
+        via_steps = (x[inner])[outer]
+        combined = compose_permutations(outer, inner)
+        assert np.allclose(x[combined], via_steps)
+
+
+class TestPermutationClass:
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            Permutation(np.array([0, 2]))
+
+    def test_vector_roundtrip(self, rng):
+        p = Permutation(rng.permutation(30))
+        x = rng.standard_normal(30)
+        assert np.allclose(p.undo_on_vector(p.apply_to_vector(x)), x)
+
+    def test_equality(self):
+        a = Permutation(np.array([1, 0, 2]))
+        b = Permutation(np.array([1, 0, 2]))
+        c = Permutation(np.array([2, 0, 1]))
+        assert a == b and a != c
+
+    def test_compose_object(self, rng):
+        n = 15
+        inner = Permutation(rng.permutation(n))
+        outer = Permutation(rng.permutation(n))
+        x = rng.standard_normal(n)
+        combined = outer.compose(inner)
+        assert np.allclose(combined.apply_to_vector(x),
+                           outer.apply_to_vector(inner.apply_to_vector(x)))

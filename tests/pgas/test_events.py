@@ -1,0 +1,80 @@
+"""Unit tests for the discrete-event core."""
+
+import pytest
+
+from repro.pgas import EventQueue
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        q = EventQueue()
+        log = []
+        q.schedule(2.0, lambda t: log.append(("b", t)))
+        q.schedule(1.0, lambda t: log.append(("a", t)))
+        q.schedule(3.0, lambda t: log.append(("c", t)))
+        q.run()
+        assert [x[0] for x in log] == ["a", "b", "c"]
+        assert q.now == 3.0
+
+    def test_fifo_tie_break(self):
+        q = EventQueue()
+        log = []
+        for name in "xyz":
+            q.schedule(1.0, lambda t, n=name: log.append(n))
+        q.run()
+        assert log == ["x", "y", "z"]
+
+    def test_events_may_schedule_events(self):
+        q = EventQueue()
+        log = []
+
+        def first(t):
+            log.append(("first", t))
+            q.schedule(t + 1.0, lambda t2: log.append(("second", t2)))
+
+        q.schedule(0.5, first)
+        q.run()
+        assert log == [("first", 0.5), ("second", 1.5)]
+
+    def test_rejects_past_scheduling(self):
+        q = EventQueue()
+
+        def bad(t):
+            q.schedule(t - 1.0, lambda _: None)
+
+        q.schedule(5.0, bad)
+        with pytest.raises(ValueError, match="before now"):
+            q.run()
+
+    def test_max_events_guard(self):
+        q = EventQueue()
+
+        def forever(t):
+            q.schedule(t + 1.0, forever)
+
+        q.schedule(0.0, forever)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            q.run(max_events=100)
+
+    def test_empty_run_returns_zero(self):
+        q = EventQueue()
+        assert q.run() == 0.0
+        assert q.empty()
+
+    def test_event_count_tracked(self):
+        q = EventQueue()
+        for i in range(5):
+            q.schedule(float(i), lambda t: None)
+        q.run()
+        assert q.events_processed == 5
+
+    def test_determinism_across_runs(self):
+        def build():
+            q = EventQueue()
+            log = []
+            for i in range(20):
+                q.schedule((i * 7) % 5 * 1.0, lambda t, i=i: log.append(i))
+            q.run()
+            return log
+
+        assert build() == build()

@@ -1,0 +1,111 @@
+"""Unit tests for the network / memory-kinds transfer model."""
+
+import pytest
+
+from repro.machine import perlmutter
+from repro.pgas import MemoryKindsMode, MemorySpace, NetworkModel
+
+HOST, DEV = MemorySpace.HOST, MemorySpace.DEVICE
+
+
+def net(mode=MemoryKindsMode.NATIVE, rpn=1):
+    return NetworkModel(machine=perlmutter(), ranks_per_node=rpn, mode=mode)
+
+
+class TestTopology:
+    def test_node_folding(self):
+        n = net(rpn=4)
+        assert n.node_of(0) == 0 and n.node_of(3) == 0 and n.node_of(4) == 1
+
+    def test_same_node(self):
+        n = net(rpn=2)
+        assert n.same_node(0, 1)
+        assert not n.same_node(1, 2)
+
+
+class TestTransferTimes:
+    def test_local_host_pointer_free(self):
+        assert net().transfer_time(4096, 0, 0) == 0.0
+
+    def test_monotone_in_size(self):
+        n = net()
+        assert (n.transfer_time(1 << 10, 0, 1)
+                < n.transfer_time(1 << 20, 0, 1))
+
+    def test_intra_node_faster_than_inter(self):
+        n = net(rpn=2)
+        intra = n.transfer_time(1 << 16, 0, 1)
+        inter = n.transfer_time(1 << 16, 0, 2)
+        assert intra < inter
+
+    def test_native_device_equals_wire(self):
+        """GDR: a device-endpoint transfer costs the same as host-host."""
+        n = net(MemoryKindsMode.NATIVE)
+        host = n.transfer_time(1 << 20, 0, 1, HOST, HOST)
+        dev = n.transfer_time(1 << 20, 0, 1, HOST, DEV)
+        assert dev == pytest.approx(host)
+
+    def test_reference_staging_penalty(self):
+        nat = net(MemoryKindsMode.NATIVE)
+        ref = net(MemoryKindsMode.REFERENCE)
+        for size in (1 << 12, 1 << 18, 1 << 22):
+            assert (ref.transfer_time(size, 0, 1, HOST, DEV)
+                    > nat.transfer_time(size, 0, 1, HOST, DEV))
+
+    def test_reference_host_host_unaffected(self):
+        """Staging only penalises device endpoints."""
+        nat = net(MemoryKindsMode.NATIVE)
+        ref = net(MemoryKindsMode.REFERENCE)
+        assert (ref.transfer_time(1 << 16, 0, 1, HOST, HOST)
+                == pytest.approx(nat.transfer_time(1 << 16, 0, 1,
+                                                   HOST, HOST)))
+
+    def test_device_device_reference_double_staged(self):
+        ref = net(MemoryKindsMode.REFERENCE)
+        one = ref.transfer_time(1 << 20, 0, 1, HOST, DEV)
+        two = ref.transfer_time(1 << 20, 0, 1, DEV, DEV)
+        assert two > one
+
+    def test_mpi_within_20pct_of_native(self):
+        nat = net(MemoryKindsMode.NATIVE)
+        mpi = net(MemoryKindsMode.MPI)
+        for size in (1 << 10, 1 << 16, 1 << 22):
+            a = nat.transfer_time(size, 0, 1, HOST, DEV)
+            b = mpi.transfer_time(size, 0, 1, HOST, DEV)
+            assert abs(a - b) / a < 0.2
+
+
+class TestFloodBandwidth:
+    def test_saturates_to_wire_speed(self):
+        n = net()
+        bw = n.flood_bandwidth(4 << 20)
+        assert bw == pytest.approx(perlmutter().nic_bw, rel=0.05)
+
+    def test_latency_bound_small(self):
+        n = net()
+        assert n.flood_bandwidth(16) < 0.05 * perlmutter().nic_bw
+
+    def test_monotone_nondecreasing(self):
+        n = net(MemoryKindsMode.REFERENCE)
+        sizes = [16 * 4**k for k in range(10)]
+        bws = [n.flood_bandwidth(s) for s in sizes]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+
+    def test_paper_fig5_ratios(self):
+        """native/reference ~5.9x at 8 KiB, ~2.3x above 1 MiB (Fig. 5)."""
+        nat = net(MemoryKindsMode.NATIVE)
+        ref = net(MemoryKindsMode.REFERENCE)
+        r8k = nat.flood_bandwidth(8192) / ref.flood_bandwidth(8192)
+        r4m = nat.flood_bandwidth(4 << 20) / ref.flood_bandwidth(4 << 20)
+        assert 4.0 < r8k < 9.0
+        assert 1.8 < r4m < 3.0
+        assert r8k > r4m  # the gap shrinks with payload size
+
+
+class TestRpcArrival:
+    def test_local_immediate(self):
+        assert net().rpc_arrival_time(0, 0, 5.0) == 5.0
+
+    def test_remote_adds_latency(self):
+        t = net().rpc_arrival_time(0, 1, 5.0)
+        assert t > 5.0

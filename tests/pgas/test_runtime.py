@@ -1,0 +1,200 @@
+"""Unit tests for the simulated UPC++ world: RPC, RMA, registries, devices."""
+
+import numpy as np
+import pytest
+
+from repro.machine import perlmutter
+from repro.pgas import (
+    BufferRegistry,
+    DeviceAllocator,
+    DeviceOutOfMemory,
+    MemoryKindsMode,
+    MemorySpace,
+    World,
+)
+
+
+def make_world(nranks=2, **kw):
+    return World(nranks=nranks, machine=perlmutter(), **kw)
+
+
+class TestBufferRegistry:
+    def test_register_resolve(self):
+        reg = BufferRegistry(rank=0)
+        arr = np.arange(5.0)
+        ptr = reg.register(arr)
+        assert reg.resolve(ptr) is arr
+        assert ptr.nbytes == 40
+
+    def test_remote_resolve_rejected(self):
+        reg = BufferRegistry(rank=0)
+        other = BufferRegistry(rank=1)
+        ptr = other.register(np.ones(3))
+        with pytest.raises(ValueError):
+            reg.resolve(ptr)
+
+    def test_nbytes_override(self):
+        reg = BufferRegistry(rank=0)
+        ptr = reg.register(np.empty(0), nbytes=1234)
+        assert ptr.nbytes == 1234
+
+    def test_deregister_frees(self):
+        reg = BufferRegistry(rank=0)
+        ptr = reg.register(np.ones(10))
+        assert reg.live_bytes() == 80
+        reg.deregister(ptr)
+        assert reg.live_bytes() == 0
+
+    def test_device_pointer_flag(self):
+        reg = BufferRegistry(rank=0)
+        ptr = reg.register(np.ones(2), MemorySpace.DEVICE)
+        assert ptr.is_device()
+
+
+class TestRpc:
+    def test_rpc_executes_only_at_progress(self):
+        w = make_world()
+        log = []
+        w.rpc(0, 1, lambda p: log.append(p), "hello", t=0.0)
+        w.run()
+        assert log == []  # delivered but target never progressed
+        executed = w.progress(1, w.events.now + 1.0)
+        assert executed == 1 and log == ["hello"]
+
+    def test_rpc_arrival_delayed_by_network(self):
+        w = make_world()
+        arrivals = []
+        w.rpc(0, 1, lambda p: None, None, t=0.0,
+              on_delivered=lambda t: arrivals.append(t))
+        w.run()
+        assert arrivals and arrivals[0] > 0.0
+
+    def test_local_rpc_fast(self):
+        w = make_world(nranks=1)
+        arrivals = []
+        w.rpc(0, 0, lambda p: None, None, t=1.0,
+              on_delivered=lambda t: arrivals.append(t))
+        w.run()
+        assert arrivals[0] == pytest.approx(1.0)
+
+    def test_progress_respects_arrival_times(self):
+        w = make_world()
+        log = []
+        w.rpc(0, 1, lambda p: log.append(p), "x", t=0.0)
+        # progress before arrival: nothing runs
+        assert w.progress(1, 0.0) == 0
+        w.run()
+        assert w.progress(1, 10.0) == 1
+
+    def test_stats_counted(self):
+        w = make_world()
+        w.rpc(0, 1, lambda p: None, None, t=0.0)
+        assert w.stats.rpcs_sent == 1
+
+
+class TestRmaGet:
+    def test_data_delivered(self):
+        w = make_world()
+        data = np.arange(8.0)
+        ptr = w.register(0, data)
+        got = []
+        w.rma_get(1, ptr, t=0.0,
+                  on_complete=lambda t, d: got.append((t, d)))
+        w.run()
+        assert got and got[0][1] is data
+        assert got[0][0] > 0.0
+
+    def test_completion_time_returned(self):
+        w = make_world()
+        ptr = w.register(0, np.ones(1 << 14))
+        done = w.rma_get(1, ptr, t=2.0)
+        assert done > 2.0
+
+    def test_larger_takes_longer(self):
+        w = make_world()
+        small = w.register(0, np.ones(1 << 6))
+        large = w.register(0, np.ones(1 << 20))
+        assert w.rma_get(1, small, 0.0) < w.rma_get(1, large, 0.0)
+
+    def test_device_direct_counted_native(self):
+        w = make_world(mode=MemoryKindsMode.NATIVE)
+        ptr = w.register(0, np.ones(1024))
+        w.rma_get(1, ptr, 0.0, dst_space=MemorySpace.DEVICE)
+        assert w.stats.bytes_device_direct == 8192
+        assert w.stats.bytes_staged == 0
+
+    def test_device_staged_counted_reference(self):
+        w = make_world(mode=MemoryKindsMode.REFERENCE)
+        ptr = w.register(0, np.ones(1024))
+        w.rma_get(1, ptr, 0.0, dst_space=MemorySpace.DEVICE)
+        assert w.stats.bytes_staged == 8192
+        assert w.stats.bytes_device_direct == 0
+
+    def test_reference_slower_than_native_to_device(self):
+        wn = make_world(mode=MemoryKindsMode.NATIVE)
+        wr = make_world(mode=MemoryKindsMode.REFERENCE)
+        pn = wn.register(0, np.ones(1 << 16))
+        pr = wr.register(0, np.ones(1 << 16))
+        tn = wn.rma_get(1, pn, 0.0, dst_space=MemorySpace.DEVICE)
+        tr = wr.rma_get(1, pr, 0.0, dst_space=MemorySpace.DEVICE)
+        assert tr > tn
+
+
+class TestRmaPut:
+    def test_data_copied(self):
+        w = make_world()
+        target = np.zeros(4)
+        ptr = w.register(1, target)
+        w.rma_put(0, np.arange(4.0), ptr, t=0.0)
+        assert np.allclose(target, [0, 1, 2, 3])
+        assert w.stats.puts_issued == 1
+
+
+class TestDeviceAllocator:
+    def test_world_creates_devices(self):
+        w = make_world(nranks=4, ranks_per_node=4, device_capacity=1 << 20)
+        devices = [r.device.device_id for r in w.ranks]
+        assert devices == [0, 1, 2, 3]  # cyclic binding p mod d
+
+    def test_cyclic_binding_wraps(self):
+        w = make_world(nranks=8, ranks_per_node=8, device_capacity=1 << 20)
+        assert [r.device.device_id for r in w.ranks] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_capacity_enforced(self):
+        w = make_world(device_capacity=1000)
+        dev = w.ranks[0].device
+        dev.allocate((100,))  # 800 bytes
+        with pytest.raises(DeviceOutOfMemory):
+            dev.allocate((100,))
+        assert dev.failed_allocs == 1
+
+    def test_free_returns_capacity(self):
+        w = make_world(device_capacity=1000)
+        dev = w.ranks[0].device
+        ptr = dev.allocate((100,))
+        dev.free(ptr)
+        assert dev.used == 0
+        dev.allocate((100,))  # fits again
+
+    def test_peak_tracked(self):
+        w = make_world(device_capacity=10_000)
+        dev = w.ranks[0].device
+        p1 = dev.allocate((500,))
+        dev.free(p1)
+        dev.allocate((100,))
+        assert dev.peak == 4000
+
+    def test_no_device_without_capacity(self):
+        w = make_world()
+        assert w.ranks[0].device is None
+
+
+class TestWorldValidation:
+    def test_rejects_zero_ranks(self):
+        with pytest.raises(ValueError):
+            make_world(nranks=0)
+
+    def test_makespan_tracks_clocks(self):
+        w = make_world()
+        w.ranks[1].clock = 5.0
+        assert w.makespan() == 5.0

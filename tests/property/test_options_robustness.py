@@ -1,0 +1,66 @@
+"""Property tests: the solver stays correct under randomized option sets.
+
+Every combination of ordering, mapping, amalgamation relaxation,
+scheduling policy, memory-kinds mode, rank count and node folding must
+produce a correct solution — configuration must never change numerics.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CPU_ONLY, MemoryKindsMode, OffloadPolicy, SolverOptions, SymPackSolver
+from repro.sparse import random_spd
+from repro.symbolic import AmalgamationOptions
+
+ROBUST = settings(max_examples=30, deadline=None,
+                  suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def solver_options(draw):
+    nranks = draw(st.integers(min_value=1, max_value=9))
+    return SolverOptions(
+        nranks=nranks,
+        ranks_per_node=draw(st.sampled_from(
+            [1, 2, 4])) if nranks > 1 else 1,
+        ordering=draw(st.sampled_from(
+            ["natural", "rcm", "amd", "nd", "scotch_like"])),
+        amalgamation=AmalgamationOptions(
+            enabled=draw(st.booleans()),
+            max_zeros_ratio=draw(st.floats(min_value=0.0, max_value=0.8)),
+            max_width=draw(st.integers(min_value=2, max_value=128)),
+        ),
+        mapping=draw(st.sampled_from(["2d", "1d-col", "1d-row"])),
+        scheduling=draw(st.sampled_from(["fifo", "priority"])),
+        memory_kinds=draw(st.sampled_from(list(MemoryKindsMode))),
+        offload=draw(st.sampled_from([
+            CPU_ONLY,
+            OffloadPolicy().with_thresholds(GEMM=64, SYRK=64, TRSM=64,
+                                            POTRF=64),
+        ])),
+    )
+
+
+class TestOptionRobustness:
+    @given(opts=solver_options(),
+           seed=st.integers(min_value=0, max_value=2**31))
+    @ROBUST
+    def test_any_configuration_solves_correctly(self, opts, seed):
+        a = random_spd(22, density=0.2, seed=seed % 7)
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(a.n)
+        solver = SymPackSolver(a, opts)
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-9
+
+    @given(opts=solver_options())
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_simulated_times_positive_and_finite(self, opts):
+        a = random_spd(18, density=0.25, seed=1)
+        solver = SymPackSolver(a, opts)
+        info = solver.factorize()
+        assert 0 < info.simulated_seconds < 1e6
+        assert np.isfinite(info.simulated_seconds)

@@ -1,0 +1,128 @@
+"""Property-based tests on the runtime substrate (network, I/O, engine).
+
+Complements ``test_properties.py`` (numeric invariants) with invariants of
+the simulated machine: transfer-time monotonicity and triangle-like
+bounds, I/O round-trips under fuzzed matrices, and conservation laws of
+the fan-out protocol (every RPC pairs with exactly one get; every byte
+sent is a byte received).
+"""
+
+import numpy as np
+import scipy.sparse as sp
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.machine import perlmutter
+from repro.pgas import MemoryKindsMode, MemorySpace, NetworkModel
+from repro.sparse import (
+    SymmetricCSC,
+    lower_csc,
+    read_matrix_market,
+    read_rutherford_boeing,
+    write_matrix_market,
+    write_rutherford_boeing,
+)
+
+SLOW = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def spd_matrices(draw, max_n=20):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    nnz = int(density * n * n)
+    i = rng.integers(0, n, nnz)
+    j = rng.integers(0, n, nnz)
+    v = rng.uniform(-1, 1, nnz).round(6)  # exact decimal round-trip
+    m = sp.coo_matrix((v, (i, j)), shape=(n, n)).tocsc()
+    m = m + m.T
+    row = np.asarray(np.abs(m).sum(axis=1)).ravel()
+    a = m + sp.diags((row + 1.0).round(6))
+    return SymmetricCSC(lower_csc(a))
+
+
+class TestNetworkProperties:
+    @given(st.integers(1, 2**24), st.integers(1, 2**24),
+           st.sampled_from(list(MemoryKindsMode)))
+    def test_transfer_monotone_in_size(self, a_bytes, b_bytes, mode):
+        net = NetworkModel(machine=perlmutter(), ranks_per_node=2, mode=mode)
+        small, large = min(a_bytes, b_bytes), max(a_bytes, b_bytes)
+        t_small = net.transfer_time(small, 0, 3, dst_space=MemorySpace.DEVICE)
+        t_large = net.transfer_time(large, 0, 3, dst_space=MemorySpace.DEVICE)
+        assert t_small <= t_large
+
+    @given(st.integers(1, 2**24))
+    def test_native_never_slower_than_reference(self, nbytes):
+        nat = NetworkModel(machine=perlmutter(), mode=MemoryKindsMode.NATIVE)
+        ref = NetworkModel(machine=perlmutter(),
+                           mode=MemoryKindsMode.REFERENCE)
+        assert (nat.transfer_time(nbytes, 0, 1, dst_space=MemorySpace.DEVICE)
+                <= ref.transfer_time(nbytes, 0, 1,
+                                     dst_space=MemorySpace.DEVICE))
+
+    @given(st.integers(1, 2**22), st.integers(2, 128))
+    def test_flood_bandwidth_positive_and_below_wire(self, nbytes, window):
+        net = NetworkModel(machine=perlmutter())
+        bw = net.flood_bandwidth(nbytes, window=window)
+        assert 0 < bw <= perlmutter().nic_bw * (1 + 1e-9)
+
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_transfer_symmetric_in_endpoints(self, r1, r2):
+        net = NetworkModel(machine=perlmutter(), ranks_per_node=4)
+        t12 = net.transfer_time(4096, r1, r2)
+        t21 = net.transfer_time(4096, r2, r1)
+        assert t12 == t21
+
+
+class TestIoRoundTripProperties:
+    @given(a=spd_matrices())
+    @SLOW
+    def test_matrix_market_roundtrip(self, tmp_path_factory, a):
+        path = tmp_path_factory.mktemp("mm") / "m.mtx"
+        write_matrix_market(path, a)
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), a.to_dense(), atol=1e-12)
+
+    @given(a=spd_matrices())
+    @SLOW
+    def test_rutherford_boeing_roundtrip(self, tmp_path_factory, a):
+        path = tmp_path_factory.mktemp("rb") / "m.rb"
+        write_rutherford_boeing(path, a)
+        back = read_rutherford_boeing(path)
+        assert np.allclose(back.to_dense(), a.to_dense(), atol=1e-9)
+
+
+class TestProtocolConservation:
+    @given(spd_matrices(max_n=16), st.integers(min_value=2, max_value=6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_rpc_pairs_with_one_get(self, a, nranks):
+        solver = SymPackSolver(a, SolverOptions(nranks=nranks,
+                                                offload=CPU_ONLY))
+        info = solver.factorize()
+        assert info.comm.gets_issued == info.comm.rpcs_sent
+
+    @given(spd_matrices(max_n=16), st.integers(min_value=1, max_value=6))
+    @settings(max_examples=15, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_makespan_at_least_critical_rank(self, a, nranks):
+        """Makespan is bounded below by the busiest rank's compute time."""
+        solver = SymPackSolver(a, SolverOptions(nranks=nranks,
+                                                offload=CPU_ONLY))
+        info = solver.factorize()
+        assert info.simulated_seconds >= max(info.rank_busy) - 1e-12
+
+    @given(spd_matrices(max_n=16))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_adding_ranks_never_loses_tasks(self, a):
+        counts = set()
+        for nranks in (1, 3, 5):
+            solver = SymPackSolver(a, SolverOptions(nranks=nranks,
+                                                    offload=CPU_ONLY))
+            counts.add(solver.factorize().tasks)
+        assert len(counts) == 1  # task graph independent of mapping

@@ -1,0 +1,107 @@
+"""Unit tests for symmetric CSC storage utilities."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    SymmetricCSC,
+    expand_symmetric,
+    lower_csc,
+    permute_symmetric,
+    structural_nnz_symmetric,
+)
+
+
+def dense_sym(n, seed=0):
+    rng = np.random.default_rng(seed)
+    g = rng.standard_normal((n, n))
+    return g + g.T + n * np.eye(n)
+
+
+class TestLowerCsc:
+    def test_keeps_lower_triangle_only(self):
+        a = dense_sym(6)
+        low = lower_csc(a)
+        assert (low.toarray() == np.tril(a)).all()
+
+    def test_accepts_sparse_input(self):
+        a = sp.csr_matrix(dense_sym(5))
+        low = lower_csc(a)
+        assert low.format == "csc"
+        assert np.allclose(low.toarray(), np.tril(a.toarray()))
+
+    def test_removes_explicit_zeros(self):
+        a = sp.csc_matrix(np.array([[2.0, 0.0], [0.0, 3.0]]))
+        a[1, 0] = 0.0  # explicit stored zero
+        low = lower_csc(a)
+        assert low.nnz == 2
+
+    def test_indices_sorted(self):
+        low = lower_csc(dense_sym(7))
+        assert low.has_sorted_indices
+
+
+class TestExpandSymmetric:
+    def test_roundtrip(self):
+        a = dense_sym(8)
+        low = lower_csc(a)
+        full = expand_symmetric(low)
+        assert np.allclose(full.toarray(), a)
+
+    def test_diagonal_not_doubled(self):
+        a = np.diag([1.0, 2.0, 3.0])
+        full = expand_symmetric(lower_csc(a))
+        assert np.allclose(full.toarray(), a)
+
+
+class TestPermuteSymmetric:
+    def test_matches_dense_permutation(self):
+        a = dense_sym(9, seed=2)
+        perm = np.random.default_rng(1).permutation(9)
+        low = permute_symmetric(lower_csc(a), perm)
+        expected = a[np.ix_(perm, perm)]
+        assert np.allclose(expand_symmetric(low).toarray(), expected)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(ValueError):
+            permute_symmetric(lower_csc(dense_sym(4)), np.array([0, 1]))
+
+
+class TestStructuralNnz:
+    def test_counts_mirror(self):
+        a = np.array([[2.0, 1.0, 0.0], [1.0, 3.0, 0.5], [0.0, 0.5, 4.0]])
+        assert structural_nnz_symmetric(lower_csc(a)) == 7
+
+    def test_diagonal_only(self):
+        assert structural_nnz_symmetric(lower_csc(np.eye(5))) == 5
+
+
+class TestSymmetricCSC:
+    def test_from_any_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            SymmetricCSC.from_any(np.ones((2, 3)))
+
+    def test_n_and_nnz(self, tiny_spd):
+        assert tiny_spd.n == 4
+        assert tiny_spd.nnz_full == 12  # 4 diag + 2*4 offdiag
+        assert tiny_spd.nnz_lower == 8
+
+    def test_to_dense_symmetric(self, tiny_spd):
+        d = tiny_spd.to_dense()
+        assert np.allclose(d, d.T)
+
+    def test_column_structure(self, tiny_spd):
+        rows = tiny_spd.column_structure(0)
+        assert list(rows) == [0, 1, 3]
+
+    def test_matvec_matches_dense(self, tiny_spd, rng):
+        x = rng.standard_normal(4)
+        assert np.allclose(tiny_spd.matvec(x), tiny_spd.to_dense() @ x)
+
+    def test_permuted_preserves_spectrum(self, tiny_spd):
+        perm = np.array([2, 0, 3, 1])
+        p = tiny_spd.permuted(perm)
+        ev_a = np.linalg.eigvalsh(tiny_spd.to_dense())
+        ev_p = np.linalg.eigvalsh(p.to_dense())
+        assert np.allclose(np.sort(ev_a), np.sort(ev_p))

@@ -1,0 +1,102 @@
+"""Unit tests for the synthetic matrix generators."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    arrow_matrix,
+    block_dense_spd,
+    bone_like,
+    flan_like,
+    grid_laplacian_2d,
+    grid_laplacian_3d,
+    probable_spd,
+    random_spd,
+    stencil_27pt,
+    thermal_like,
+    tridiagonal_spd,
+)
+
+ALL_GENERATORS = [
+    ("lap2d", lambda: grid_laplacian_2d(7, 5)),
+    ("lap3d", lambda: grid_laplacian_3d(4, 4, 4)),
+    ("stencil27", lambda: stencil_27pt(4, 4, 4)),
+    ("flan", lambda: flan_like(scale=5)),
+    ("bone", lambda: bone_like(scale=6, seed=3)),
+    ("thermal", lambda: thermal_like(n=150, seed=5)),
+    ("random", lambda: random_spd(40, density=0.1, seed=1)),
+    ("arrow", lambda: arrow_matrix(12)),
+    ("tridiag", lambda: tridiagonal_spd(20)),
+    ("blockdense", lambda: block_dense_spd(3, 4)),
+]
+
+
+@pytest.mark.parametrize("name,factory", ALL_GENERATORS)
+class TestAllGenerators:
+    def test_symmetric(self, name, factory):
+        a = factory()
+        d = a.to_dense()
+        assert np.allclose(d, d.T)
+
+    def test_positive_definite(self, name, factory):
+        a = factory()
+        assert probable_spd(a)
+        ev_min = np.linalg.eigvalsh(a.to_dense()).min()
+        assert ev_min > 0, f"{name}: min eigenvalue {ev_min}"
+
+    def test_deterministic(self, name, factory):
+        a, b = factory(), factory()
+        assert (a.lower != b.lower).nnz == 0
+
+
+class TestSpecificShapes:
+    def test_lap2d_dimensions(self):
+        assert grid_laplacian_2d(7, 5).n == 35
+
+    def test_lap3d_bandwidth(self):
+        a = grid_laplacian_3d(3, 3, 3)
+        # 7-point stencil: each row couples at most 6 neighbours.
+        degrees = np.diff(a.full().indptr) - 1
+        assert degrees.max() <= 6
+
+    def test_stencil27_denser_than_7pt(self):
+        a7 = grid_laplacian_3d(5, 5, 5)
+        a27 = stencil_27pt(5, 5, 5)
+        assert a27.nnz_full > a7.nnz_full
+
+    def test_flan_n_is_cubed_scale(self):
+        assert flan_like(scale=6).n == 216
+
+    def test_bone_porosity_removes_points(self):
+        full = bone_like(scale=8, porosity=0.0, seed=0)
+        porous = bone_like(scale=8, porosity=0.4, seed=0)
+        assert porous.n < full.n
+
+    def test_thermal_sparsity_ratio(self):
+        a = thermal_like(n=800, seed=1)
+        # thermal2 has nnz/n ~ 7; our stand-in should be in that regime.
+        assert 4.0 < a.nnz_full / a.n < 10.0
+
+    def test_thermal_seeded_variation(self):
+        a = thermal_like(n=200, seed=1)
+        b = thermal_like(n=200, seed=2)
+        assert (a.lower != b.lower).nnz > 0
+
+    def test_arrow_last_row_dense(self):
+        a = arrow_matrix(10)
+        last_col_struct = a.full()[:, 9].nnz
+        assert last_col_struct == 10
+
+    def test_random_spd_density_scales(self):
+        sparse = random_spd(60, density=0.02, seed=0)
+        denser = random_spd(60, density=0.3, seed=0)
+        assert denser.nnz_full > sparse.nnz_full
+
+    def test_blockdense_block_structure(self):
+        a = block_dense_spd(3, 4)
+        assert a.n == 12
+        d = a.to_dense()
+        # Blocks are dense.
+        assert np.all(d[:4, :4] != 0)
+        # Far-apart blocks are uncoupled.
+        assert np.all(d[:4, 8:] == 0)

@@ -1,0 +1,98 @@
+"""Unit tests for the adjacency-graph substrate."""
+
+import numpy as np
+
+from repro.sparse import (
+    AdjacencyGraph,
+    SymmetricCSC,
+    bfs_levels,
+    connected_components,
+    grid_laplacian_2d,
+    pseudo_peripheral_vertex,
+)
+
+
+def path_graph(n):
+    a = np.eye(n) * 2.0
+    for i in range(n - 1):
+        a[i, i + 1] = a[i + 1, i] = -1.0
+    return AdjacencyGraph.from_symmetric(SymmetricCSC.from_any(a))
+
+
+class TestConstruction:
+    def test_drops_diagonal(self, tiny_spd):
+        g = AdjacencyGraph.from_symmetric(tiny_spd)
+        for v in range(g.n):
+            assert v not in g.neighbors(v)
+
+    def test_symmetric_neighbors(self, lap2d):
+        g = AdjacencyGraph.from_symmetric(lap2d)
+        for v in range(g.n):
+            for u in g.neighbors(v):
+                assert v in g.neighbors(int(u))
+
+    def test_degrees_match_structure(self):
+        g = path_graph(5)
+        assert list(g.degrees()) == [1, 2, 2, 2, 1]
+
+
+class TestSubgraph:
+    def test_induced_edges_only(self):
+        g = path_graph(6)
+        sub, verts = g.subgraph(np.array([0, 1, 3, 4]))
+        assert sub.n == 4
+        # local 0-1 connected (global 0-1); local 2-3 connected (global 3-4)
+        assert 1 in sub.neighbors(0)
+        assert 2 not in sub.neighbors(1)  # global 1-3 not adjacent
+        assert 3 in sub.neighbors(2)
+
+    def test_vertex_mapping_returned(self):
+        g = path_graph(4)
+        _, verts = g.subgraph(np.array([2, 3]))
+        assert list(verts) == [2, 3]
+
+
+class TestBfs:
+    def test_levels_of_path(self):
+        g = path_graph(5)
+        level, levels = bfs_levels(g, 0)
+        assert list(level) == [0, 1, 2, 3, 4]
+        assert len(levels) == 5
+
+    def test_unreachable_marked(self):
+        # Two disconnected edges: 0-1 and 2-3.
+        a = np.eye(4) * 2
+        a[0, 1] = a[1, 0] = -1
+        a[2, 3] = a[3, 2] = -1
+        g = AdjacencyGraph.from_symmetric(SymmetricCSC.from_any(a))
+        level, _ = bfs_levels(g, 0)
+        assert level[2] == -1 and level[3] == -1
+
+
+class TestComponents:
+    def test_single_component(self, lap2d):
+        g = AdjacencyGraph.from_symmetric(lap2d)
+        comps = connected_components(g)
+        assert len(comps) == 1
+        assert comps[0].size == g.n
+
+    def test_multiple_components(self):
+        a = np.eye(5) * 2
+        a[0, 1] = a[1, 0] = -1
+        g = AdjacencyGraph.from_symmetric(SymmetricCSC.from_any(a))
+        comps = connected_components(g)
+        assert [c.size for c in comps] == [2, 1, 1, 1]
+
+
+class TestPseudoPeripheral:
+    def test_path_endpoint(self):
+        g = path_graph(9)
+        v = pseudo_peripheral_vertex(g, 4)
+        assert v in (0, 8)
+
+    def test_grid_corner_has_max_ecc(self):
+        g = AdjacencyGraph.from_symmetric(grid_laplacian_2d(5, 5))
+        v = pseudo_peripheral_vertex(g, 12)  # start from the center
+        _, levels = bfs_levels(g, v)
+        # Eccentricity of a 5x5 grid from a corner is 8; from center it is 4.
+        assert len(levels) - 1 >= 7

@@ -1,0 +1,122 @@
+"""Round-trip tests for Matrix Market and Rutherford-Boeing I/O."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.sparse import (
+    SymmetricCSC,
+    random_spd,
+    read_matrix_market,
+    read_rutherford_boeing,
+    tridiagonal_spd,
+    write_matrix_market,
+    write_rutherford_boeing,
+)
+
+
+class TestMatrixMarket:
+    def test_roundtrip_file(self, tmp_path, tiny_spd):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, tiny_spd, comment="test matrix")
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), tiny_spd.to_dense())
+
+    def test_roundtrip_random(self, tmp_path):
+        a = random_spd(25, density=0.2, seed=9)
+        path = tmp_path / "r.mtx"
+        write_matrix_market(path, a)
+        back = read_matrix_market(path)
+        assert np.allclose(back.to_dense(), a.to_dense())
+
+    def test_reads_general_symmetric(self):
+        text = io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 4\n1 1 2.0\n2 2 3.0\n1 2 -1.0\n2 1 -1.0\n"
+        )
+        a = read_matrix_market(text)
+        assert np.allclose(a.to_dense(), [[2.0, -1.0], [-1.0, 3.0]])
+
+    def test_rejects_asymmetric_general(self):
+        text = io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 3\n1 1 2.0\n2 2 3.0\n1 2 -1.0\n"
+        )
+        with pytest.raises(ValueError, match="not symmetric"):
+            read_matrix_market(text)
+
+    def test_reads_pattern(self):
+        text = io.StringIO(
+            "%%MatrixMarket matrix coordinate pattern symmetric\n"
+            "3 3 4\n1 1\n2 2\n3 3\n3 1\n"
+        )
+        a = read_matrix_market(text)
+        assert a.nnz_full == 5
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError, match="header"):
+            read_matrix_market(io.StringIO("garbage\n1 1 1\n1 1 1.0\n"))
+
+    def test_rejects_rectangular(self):
+        text = io.StringIO(
+            "%%MatrixMarket matrix coordinate real general\n2 3 1\n1 1 1.0\n"
+        )
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(text)
+
+    def test_comments_skipped(self, tmp_path, tiny_spd):
+        path = tmp_path / "c.mtx"
+        write_matrix_market(path, tiny_spd, comment="line one\nline two")
+        back = read_matrix_market(path)
+        assert back.n == 4
+
+
+class TestRutherfordBoeing:
+    def test_roundtrip(self, tmp_path, tiny_spd):
+        path = tmp_path / "m.rb"
+        write_rutherford_boeing(path, tiny_spd)
+        back = read_rutherford_boeing(path)
+        assert np.allclose(back.to_dense(), tiny_spd.to_dense())
+
+    def test_roundtrip_larger(self, tmp_path):
+        a = random_spd(40, density=0.15, seed=11)
+        path = tmp_path / "big.rb"
+        write_rutherford_boeing(path, a)
+        back = read_rutherford_boeing(path)
+        assert np.allclose(back.to_dense(), a.to_dense())
+
+    def test_roundtrip_tridiag_values(self, tmp_path):
+        a = tridiagonal_spd(12)
+        path = tmp_path / "t.rb"
+        write_rutherford_boeing(path, a)
+        back = read_rutherford_boeing(path)
+        assert np.allclose(back.lower.toarray(), a.lower.toarray())
+
+    def test_title_preserved_in_header(self, tmp_path, tiny_spd):
+        path = tmp_path / "titled.rb"
+        write_rutherford_boeing(path, tiny_spd, title="hello", key="K1")
+        first = path.read_text().splitlines()[0]
+        assert first.startswith("hello")
+
+    def test_rejects_unsupported_type(self, tmp_path):
+        path = tmp_path / "bad.rb"
+        path.write_text("t\n 1 1 1 1\ncua 2 2 2 0\n(8I10) (8I10) (4E20.12)\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            read_rutherford_boeing(path)
+
+    def test_rejects_truncated(self, tmp_path):
+        path = tmp_path / "short.rb"
+        path.write_text("only one line\n")
+        with pytest.raises(ValueError, match="truncated"):
+            read_rutherford_boeing(path)
+
+
+class TestCrossFormat:
+    def test_mm_and_rb_agree(self, tmp_path):
+        a = random_spd(20, density=0.25, seed=21)
+        write_matrix_market(tmp_path / "x.mtx", a)
+        write_rutherford_boeing(tmp_path / "x.rb", a)
+        from_mm = read_matrix_market(tmp_path / "x.mtx")
+        from_rb = read_rutherford_boeing(tmp_path / "x.rb")
+        assert np.allclose(from_mm.to_dense(), from_rb.to_dense())

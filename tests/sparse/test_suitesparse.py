@@ -1,0 +1,64 @@
+"""Tests of the SuiteSparse registry/local loader."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import random_spd, write_matrix_market, write_rutherford_boeing
+from repro.sparse.suitesparse import (
+    PAPER_MATRICES,
+    find_matrix_file,
+    load_suitesparse,
+)
+
+
+class TestRegistry:
+    def test_paper_matrices_present(self):
+        assert set(PAPER_MATRICES) == {"Flan_1565", "boneS10", "thermal2"}
+
+    def test_published_sizes(self):
+        assert PAPER_MATRICES["Flan_1565"].nnz == 114_165_372
+        assert PAPER_MATRICES["boneS10"].n == 914_898
+
+    def test_urls_point_at_collection(self):
+        for entry in PAPER_MATRICES.values():
+            assert entry.url.startswith("https://sparse.tamu.edu/")
+
+
+class TestLoader:
+    def test_loads_mtx(self, tmp_path):
+        a = random_spd(20, density=0.2, seed=1)
+        write_matrix_market(tmp_path / "mymatrix.mtx", a)
+        loaded = load_suitesparse(tmp_path, "mymatrix")
+        assert loaded.name == "mymatrix"
+        assert np.allclose(loaded.to_dense(), a.to_dense())
+
+    def test_loads_rb(self, tmp_path):
+        a = random_spd(15, density=0.2, seed=2)
+        write_rutherford_boeing(tmp_path / "other.rb", a)
+        loaded = load_suitesparse(tmp_path, "other")
+        assert loaded.n == 15
+
+    def test_finds_nested_files(self, tmp_path):
+        a = random_spd(10, density=0.3, seed=3)
+        nested = tmp_path / "Janna" / "sub"
+        nested.mkdir(parents=True)
+        write_matrix_market(nested / "deep.mtx", a)
+        assert find_matrix_file(tmp_path, "deep") is not None
+        assert load_suitesparse(tmp_path, "deep").n == 10
+
+    def test_missing_gives_download_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="sparse.tamu.edu"):
+            load_suitesparse(tmp_path, "thermal2")
+
+    def test_missing_unknown_no_hint(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_suitesparse(tmp_path, "nd24k")
+
+    def test_shape_verification(self, tmp_path):
+        """A file claiming to be thermal2 but with the wrong n is refused."""
+        a = random_spd(12, density=0.3, seed=4)
+        write_matrix_market(tmp_path / "thermal2.mtx", a)
+        with pytest.raises(ValueError, match="published"):
+            load_suitesparse(tmp_path, "thermal2")
+        loaded = load_suitesparse(tmp_path, "thermal2", verify_shape=False)
+        assert loaded.n == 12

@@ -1,0 +1,60 @@
+"""Unit tests for SPD input validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    NotSymmetricError,
+    SymmetricCSC,
+    check_finite,
+    check_square,
+    check_symmetric,
+    probable_spd,
+)
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        check_square(np.eye(3))
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            check_square(np.ones((2, 4)))
+
+
+class TestCheckSymmetric:
+    def test_accepts_symmetric(self):
+        check_symmetric(sp.csc_matrix(np.array([[2.0, 1.0], [1.0, 3.0]])))
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(NotSymmetricError):
+            check_symmetric(sp.csc_matrix(np.array([[2.0, 1.0], [0.5, 3.0]])))
+
+    def test_tolerates_roundoff(self):
+        a = np.array([[2.0, 1.0], [1.0 + 1e-16, 3.0]])
+        check_symmetric(sp.csc_matrix(a))
+
+
+class TestCheckFinite:
+    def test_accepts_finite(self, tiny_spd):
+        check_finite(tiny_spd)
+
+    def test_rejects_nan(self):
+        a = SymmetricCSC.from_any(np.array([[1.0, 0.0], [0.0, np.nan]]))
+        with pytest.raises(ValueError, match="non-finite"):
+            check_finite(a)
+
+
+class TestProbableSpd:
+    def test_positive_diagonal_passes(self, tiny_spd):
+        assert probable_spd(tiny_spd)
+
+    def test_negative_diagonal_fails(self):
+        a = SymmetricCSC.from_any(np.array([[1.0, 0.0], [0.0, -2.0]]))
+        assert not probable_spd(a)
+
+    def test_missing_diagonal_fails(self):
+        # Structurally zero diagonal entry.
+        a = SymmetricCSC.from_any(np.array([[1.0, 1.0], [1.0, 0.0]]))
+        assert not probable_spd(a)

@@ -1,0 +1,48 @@
+"""Tests for the symbolic-analysis facade."""
+
+import numpy as np
+import pytest
+
+from repro.ordering import Permutation
+from repro.symbolic import AmalgamationOptions, analyze
+
+
+class TestAnalyze:
+    def test_default_pipeline(self, lap2d):
+        an = analyze(lap2d)
+        assert an.n == lap2d.n
+        assert an.nsup >= 1
+        assert an.factor_nnz() >= lap2d.nnz_lower
+
+    def test_explicit_permutation(self, lap2d, rng):
+        perm = Permutation(rng.permutation(lap2d.n))
+        an = analyze(lap2d, ordering=perm)
+        assert np.array_equal(an.perm.perm, perm.perm)
+
+    def test_ordering_by_name(self, lap2d):
+        an_nat = analyze(lap2d, ordering="natural")
+        an_nd = analyze(lap2d, ordering="nd")
+        assert an_nd.symbolic.nnz <= an_nat.symbolic.nnz
+
+    def test_stats_keys(self, lap2d):
+        st = analyze(lap2d).stats()
+        for key in ("n", "nnz_A", "nnz_L", "fill_in", "nsup", "n_blocks",
+                    "factor_flops", "max_supernode_width"):
+            assert key in st
+
+    def test_flops_positive_and_superlinear(self, lap2d, lap3d):
+        f2 = analyze(lap2d).factor_flops()
+        f3 = analyze(lap3d).factor_flops()
+        assert f2 > 0 and f3 > 0
+
+    def test_amalgamation_flag_respected(self, lap2d):
+        fund = analyze(lap2d, amalgamation=AmalgamationOptions(enabled=False))
+        relaxed = analyze(lap2d, amalgamation=AmalgamationOptions(
+            enabled=True, max_zeros_ratio=0.4))
+        assert relaxed.nsup <= fund.nsup
+
+    def test_permuted_matrix_spectrum_preserved(self, tiny_spd):
+        an = analyze(tiny_spd)
+        ev_orig = np.linalg.eigvalsh(tiny_spd.to_dense())
+        ev_perm = np.linalg.eigvalsh(an.a_perm.to_dense())
+        assert np.allclose(np.sort(ev_orig), np.sort(ev_perm))

@@ -1,0 +1,102 @@
+"""Unit tests for Algorithm 2 block partitioning (paper Fig. 1)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import grid_laplacian_2d, random_spd
+from repro.symbolic import (
+    AmalgamationOptions,
+    SymbolicL,
+    detect_supernodes,
+    partition_blocks,
+)
+
+
+def make_blocks(a, relaxed=False):
+    sym = SymbolicL(a.lower)
+    part = detect_supernodes(sym, AmalgamationOptions(enabled=relaxed))
+    return part, partition_blocks(part)
+
+
+class TestBlockInvariants:
+    def test_blocks_cover_struct_exactly(self, corner_case):
+        part, bp = make_blocks(corner_case)
+        for s in range(part.nsup):
+            covered = (np.concatenate([b.rows for b in bp.blocks[s]])
+                       if bp.blocks[s] else np.empty(0, np.int64))
+            assert np.array_equal(covered, part.structs[s])
+
+    def test_block_rows_within_target(self, corner_case):
+        part, bp = make_blocks(corner_case)
+        for s in range(part.nsup):
+            for b in bp.blocks[s]:
+                assert np.all(part.sn_of_col[b.rows] == b.tgt)
+
+    def test_targets_strictly_ascending(self, corner_case):
+        part, bp = make_blocks(corner_case)
+        for s in range(part.nsup):
+            tgts = [b.tgt for b in bp.blocks[s]]
+            assert tgts == sorted(tgts)
+            assert len(tgts) == len(set(tgts)), "one block per target"
+
+    def test_offsets_consistent(self, corner_case):
+        part, bp = make_blocks(corner_case)
+        for s in range(part.nsup):
+            pos = 0
+            for b in bp.blocks[s]:
+                assert b.offset == pos
+                pos += b.nrows
+
+    def test_src_recorded(self, corner_case):
+        _, bp = make_blocks(corner_case)
+        for s in range(bp.nsup):
+            for b in bp.blocks[s]:
+                assert b.src == s
+
+    def test_relaxed_partition_same_invariants(self):
+        a = grid_laplacian_2d(11, 11)
+        part, bp = make_blocks(a, relaxed=True)
+        for s in range(part.nsup):
+            covered = (np.concatenate([b.rows for b in bp.blocks[s]])
+                       if bp.blocks[s] else np.empty(0, np.int64))
+            assert np.array_equal(covered, part.structs[s])
+
+
+class TestUpdateTargetsExist:
+    """The fan-out update U[j,s,t] requires block B[j,t] to exist whenever
+    supernode s has blocks targeting both j and t (j >= t) — the symbolic
+    guarantee the task-graph builder relies on."""
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pairwise_targets_present(self, seed):
+        a = random_spd(40, density=0.12, seed=seed)
+        part, bp = make_blocks(a)
+        for s in range(part.nsup):
+            targets = bp.targets(s)
+            index = {b.tgt: b for b in bp.blocks[s]}
+            for bj, t in enumerate(targets):
+                for j in targets[bj + 1:]:
+                    tgt_block = next(
+                        (b for b in bp.blocks[t] if b.tgt == j), None)
+                    assert tgt_block is not None, f"B[{j},{t}] missing"
+                    # and the rows to scatter must all be present
+                    rows_j = index[j].rows
+                    assert np.isin(rows_j, tgt_block.rows).all()
+
+
+class TestAccessors:
+    def test_block_of_lookup(self, lap2d):
+        part, bp = make_blocks(lap2d)
+        for s in range(part.nsup):
+            for b in bp.blocks[s]:
+                assert bp.block_of(s, b.tgt) is b
+
+    def test_block_of_missing_raises(self, lap2d):
+        part, bp = make_blocks(lap2d)
+        with pytest.raises(KeyError):
+            bp.block_of(0, 10**6)
+
+    def test_n_blocks_counts_diagonals(self, lap2d):
+        part, bp = make_blocks(lap2d)
+        assert bp.n_blocks() == part.nsup + sum(
+            len(b) for b in bp.blocks)

@@ -1,0 +1,69 @@
+"""Cross-validation of the two column-count algorithms.
+
+The structure-merge counts (``column_counts``) and the Gilbert-Ng-Peyton
+skeleton counts (``column_counts_gnp``) are independent derivations of the
+same quantity; they must agree exactly on every input.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+import scipy.sparse as sp
+
+from repro.sparse import SymmetricCSC, lower_csc, random_spd, tridiagonal_spd
+from repro.symbolic import column_counts
+from repro.symbolic.colcounts import column_counts_gnp
+
+
+class TestAgainstStructureMerge:
+    def test_corner_cases(self, corner_case):
+        a = corner_case
+        assert np.array_equal(column_counts_gnp(a.lower),
+                              column_counts(a.lower))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_matrices(self, seed):
+        a = random_spd(40, density=0.1 + 0.05 * seed, seed=seed)
+        assert np.array_equal(column_counts_gnp(a.lower),
+                              column_counts(a.lower))
+
+    def test_tridiagonal_counts_exact(self):
+        a = tridiagonal_spd(12)
+        counts = column_counts_gnp(a.lower)
+        expected = np.r_[np.full(11, 2), 1]
+        assert np.array_equal(counts, expected)
+
+    def test_diagonal_all_ones(self):
+        a = SymmetricCSC.from_any(np.diag([1.0, 2.0, 3.0]))
+        assert np.array_equal(column_counts_gnp(a.lower), [1, 1, 1])
+
+    def test_dense_counts_descending(self):
+        g = np.random.default_rng(0).standard_normal((8, 8))
+        a = SymmetricCSC.from_any(g @ g.T + 8 * np.eye(8))
+        counts = column_counts_gnp(a.lower)
+        assert np.array_equal(counts, np.arange(8, 0, -1))
+
+
+@st.composite
+def spd_patterns(draw, max_n=22):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    density = draw(st.floats(min_value=0.0, max_value=0.6))
+    seed = draw(st.integers(min_value=0, max_value=2**31))
+    rng = np.random.default_rng(seed)
+    nnz = int(density * n * n)
+    i = rng.integers(0, n, nnz)
+    j = rng.integers(0, n, nnz)
+    m = sp.coo_matrix((np.ones(nnz), (i, j)), shape=(n, n)).tocsc()
+    m = m + m.T
+    a = m + sp.diags(np.asarray(m.sum(axis=1)).ravel() + 1.0)
+    return SymmetricCSC(lower_csc(a))
+
+
+class TestPropertyAgreement:
+    @given(a=spd_patterns())
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_always_agrees(self, a):
+        assert np.array_equal(column_counts_gnp(a.lower),
+                              column_counts(a.lower))

@@ -1,0 +1,121 @@
+"""Unit tests for the elimination tree."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import SymmetricCSC, lower_csc, random_spd, tridiagonal_spd
+from repro.symbolic import (
+    children_lists,
+    elimination_tree,
+    first_descendants,
+    is_valid_etree,
+    postorder,
+    tree_levels,
+)
+
+
+def brute_force_etree(a_dense):
+    """Reference etree via explicit dense symbolic factorization."""
+    n = a_dense.shape[0]
+    pattern = (a_dense != 0).astype(float)
+    # Symbolic right-looking factorization on the pattern.
+    for j in range(n):
+        rows = [i for i in range(j + 1, n) if pattern[i, j]]
+        for ii in rows:
+            for kk in rows:
+                if kk <= ii:
+                    pattern[ii, kk] = 1.0
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = [i for i in range(j + 1, n) if pattern[i, j]]
+        if below:
+            parent[j] = below[0]
+    return parent
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_matrices(self, seed):
+        a = random_spd(18, density=0.15, seed=seed)
+        parent = elimination_tree(a.lower)
+        expected = brute_force_etree(a.to_dense())
+        assert np.array_equal(parent, expected)
+
+    def test_counterexample_for_column_major_processing(self):
+        """A(2,0), A(5,0), A(4,2): parent of 2 must be 4, not 5.
+
+        Guards against the subtle bug where Liu's algorithm is run in
+        column-major instead of row-major order.
+        """
+        a = np.eye(6) * 10
+        for i, j in [(2, 0), (5, 0), (4, 2)]:
+            a[i, j] = a[j, i] = -1
+        parent = elimination_tree(lower_csc(a))
+        assert parent[0] == 2
+        assert parent[2] == 4
+        expected = brute_force_etree(a)
+        assert np.array_equal(parent, expected)
+
+    def test_tridiagonal_is_a_path(self):
+        a = tridiagonal_spd(10)
+        parent = elimination_tree(a.lower)
+        assert np.array_equal(parent[:-1], np.arange(1, 10))
+        assert parent[-1] == -1
+
+    def test_diagonal_matrix_is_forest_of_roots(self):
+        a = SymmetricCSC.from_any(np.diag([1.0, 2.0, 3.0]))
+        parent = elimination_tree(a.lower)
+        assert np.array_equal(parent, [-1, -1, -1])
+
+
+class TestTreeUtilities:
+    @pytest.fixture
+    def parent(self):
+        a = random_spd(25, density=0.12, seed=42)
+        return elimination_tree(a.lower)
+
+    def test_postorder_children_before_parents(self, parent):
+        post = postorder(parent)
+        rank = np.empty(parent.size, dtype=int)
+        rank[post] = np.arange(parent.size)
+        for v in range(parent.size):
+            if parent[v] != -1:
+                assert rank[v] < rank[parent[v]]
+
+    def test_postorder_is_permutation(self, parent):
+        post = postorder(parent)
+        assert sorted(post.tolist()) == list(range(parent.size))
+
+    def test_levels_parent_child_offset(self, parent):
+        level = tree_levels(parent)
+        for v in range(parent.size):
+            if parent[v] != -1:
+                assert level[v] == level[parent[v]] + 1
+            else:
+                assert level[v] == 0
+
+    def test_children_lists_inverse_of_parent(self, parent):
+        kids = children_lists(parent)
+        for p, children in enumerate(kids):
+            for c in children:
+                assert parent[c] == p
+
+    def test_first_descendants_bound(self, parent):
+        post = postorder(parent)
+        first = first_descendants(parent, post)
+        rank = np.empty(parent.size, dtype=int)
+        rank[post] = np.arange(parent.size)
+        for v in range(parent.size):
+            assert first[v] <= rank[v]
+
+    def test_is_valid_etree_accepts_real(self, parent):
+        assert is_valid_etree(parent)
+
+    def test_is_valid_etree_rejects_backward_parent(self):
+        assert not is_valid_etree(np.array([1, 0, -1]))
+
+    def test_postorder_rejects_cycle(self):
+        # parent[2] = 3, parent[3] = ... cannot build a cycle with
+        # parent > child constraint, so use an out-of-range forest check.
+        assert not is_valid_etree(np.array([5, -1, -1]))

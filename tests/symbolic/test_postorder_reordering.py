@@ -1,0 +1,70 @@
+"""Tests of the opt-in etree postordering (equivalent reordering)."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.ordering import Permutation, is_permutation
+from repro.sparse import bone_like, random_spd
+from repro.symbolic import analyze, elimination_tree, postorder
+
+
+class TestEquivalentReordering:
+    def test_fill_unchanged(self, corner_case):
+        plain = analyze(corner_case, postorder_etree=False)
+        posted = analyze(corner_case, postorder_etree=True)
+        assert plain.symbolic.nnz == posted.symbolic.nnz
+
+    def test_permutation_valid(self, corner_case):
+        posted = analyze(corner_case, postorder_etree=True)
+        assert is_permutation(posted.perm.perm)
+
+    def test_resulting_etree_is_postordered(self):
+        """After the reordering, every parent is visited after all of its
+        subtree: parent[j] > j AND the identity is already a postorder."""
+        a = random_spd(40, density=0.12, seed=11)
+        posted = analyze(a, postorder_etree=True)
+        parent = elimination_tree(posted.a_perm.lower)
+        post = postorder(parent)
+        # The etree of a postordered matrix has the property that the
+        # natural order is a valid postorder: descendants form intervals.
+        first = np.arange(parent.size)
+        for j in range(parent.size):
+            p = parent[j]
+            if p >= 0:
+                first[p] = min(first[p], first[j])
+        for j in range(parent.size):
+            p = parent[j]
+            if p >= 0:
+                # subtree of p is the contiguous interval [first[p], p]
+                assert first[p] <= j < p
+
+    def test_solver_correct_with_postordering(self, rng):
+        a = bone_like(scale=8, seed=1)
+        solver = SymPackSolver(a, SolverOptions(nranks=3, offload=CPU_ONLY))
+        # Re-run the analysis with postordering and swap it in.
+        solver.analysis = analyze(a, postorder_etree=True)
+        solver.factorize()
+        b = rng.standard_normal(a.n)
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_explicit_permutation_composes(self, rng):
+        a = random_spd(25, density=0.2, seed=3)
+        base = Permutation(rng.permutation(a.n))
+        posted = analyze(a, ordering=base, postorder_etree=True)
+        plain = analyze(a, ordering=base, postorder_etree=False)
+        assert plain.symbolic.nnz == posted.symbolic.nnz
+
+    def test_supernode_count_not_worse(self):
+        """Postordering makes subtrees contiguous; fundamental supernode
+        detection must not get worse on a scrambled ordering."""
+        a = random_spd(50, density=0.1, seed=7)
+        rng = np.random.default_rng(0)
+        scrambled = Permutation(rng.permutation(a.n))
+        from repro.symbolic import AmalgamationOptions
+        off = AmalgamationOptions(enabled=False)
+        plain = analyze(a, ordering=scrambled, amalgamation=off)
+        posted = analyze(a, ordering=scrambled, amalgamation=off,
+                         postorder_etree=True)
+        assert posted.nsup <= plain.nsup

@@ -1,0 +1,137 @@
+"""Unit tests for supernode detection and relaxed amalgamation."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import block_dense_spd, grid_laplacian_2d, random_spd, tridiagonal_spd
+from repro.symbolic import AmalgamationOptions, SymbolicL, detect_supernodes
+
+FUND = AmalgamationOptions(enabled=False)
+
+
+def fundamental(a):
+    return detect_supernodes(SymbolicL(a.lower), FUND)
+
+
+class TestPartitionInvariants:
+    def test_columns_covered_exactly_once(self, corner_case):
+        part = fundamental(corner_case)
+        n = corner_case.n
+        assert part.sn_start[0] == 0 and part.sn_start[-1] == n
+        assert np.all(np.diff(part.sn_start) >= 1)
+        for s in range(part.nsup):
+            assert np.all(part.sn_of_col[part.columns(s)] == s)
+
+    def test_struct_rows_below_supernode(self, corner_case):
+        part = fundamental(corner_case)
+        for s in range(part.nsup):
+            if part.structs[s].size:
+                assert part.structs[s].min() > part.last_col(s)
+                assert np.all(np.diff(part.structs[s]) > 0)  # sorted unique
+
+    def test_fundamental_columns_share_structure(self, corner_case):
+        """Within a fundamental supernode, struct(j) = {j..lc} U struct(sn)."""
+        sym = SymbolicL(corner_case.lower)
+        part = detect_supernodes(sym, FUND)
+        for s in range(part.nsup):
+            lc = part.last_col(s)
+            for j in part.columns(s):
+                expected = np.concatenate([np.arange(j, lc + 1),
+                                           part.structs[s]])
+                assert np.array_equal(sym.structs[j], expected)
+
+    def test_fundamental_introduces_no_zeros(self, corner_case):
+        part = fundamental(corner_case)
+        assert part.zeros_introduced == 0
+
+    def test_parent_supernode_consistent(self, corner_case):
+        part = fundamental(corner_case)
+        for s in range(part.nsup):
+            if part.structs[s].size:
+                assert part.parent_sn[s] == part.sn_of_col[part.structs[s][0]]
+                assert part.parent_sn[s] > s
+            else:
+                assert part.parent_sn[s] == -1
+
+
+class TestSpecificPartitions:
+    def test_dense_block_single_supernode(self):
+        a = block_dense_spd(1, 6)
+        part = fundamental(a)
+        assert part.nsup == 1
+        assert part.width(0) == 6
+
+    def test_chained_dense_blocks(self):
+        a = block_dense_spd(3, 5)
+        part = fundamental(a)
+        # Each dense block forms at most 2 supernodes (the chain coupling
+        # splits structure at the boundary columns).
+        assert part.nsup <= 6
+
+    def test_tridiagonal_all_singletons_merge_chain(self):
+        a = tridiagonal_spd(10)
+        part = fundamental(a)
+        # Tridiagonal: struct(j) = {j, j+1}; counts differ by 0 each step,
+        # so every column pair merges: count(j-1)=2, count(j)=2 -> no merge
+        # (needs count(j-1) == count(j)+1). Only the last pair merges.
+        assert part.nsup == 9
+        assert part.width(part.nsup - 1) == 2
+
+
+class TestAmalgamation:
+    def test_reduces_supernode_count(self):
+        a = grid_laplacian_2d(12, 12)
+        sym = SymbolicL(a.lower)
+        fund = detect_supernodes(sym, FUND)
+        relaxed = detect_supernodes(sym, AmalgamationOptions(
+            enabled=True, max_zeros_ratio=0.3, max_width=64))
+        assert relaxed.nsup <= fund.nsup
+        assert relaxed.zeros_introduced >= 0
+
+    def test_zero_budget_equals_fundamental(self, corner_case):
+        sym = SymbolicL(corner_case.lower)
+        fund = detect_supernodes(sym, FUND)
+        strict = detect_supernodes(sym, AmalgamationOptions(
+            enabled=True, max_zeros_ratio=0.0, max_width=10**9))
+        # With zero budget only free merges (no new zeros) happen; storage
+        # must not grow.
+        assert strict.factor_nnz() <= fund.factor_nnz()
+        assert strict.zeros_introduced == 0
+
+    def test_max_width_bounds_merges(self):
+        """max_width caps *merged* groups; fundamental supernodes wider
+        than the cap are left intact (splitting would add no benefit)."""
+        a = grid_laplacian_2d(10, 10)
+        sym = SymbolicL(a.lower)
+        fund_widths = np.diff(detect_supernodes(sym, FUND).sn_start)
+        part = detect_supernodes(sym, AmalgamationOptions(
+            enabled=True, max_zeros_ratio=1.0, max_width=8))
+        for w in np.diff(part.sn_start):
+            assert w <= max(8, fund_widths.max())
+
+    def test_struct_still_union_of_members(self):
+        a = grid_laplacian_2d(9, 9)
+        sym = SymbolicL(a.lower)
+        part = detect_supernodes(sym, AmalgamationOptions(
+            enabled=True, max_zeros_ratio=0.5, max_width=32))
+        for s in range(part.nsup):
+            lc = part.last_col(s)
+            expected = np.unique(np.concatenate(
+                [sym.structs[j][sym.structs[j] > lc]
+                 for j in part.columns(s)]))
+            assert np.array_equal(part.structs[s], expected)
+
+    def test_columns_still_partitioned(self, corner_case):
+        sym = SymbolicL(corner_case.lower)
+        part = detect_supernodes(sym, AmalgamationOptions(enabled=True))
+        assert part.sn_start[-1] == corner_case.n
+        widths = np.diff(part.sn_start)
+        assert widths.sum() == corner_case.n
+
+
+class TestFactorNnz:
+    def test_fundamental_matches_column_counts(self, corner_case):
+        """Fundamental supernodal storage (triangles) equals nnz(L)."""
+        sym = SymbolicL(corner_case.lower)
+        part = detect_supernodes(sym, FUND)
+        assert part.factor_nnz() == sym.nnz

@@ -1,0 +1,112 @@
+"""Tests of the ``python -m repro`` command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.sparse import random_spd, write_matrix_market, write_rutherford_boeing
+
+
+@pytest.fixture
+def mtx_file(tmp_path):
+    a = random_spd(30, density=0.15, seed=4)
+    path = tmp_path / "test.mtx"
+    write_matrix_market(path, a)
+    return str(path)
+
+
+@pytest.fixture
+def rb_file(tmp_path):
+    a = random_spd(25, density=0.2, seed=5)
+    path = tmp_path / "test.rb"
+    write_rutherford_boeing(path, a)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_subcommands_parse(self):
+        p = build_parser()
+        p.parse_args(["solve", "m.mtx"])
+        p.parse_args(["generate", "flan", "out.mtx"])
+        p.parse_args(["info", "m.mtx"])
+        p.parse_args(["bench", "table1"])
+        p.parse_args(["tune"])
+
+
+class TestSolve:
+    def test_solve_mtx(self, mtx_file, capsys):
+        rc = main(["solve", mtx_file, "--nranks", "2", "--no-gpu"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "relative residual" in out
+
+    def test_solve_rb(self, rb_file, capsys):
+        rc = main(["solve", rb_file, "--nranks", "2", "--no-gpu"])
+        assert rc == 0
+
+    def test_solve_other_machines(self, mtx_file):
+        for machine in ("frontier", "aurora"):
+            assert main(["solve", mtx_file, "--machine", machine]) == 0
+
+    def test_unsupported_format(self, tmp_path):
+        bad = tmp_path / "m.xyz"
+        bad.write_text("")
+        with pytest.raises(SystemExit):
+            main(["solve", str(bad)])
+
+
+class TestGenerateAndInfo:
+    def test_generate_then_info(self, tmp_path, capsys):
+        out_path = str(tmp_path / "gen.mtx")
+        assert main(["generate", "thermal", out_path, "--scale", "6"]) == 0
+        assert main(["info", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "nnz_L" in out
+
+    def test_generate_rb(self, tmp_path):
+        out_path = str(tmp_path / "gen.rb")
+        assert main(["generate", "bone", out_path, "--scale", "6"]) == 0
+        from repro.sparse import read_rutherford_boeing
+        a = read_rutherford_boeing(out_path)
+        assert a.n > 0
+
+
+class TestBench:
+    def test_table1(self, capsys):
+        assert main(["bench", "table1"]) == 0
+        assert "Flan_1565" in capsys.readouterr().out
+
+    def test_fig5(self, capsys):
+        assert main(["bench", "fig5"]) == 0
+        assert "native" in capsys.readouterr().out
+
+    def test_scaling_small(self, capsys):
+        assert main(["bench", "scaling", "--workload", "thermal",
+                     "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Factorization" in out and "Solve" in out
+
+    def test_scaling_export(self, tmp_path, capsys):
+        assert main(["bench", "scaling", "--workload", "thermal",
+                     "--nodes", "1", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "scaling_thermal_like_6000.csv").exists()
+        assert (tmp_path / "scaling_thermal_like_6000.json").exists()
+
+    def test_fig5_export(self, tmp_path):
+        assert main(["bench", "fig5", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "memory_kinds.csv").exists()
+
+
+class TestTune:
+    def test_analytical_only(self, capsys):
+        assert main(["tune"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical thresholds" in out
+
+    def test_with_matrix_sweep(self, mtx_file, capsys):
+        assert main(["tune", "--matrix", mtx_file, "--nranks", "2"]) == 0
+        assert "brute-force sweep" in capsys.readouterr().out

@@ -1,0 +1,75 @@
+"""Tests of the fan-both solver (the paper's predecessor algorithm [15])."""
+
+import numpy as np
+import pytest
+
+from repro import CPU_ONLY, SolverOptions, SymPackSolver
+from repro.sparse import grid_laplacian_2d, random_spd
+from repro.variants import FanBothOptions, FanBothSolver
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("nranks", [1, 2, 4, 6])
+    def test_solves_correctly(self, nranks, rng):
+        a = random_spd(35, density=0.15, seed=6)
+        b = rng.standard_normal(a.n)
+        solver = FanBothSolver(a, FanBothOptions(nranks=nranks))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_corner_cases(self, corner_case, rng):
+        b = rng.standard_normal(corner_case.n)
+        solver = FanBothSolver(corner_case, FanBothOptions(nranks=4))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-9
+
+    def test_same_factor_as_fanout(self, lap2d):
+        """Fan-both generalises fan-out: identical factors."""
+        fan_out = SymPackSolver(lap2d, SolverOptions(nranks=4,
+                                                     offload=CPU_ONLY))
+        fan_out.factorize()
+        fan_both = FanBothSolver(lap2d, FanBothOptions(nranks=4))
+        fan_both.factorize()
+        assert np.allclose(fan_out.storage.to_sparse_factor().toarray(),
+                           fan_both.storage.to_sparse_factor().toarray(),
+                           atol=1e-12)
+
+    @pytest.mark.parametrize("mapping", ["2d", "1d-col"])
+    def test_mapping_schemes(self, mapping, rng):
+        a = grid_laplacian_2d(10, 10)
+        b = rng.standard_normal(a.n)
+        solver = FanBothSolver(a, FanBothOptions(nranks=4, mapping=mapping))
+        solver.factorize()
+        x, _ = solver.solve(b)
+        assert solver.residual_norm(x, b) < 1e-10
+
+    def test_solve_before_factorize_raises(self, lap2d):
+        with pytest.raises(RuntimeError):
+            FanBothSolver(lap2d).solve(np.ones(lap2d.n))
+
+
+class TestBothMessageKinds:
+    def test_factors_and_aggregates_both_flow(self):
+        """The defining fan-both property (paper Section 2.3): 'two kinds
+        of messages can be exchanged ... factors and aggregate vectors.'"""
+        a = grid_laplacian_2d(14, 14)
+        solver = FanBothSolver(a, FanBothOptions(nranks=4))
+        from repro.core.storage import FactorStorage
+        graph = solver._build_graph(FactorStorage(solver.analysis))
+        factor_msgs = 0
+        aggregate_msgs = 0
+        for t in graph.tasks:
+            for m in t.messages:
+                if t.label.startswith(("D[", "F[")):
+                    factor_msgs += 1
+                else:
+                    aggregate_msgs += 1
+        assert factor_msgs > 0, "no factor messages"
+        assert aggregate_msgs > 0, "no aggregate-vector messages"
+
+    def test_single_rank_no_messages(self, lap2d):
+        solver = FanBothSolver(lap2d, FanBothOptions(nranks=1))
+        solver.factorize()
+        assert solver._world_stats.rpcs_sent == 0
