@@ -53,32 +53,32 @@ def run_families():
 
     fin = FanInSolver(a, FanInOptions(nranks=RANKS, ranks_per_node=4))
     r = fin.factorize()
-    x, st = fin.solve(b)
+    x, si2 = fin.solve(b)
     assert fin.residual_norm(x, b) < 1e-10
-    record("fan-in", r.makespan, st, fin._world_stats.rpcs_sent,
-           fin._world_stats.bytes_get, x)
+    record("fan-in", r.simulated_seconds, si2.simulated_seconds,
+           r.comm.rpcs_sent, r.comm.bytes_get, x)
 
     mf = MultifrontalSolver(a, MultifrontalOptions(nranks=RANKS,
                                                    ranks_per_node=4))
     r = mf.factorize()
-    x, st = mf.solve(b)
+    x, si2 = mf.solve(b)
     assert mf.residual_norm(x, b) < 1e-10
-    record("multifrontal", r.makespan, st, mf._world_stats.rpcs_sent,
-           mf._world_stats.bytes_get, x)
+    record("multifrontal", r.simulated_seconds, si2.simulated_seconds,
+           r.comm.rpcs_sent, r.comm.bytes_get, x)
 
     pas = PastixLikeSolver(a, PastixOptions(nranks=RANKS, ranks_per_node=4,
                                             offload=CPU_ONLY))
     r = pas.factorize()
-    x, st = pas.solve(b)
+    x, si2 = pas.solve(b)
     assert pas.residual_norm(x, b) < 1e-10
-    record("right-looking (PaStiX-like)", r.makespan, st,
-           pas._world_stats.rpcs_sent, pas._world_stats.bytes_get, x)
+    record("right-looking (PaStiX-like)", r.simulated_seconds,
+           si2.simulated_seconds, r.comm.rpcs_sent, r.comm.bytes_get, x)
 
     return rows, times, {
         "fanout_msgs": fi.comm.rpcs_sent,
         "fanout_bytes": fi.comm.bytes_get,
-        "fanin_msgs": fin._world_stats.rpcs_sent,
-        "fanin_bytes": fin._world_stats.bytes_get,
+        "fanin_msgs": fin.session.comm.rpcs_sent,
+        "fanin_bytes": fin.session.comm.bytes_get,
     }
 
 

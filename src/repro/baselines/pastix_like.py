@@ -23,25 +23,17 @@ parallelisation strategy and its simulated cost differ.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
-import scipy.linalg as la
 
+from ..core.base import CommonOptions, SolverBase
+from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
+from ..kernels.dispatch import ExecContext, KernelCall
 from ..machine.model import MachineModel
-from ..machine.perlmutter import perlmutter
 from ..pgas.network import MemoryKindsMode
-from ..pgas.runtime import World
-from ..sparse.csc import SymmetricCSC
-from ..symbolic.analysis import SymbolicAnalysis, analyze
-from ..symbolic.supernodes import AmalgamationOptions
-from ..core.engine import FanOutEngine
-from ..core.offload import OffloadPolicy
-from ..core.storage import FactorStorage
-from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
-from ..core.tracing import ExecutionTrace
 
 __all__ = ["PastixOptions", "PastixLikeSolver"]
 
@@ -59,16 +51,10 @@ _MPI_SEND_OCCUPANCY_S = 3.0e-6
 
 
 @dataclass(frozen=True)
-class PastixOptions:
-    """Configuration of a PaStiX-like run (subset of SolverOptions)."""
+class PastixOptions(CommonOptions):
+    """Configuration of a PaStiX-like run (staged device transfers)."""
 
-    nranks: int = 1
-    ranks_per_node: int = 1
-    ordering: str = "scotch_like"
-    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
-    machine: MachineModel = field(default_factory=perlmutter)
-    offload: OffloadPolicy = field(default_factory=OffloadPolicy)
-    device_capacity: int | None = None
+    memory_kinds: MemoryKindsMode = MemoryKindsMode.REFERENCE
 
     def tuned_machine(self) -> MachineModel:
         """Machine model with StarPU/MPI-style overheads applied.
@@ -84,7 +70,7 @@ class PastixOptions:
         )
 
 
-class PastixLikeSolver:
+class PastixLikeSolver(SolverBase):
     """Right-looking supernodal SPD solver (the paper's baseline).
 
     Shares the symbolic phase with the fan-out solver (the paper applies
@@ -92,58 +78,30 @@ class PastixLikeSolver:
     granularity, communication pattern and device-transfer path.
     """
 
-    def __init__(self, a: SymmetricCSC, options: PastixOptions | None = None):
-        self.options = options or PastixOptions()
-        self.a = a
-        self.analysis: SymbolicAnalysis = analyze(
-            a, ordering=self.options.ordering,
-            amalgamation=self.options.amalgamation,
-        )
-        self.storage: FactorStorage | None = None
-        self.trace = ExecutionTrace()
-        self._factorized = False
-
-    # ------------------------------------------------------------ plumbing
+    options_cls = PastixOptions
 
     def _owner(self, s: int) -> int:
         """1D supernode-cyclic ownership."""
         return s % self.options.nranks
 
-    def _new_world(self) -> World:
-        opts = self.options
-        capacity = opts.device_capacity
-        if capacity is None and opts.offload.enabled:
-            sharers = max(1, -(-opts.ranks_per_node
-                               // opts.machine.gpus_per_node))
-            capacity = opts.machine.gpu_mem_bytes // sharers
-        return World(
-            nranks=opts.nranks,
-            machine=self.options.tuned_machine(),
-            ranks_per_node=opts.ranks_per_node,
-            mode=MemoryKindsMode.REFERENCE,  # no GDR memory kinds in PaStiX
-            device_capacity=capacity if opts.offload.enabled else None,
-        )
+    def _session_machine(self) -> MachineModel:
+        """The session runs on the StarPU/MPI-overhead-tuned machine."""
+        return self.options.tuned_machine()
 
     # ---------------------------------------------------------- task graph
 
-    def _build_factor_graph(self, storage: FactorStorage) -> TaskGraph:
+    def _build_factor_graph(self) -> TaskGraph:
         """Right-looking panel DAG: PANEL_s then aggregated UPDATE_{s,t}."""
         analysis = self.analysis
         part = analysis.supernodes
         blocks = analysis.blocks
-        graph = TaskGraph()
+        storage = self.storage
+        graph = TaskGraph(context=ExecContext(storage=storage))
 
         panel_task: list[SimTask] = [None] * part.nsup  # type: ignore
         for s in range(part.nsup):
             w = part.width(s)
-            diag = storage.diag_block(s)
-            panel = storage.panels[s]
-            m = panel.shape[0]
-
-            def run_panel(diag=diag, panel=panel):
-                diag[:, :] = np.tril(kd.potrf(diag))
-                if panel.shape[0]:
-                    panel[:, :] = kd.trsm_right_lower_trans(panel, diag)
+            m = storage.panels[s].shape[0]
 
             panel_task[s] = graph.new_task(
                 kind=TaskKind.FACTOR,
@@ -152,7 +110,7 @@ class PastixLikeSolver:
                 flops=kf.potrf_flops(w) + kf.trsm_flops(m, w),
                 buffer_elems=max((m + w) * w, 1),
                 operand_bytes=(m + w) * w * _F64,
-                run=run_panel,
+                kernel=KernelCall("panel_factor", (s,)),
                 label=f"PANEL[{s}]",
                 in_buffers=[(("panel", s), (m + w) * w * _F64)],
                 out_buffers=[(("panel", s), (m + w) * w * _F64)],
@@ -181,12 +139,13 @@ class PastixLikeSolver:
                 for bi in range(bj, len(blist)):
                     row_blk = blist[bi]
                     j = row_blk.tgt
-                    src_rows = storage.off_block(s, bi)
-                    src_cols = storage.off_block(s, bj)
+                    a_rows = ("blk", s, bi)
+                    a_cols = ("blk", s, bj)
                     if j == t:
-                        tgt_arr = storage.diag_block(t)
                         rpos = row_blk.rows - fc_t
                         flops += kf.syrk_flops(col_blk.nrows, w)
+                        actions.append(("syrk", ("diag", t), a_cols, None,
+                                        rpos, col_pos, -1.0))
                     else:
                         tb = block_index[t].get(j)
                         if tb is None:
@@ -194,22 +153,13 @@ class PastixLikeSolver:
                                 f"missing target block B[{j},{t}]"
                             )
                         tgt_blk = blocks.blocks[t][tb]
-                        tgt_arr = storage.off_block(t, tb)
                         rpos = np.searchsorted(tgt_blk.rows, row_blk.rows)
                         flops += kf.gemm_flops(row_blk.nrows,
                                                col_blk.nrows, w)
-                    actions.append((tgt_arr, src_rows, src_cols, rpos,
-                                    col_pos, j == t))
+                        actions.append(("gemm", ("blk", t, tb), a_rows,
+                                        a_cols, rpos, col_pos, -1.0))
                     max_buf = max(max_buf, row_blk.nrows * w,
                                   col_blk.nrows * w)
-
-                def run_update(actions=actions):
-                    for tgt, rows_a, cols_a, rpos, cpos, is_diag in actions:
-                        if is_diag:
-                            tgt[np.ix_(rpos, cpos)] -= kd.syrk_lower(cols_a)
-                        else:
-                            tgt[np.ix_(rpos, cpos)] -= kd.gemm_nt(rows_a,
-                                                                  cols_a)
 
                 ut = graph.new_task(
                     kind=TaskKind.UPDATE,
@@ -218,7 +168,7 @@ class PastixLikeSolver:
                     flops=flops,
                     buffer_elems=max_buf,
                     operand_bytes=2 * max_buf * _F64,
-                    run=run_update,
+                    kernel=KernelCall("multi_update", (tuple(actions),)),
                     label=f"UPD[{s}->{t}]",
                     in_buffers=[(("panel", s),
                                  (storage.panels[s].shape[0] + w) * w * _F64)],
@@ -243,30 +193,23 @@ class PastixLikeSolver:
                 ))
         return graph
 
-    def _build_solve_graph(self, storage: FactorStorage, rhs: np.ndarray,
-                           forward: bool) -> TaskGraph:
+    def _build_solve_graphs(self, rhs: np.ndarray
+                            ) -> tuple[TaskGraph, TaskGraph]:
+        """PaStiX's 1D right-looking solve DAGs replace the 2D defaults."""
+        return (self._build_solve_graph(rhs, forward=True),
+                self._build_solve_graph(rhs, forward=False))
+
+    def _build_solve_graph(self, rhs: np.ndarray, forward: bool) -> TaskGraph:
         """1D right-looking triangular solve DAG."""
         part = self.analysis.supernodes
         blocks = self.analysis.blocks
         nrhs = rhs.shape[1]
-        graph = TaskGraph()
+        graph = TaskGraph(context=ExecContext(storage=self.storage, rhs=rhs))
         solve_task: list[SimTask] = [None] * part.nsup  # type: ignore
 
         for s in range(part.nsup):
             fc, lc = part.first_col(s), part.last_col(s)
             w = lc - fc + 1
-            diag = storage.diag_block(s)
-
-            if forward:
-                def run_s(diag=diag, fc=fc, lc=lc):
-                    rhs[fc : lc + 1] = la.solve_triangular(
-                        diag, rhs[fc : lc + 1], lower=True,
-                        check_finite=False)
-            else:
-                def run_s(diag=diag, fc=fc, lc=lc):
-                    rhs[fc : lc + 1] = la.solve_triangular(
-                        diag.T, rhs[fc : lc + 1], lower=False,
-                        check_finite=False)
 
             # PaStiX's distributed solve replicates each supernode's
             # solution piece across the job (solve-vector assembly); with
@@ -280,7 +223,7 @@ class PastixLikeSolver:
                 flops=kf.trsv_flops(w, nrhs),
                 buffer_elems=w * w,
                 operand_bytes=w * w * _F64,
-                run=run_s,
+                kernel=KernelCall("trsv", (s, fc, lc, forward)),
                 label=("FWD" if forward else "BWD") + f"[{s}]",
                 priority=float(s if forward else -s),
                 send_fanout=self.options.nranks - 1,
@@ -290,16 +233,12 @@ class PastixLikeSolver:
             fc, lc = part.first_col(s), part.last_col(s)
             w = lc - fc + 1
             for bi, blk in enumerate(blocks.blocks[s]):
-                view = storage.off_block(s, bi)
-                rows = blk.rows
                 j = blk.tgt
                 if forward:
-                    def run_u(view=view, rows=rows, fc=fc, lc=lc):
-                        rhs[rows] -= view @ rhs[fc : lc + 1]
+                    kernel = KernelCall("gemv_fwd", (s, bi, blk.rows, fc, lc))
                     src, dst = solve_task[s], solve_task[j]
                 else:
-                    def run_u(view=view, rows=rows, fc=fc, lc=lc):
-                        rhs[fc : lc + 1] -= view.T @ rhs[rows]
+                    kernel = KernelCall("gemv_bwd", (s, bi, blk.rows, fc, lc))
                     src, dst = solve_task[j], solve_task[s]
 
                 # Right-looking 1D: the owner of the *source* supernode
@@ -311,7 +250,7 @@ class PastixLikeSolver:
                     flops=kf.gemv_flops(blk.nrows, w, nrhs),
                     buffer_elems=blk.nrows * w,
                     operand_bytes=blk.nrows * w * _F64,
-                    run=run_u,
+                    kernel=kernel,
                     label=f"SUP[{j},{s}]",
                     priority=float(s),
                 )
@@ -323,6 +262,7 @@ class PastixLikeSolver:
     @staticmethod
     def _wire(graph: TaskGraph, producer: SimTask, consumer: SimTask,
               nbytes: int) -> None:
+        """Add a local edge or a single-consumer message between tasks."""
         if producer.rank == consumer.rank:
             graph.add_dependency(producer, consumer)
             return
@@ -330,43 +270,3 @@ class PastixLikeSolver:
                                             nbytes=nbytes,
                                             consumers=[consumer.tid]))
         consumer.deps += 1
-
-    # ------------------------------------------------------------- numeric
-
-    def factorize(self):
-        """Numeric right-looking factorization; returns (makespan, trace)."""
-        self.storage = FactorStorage(self.analysis)
-        world = self._new_world()
-        graph = self._build_factor_graph(self.storage)
-        engine = FanOutEngine(world, graph, self.options.offload,
-                              trace=self.trace)
-        result = engine.run()
-        self._factorized = True
-        self._world_stats = world.stats
-        return result
-
-    def solve(self, b: np.ndarray):
-        """Solve ``A x = b``; returns ``(x, total_simulated_seconds)``."""
-        if not self._factorized or self.storage is None:
-            raise RuntimeError("call factorize() before solve()")
-        b = np.asarray(b, dtype=np.float64)
-        squeeze = b.ndim == 1
-        rhs = b.reshape(self.a.n, -1).copy()
-        rhs = rhs[self.analysis.perm.perm]
-        total = 0.0
-        for forward in (True, False):
-            world = self._new_world()
-            graph = self._build_solve_graph(self.storage, rhs, forward)
-            engine = FanOutEngine(world, graph, self.options.offload,
-                                  trace=self.trace)
-            total += engine.run().makespan
-        x = rhs[self.analysis.perm.iperm]
-        if squeeze:
-            x = x.ravel()
-        return x, total
-
-    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
-        """Relative residual ``||A x - b|| / ||b||``."""
-        r = self.a.full() @ x - b
-        denom = float(np.linalg.norm(b))
-        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

@@ -102,11 +102,11 @@ def _best_pastix(a: SymmetricCSC, b: np.ndarray, nodes: int,
             nranks=nodes * ppn, ranks_per_node=ppn, offload=offload,
         ))
         fr = solver.factorize()
-        x, solve_s = solver.solve(b)
+        x, si = solver.solve(b)
         point = ScalingPoint(
             nodes=nodes, ranks=nodes * ppn, ranks_per_node=ppn,
-            factor_seconds=fr.makespan,
-            solve_seconds=solve_s,
+            factor_seconds=fr.simulated_seconds,
+            solve_seconds=si.simulated_seconds,
             residual=solver.residual_norm(x, b),
         )
         if best is None or point.factor_seconds < best.factor_seconds:

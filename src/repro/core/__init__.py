@@ -6,7 +6,9 @@ from .autotune import (
     analytical_thresholds,
     autotune_thresholds,
 )
-from .engine import EngineResult, FanOutEngine
+from .base import CommonOptions, SolverBase
+from .engine import EngineResult, FanOutEngine, Scheduling
+from .session import ExecutionSession, RunResult
 from .mapping import ProcessMap, block_cyclic_2d, column_cyclic_1d, make_map, row_cyclic_1d
 from .offload import CPU_ONLY, DEFAULT_THRESHOLDS, OffloadPolicy
 from .refine import RefinementResult, refine_solution
@@ -47,8 +49,13 @@ __all__ = [
     "diagnose_solve",
     "factor_reconstruction_error",
     "normwise_backward_error",
+    "CommonOptions",
+    "SolverBase",
     "EngineResult",
     "FanOutEngine",
+    "Scheduling",
+    "ExecutionSession",
+    "RunResult",
     "ProcessMap",
     "block_cyclic_2d",
     "column_cyclic_1d",

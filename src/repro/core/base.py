@@ -1,0 +1,288 @@
+"""Shared solver base: one options dataclass + one factorize/solve flow
+for all five solver families.
+
+:class:`CommonOptions` is the configuration surface every family shares
+(the fan-out :class:`~repro.core.solver.SolverOptions`, the variant and
+baseline options all subclass it, overriding only their own defaults).
+:class:`SolverBase` implements the uniform API — ``factorize()``,
+``solve()``, ``residual_norm()``, ``factor_sparse()`` — on top of the
+:class:`~repro.core.session.ExecutionSession`; a family only provides its
+factor-graph builder (and, optionally, its solve mapping or solve-graph
+builder).  Benches and the paper's Section 2.3 taxonomy comparison can
+therefore treat every family identically.
+
+Task graphs are built once and cached: repeated ``factorize()`` calls
+(the PEXSI pattern) reset the factor storage and the graph's execution
+context, then replay the same graph — yielding bit-identical factors and
+simulated timings each time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..kernels.dispatch import ExecContext
+from ..machine.model import MachineModel
+from ..machine.perlmutter import perlmutter
+from ..pgas.device_kinds import DeviceKind
+from ..pgas.network import MemoryKindsMode
+from ..pgas.runtime import CommStats
+from ..sparse.csc import SymmetricCSC
+from ..sparse.validate import check_finite, probable_spd
+from ..symbolic.analysis import SymbolicAnalysis, analyze
+from ..symbolic.supernodes import AmalgamationOptions
+from .engine import Scheduling
+from .mapping import ProcessMap, column_cyclic_1d
+from .offload import OffloadPolicy
+from .session import ExecutionSession
+from .storage import FactorStorage
+from .tasks import TaskGraph
+from .tracing import ExecutionTrace
+from .triangular import build_backward_graph, build_forward_graph
+
+__all__ = ["CommonOptions", "FactorizeInfo", "SolveInfo", "SolverBase"]
+
+
+@dataclass(frozen=True)
+class CommonOptions:
+    """Options shared by every solver family.
+
+    Attributes
+    ----------
+    nranks:
+        Number of simulated UPC++ processes.
+    ranks_per_node:
+        Processes per node (the paper sweeps this and reports the best).
+    ordering:
+        Fill-reducing ordering name (default Scotch-like nested dissection).
+    amalgamation:
+        Supernode relaxation options.
+    machine:
+        Node performance model (default: Perlmutter GPU node).
+    memory_kinds:
+        Native (GPUDirect RDMA) or reference (staged) device transfers.
+    offload:
+        GPU offload policy (thresholds; ``OffloadPolicy(enabled=False)``
+        for CPU-only runs).
+    scheduling:
+        RTQ policy: ``fifo`` (paper default) or ``priority``; validated
+        through :class:`~repro.core.engine.Scheduling`.
+    device_capacity:
+        Device segment bytes per process; ``None`` derives an equal split
+        of GPU memory among the processes sharing each device.
+    device_kind:
+        UPC++ memory-kinds device flavour (``cuda_device`` /
+        ``hip_device`` / ``ze_device``); pair with the matching machine
+        model (:func:`repro.machine.frontier` for HIP, etc.).
+    keep_timeline:
+        Record the full per-task timeline in the trace.
+    """
+
+    nranks: int = 1
+    ranks_per_node: int = 1
+    ordering: str = "scotch_like"
+    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
+    machine: MachineModel = field(default_factory=perlmutter)
+    memory_kinds: MemoryKindsMode = MemoryKindsMode.NATIVE
+    offload: OffloadPolicy = field(default_factory=OffloadPolicy)
+    scheduling: str = "fifo"
+    device_capacity: int | None = None
+    device_kind: DeviceKind = DeviceKind.CUDA
+    keep_timeline: bool = False
+
+    def __post_init__(self) -> None:
+        Scheduling(self.scheduling)  # raises ValueError on unknown policy
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        if self.ranks_per_node < 1:
+            raise ValueError(
+                f"ranks_per_node must be >= 1, got {self.ranks_per_node}")
+
+    def resolved_device_capacity(self) -> int | None:
+        """Per-process device segment size (the recommended equal split)."""
+        if not self.offload.enabled:
+            return None
+        if self.device_capacity is not None:
+            return self.device_capacity
+        sharers = max(1, -(-self.ranks_per_node // self.machine.gpus_per_node))
+        return self.machine.gpu_mem_bytes // sharers
+
+
+@dataclass
+class FactorizeInfo:
+    """Result metadata of one numeric factorization."""
+
+    simulated_seconds: float
+    trace: ExecutionTrace
+    comm: CommStats
+    tasks: int
+    rank_busy: list[float]
+
+
+@dataclass
+class SolveInfo:
+    """Result metadata of one triangular solve (forward + backward)."""
+
+    simulated_seconds: float
+    trace: ExecutionTrace
+    comm: CommStats
+    tasks: int
+
+
+class SolverBase:
+    """Uniform factorize/solve plumbing over an :class:`ExecutionSession`.
+
+    Subclasses set ``options_cls`` and implement ``_build_factor_graph``;
+    everything else — input validation, symbolic analysis, session and
+    trace wiring, graph caching, solve orchestration, residuals — is
+    shared.
+
+    Parameters
+    ----------
+    a:
+        Symmetric positive definite matrix.
+    options:
+        Family options; defaults to ``options_cls()``.
+    """
+
+    options_cls: type[CommonOptions] = CommonOptions
+
+    def __init__(self, a: SymmetricCSC, options: CommonOptions | None = None):
+        self.options = options if options is not None else self.options_cls()
+        check_finite(a)
+        if not probable_spd(a):
+            raise ValueError(
+                "matrix has non-positive diagonal entries; not SPD"
+            )
+        self.a = a
+        self.analysis: SymbolicAnalysis = analyze(
+            a, ordering=self.options.ordering,
+            amalgamation=self.options.amalgamation,
+        )
+        self.session = ExecutionSession.from_options(
+            self.options, machine=self._session_machine())
+        self.storage: FactorStorage | None = None
+        self._factor_graph: TaskGraph | None = None
+        # Solve graphs cached per right-hand-side count:
+        # nrhs -> (forward graph, backward graph, rhs buffer).
+        self._solve_graphs: dict[int, tuple[TaskGraph, TaskGraph, np.ndarray]] = {}
+        self._factorized = False
+
+    # ------------------------------------------------------- family hooks
+
+    def _session_machine(self) -> MachineModel:
+        """Machine model the session runs on (baselines may tune it)."""
+        return self.options.machine
+
+    def _build_factor_graph(self) -> TaskGraph:
+        """Build the family's factorization DAG over ``self.storage``."""
+        raise NotImplementedError
+
+    def _prepare_storage(self) -> None:
+        """Per-run storage fixup hook (multifrontal blanks the blocks)."""
+
+    def _solve_pmap(self) -> ProcessMap:
+        """Process map of the standard triangular-solve graphs."""
+        return column_cyclic_1d(self.options.nranks)
+
+    def _build_solve_graphs(self, rhs: np.ndarray
+                            ) -> tuple[TaskGraph, TaskGraph]:
+        """Forward and backward solve DAGs over the factor storage."""
+        pmap = self._solve_pmap()
+        fwd = build_forward_graph(self.analysis, self.storage, pmap, rhs)
+        bwd = build_backward_graph(self.analysis, self.storage, pmap, rhs)
+        return fwd, bwd
+
+    # ----------------------------------------------------------- numerics
+
+    @property
+    def trace(self) -> ExecutionTrace:
+        """The session-accumulated execution trace."""
+        return self.session.trace
+
+    def factorize(self) -> FactorizeInfo:
+        """Numeric Cholesky factorization ``P A P^T = L L^T``.
+
+        Re-entrant: the task graph is built on the first call and
+        *reused* afterwards — each later call resets the factor storage
+        from ``A`` and the graph's execution context, then replays the
+        identical graph (the repeated-factorization pattern of
+        PEXSI-style applications).
+        """
+        if self._factor_graph is None:
+            self.storage = FactorStorage(self.analysis)
+            self._prepare_storage()
+            self._factor_graph = self._build_factor_graph()
+            if self._factor_graph.context is None:
+                self._factor_graph.context = ExecContext(storage=self.storage)
+        else:
+            self.storage.reset()
+            self._prepare_storage()
+            self._factor_graph.context.fresh_run()
+        run = self.session.run(self._factor_graph)
+        self._factorized = True
+        return FactorizeInfo(
+            simulated_seconds=run.makespan,
+            trace=run.trace,
+            comm=run.comm,
+            tasks=run.tasks_total,
+            rank_busy=run.rank_busy,
+        )
+
+    def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveInfo]:
+        """Solve ``A x = b`` using the computed factor.
+
+        ``b`` may be a vector or an ``(n, nrhs)`` matrix.  Returns the
+        solution in the original (unpermuted) ordering plus solve
+        metadata.  Solve graphs are cached per ``nrhs``.
+        """
+        if not self._factorized or self.storage is None:
+            raise RuntimeError("call factorize() before solve()")
+        b = np.asarray(b, dtype=np.float64)
+        squeeze = b.ndim == 1
+        vals = b.reshape(self.a.n, -1)
+        nrhs = vals.shape[1]
+
+        cached = self._solve_graphs.get(nrhs)
+        if cached is None:
+            rhs = np.empty((self.a.n, nrhs))
+            fwd, bwd = self._build_solve_graphs(rhs)
+            for g in (fwd, bwd):
+                if g.context is None:
+                    g.context = ExecContext(storage=self.storage, rhs=rhs)
+            cached = self._solve_graphs[nrhs] = (fwd, bwd, rhs)
+        fwd, bwd, rhs = cached
+        rhs[:, :] = vals[self.analysis.perm.perm]
+
+        total_time = 0.0
+        total_tasks = 0
+        comm = CommStats()
+        for graph in (fwd, bwd):
+            graph.context.fresh_run()
+            run = self.session.run(graph)
+            total_time += run.makespan
+            total_tasks += run.tasks_total
+            comm += run.comm
+
+        x = rhs[self.analysis.perm.iperm].copy()
+        if squeeze:
+            x = x.ravel()
+        info = SolveInfo(simulated_seconds=total_time, trace=self.trace,
+                         comm=comm, tasks=total_tasks)
+        return x, info
+
+    # ------------------------------------------------------------ queries
+
+    def factor_sparse(self):
+        """The factor ``L`` (permuted ordering) as a SciPy CSC matrix."""
+        if self.storage is None:
+            raise RuntimeError("call factorize() first")
+        return self.storage.to_sparse_factor()
+
+    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
+        """Relative residual ``||A x - b|| / ||b||``."""
+        r = self.a.full() @ x - b
+        denom = float(np.linalg.norm(b))
+        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

@@ -16,8 +16,12 @@ paradigm (Section 3.4, Figures 3–4) event-for-event:
 5. the rank picks the next task from the RTQ and executes it — on CPU or
    GPU according to the per-operation offload thresholds.
 
-Numerics are executed for real when a task runs; time, placement and
-communication are simulated against the machine model.
+Numerics are real but *deferred*: each task's declarative
+:class:`~repro.kernels.dispatch.KernelCall` is submitted to a
+:class:`~repro.kernels.dispatch.KernelExecutor` at its simulated start and
+the whole run is flushed — in exact start order, batched by op — once the
+simulation drains.  Time, placement and communication are simulated
+against the machine model.
 """
 
 from __future__ import annotations
@@ -25,7 +29,9 @@ from __future__ import annotations
 import heapq
 from collections import deque
 from dataclasses import dataclass, field
+from enum import Enum
 
+from ..kernels.dispatch import KernelExecutor
 from ..pgas.device import DeviceOutOfMemory, OomFallback
 from ..pgas.device_kinds import vendor_libraries
 from ..pgas.network import MemoryKindsMode, MemorySpace
@@ -34,7 +40,21 @@ from .offload import OffloadPolicy
 from .tasks import OutMessage, SimTask, TaskGraph
 from .tracing import ExecutionTrace
 
-__all__ = ["EngineResult", "FanOutEngine"]
+__all__ = ["EngineResult", "FanOutEngine", "Scheduling"]
+
+
+class Scheduling(str, Enum):
+    """RTQ scheduling discipline shared by solver options and the engine.
+
+    ``FIFO`` is the paper default ("whichever one is at the top of the
+    queue"); ``PRIORITY`` pops the lowest ``task.priority`` first (the
+    paper leaves policy exploration to future work).  Constructing the
+    enum from an unknown string raises ``ValueError``, so it doubles as
+    the single validation point.
+    """
+
+    FIFO = "fifo"
+    PRIORITY = "priority"
 
 
 @dataclass
@@ -64,16 +84,20 @@ class FanOutEngine:
         Simulated PGAS job (ranks, network, devices).
     graph:
         The task DAG; ``deps`` counters must be consistent
-        (``graph.validate()`` is called).
+        (``graph.validate()`` is called).  The graph is read-only during
+        execution — message pointers live in the engine's in-flight
+        notifications, never on the graph — so the same graph can be run
+        again by a fresh engine.
     policy:
         GPU offload policy.
     scheduling:
-        RTQ discipline: ``"fifo"`` (paper default — "whichever one is at
-        the top of the queue") or ``"priority"`` (lowest ``task.priority``
-        first; the paper leaves policy exploration to future work).
+        A :class:`Scheduling` value or its string name.
     trace:
         Optional pre-existing trace to accumulate into (so factorization
         and solve can share counters, as in paper Figure 6).
+    executor:
+        Optional pre-built kernel executor; by default one is created
+        over ``graph.context``.
     """
 
     def __init__(
@@ -81,24 +105,32 @@ class FanOutEngine:
         world: World,
         graph: TaskGraph,
         policy: OffloadPolicy,
-        scheduling: str = "fifo",
+        scheduling: str | Scheduling = Scheduling.FIFO,
         trace: ExecutionTrace | None = None,
+        executor: KernelExecutor | None = None,
     ) -> None:
         graph.validate()
-        if scheduling not in ("fifo", "priority"):
-            raise ValueError(f"unknown scheduling policy {scheduling!r}")
         self.world = world
         self.graph = graph
         self.policy = policy
-        self.scheduling = scheduling
+        self.scheduling = Scheduling(scheduling)
         self.trace = trace if trace is not None else ExecutionTrace()
+        self.executor = (executor if executor is not None
+                         else KernelExecutor(graph.context, trace=self.trace))
+        if self.executor.trace is None:
+            self.executor.trace = self.trace
 
         n_ranks = world.nranks
         self._remaining = [t.deps for t in graph.tasks]
         self._rtq_fifo: list[deque[int]] = [deque() for _ in range(n_ranks)]
         self._rtq_heap: list[list[tuple[float, int]]] = [[] for _ in range(n_ranks)]
         self._busy = [False] * n_ranks
-        self._notifications: list[list[OutMessage]] = [[] for _ in range(n_ranks)]
+        # In-flight notifications per destination rank: (message, ptr)
+        # pairs, the ptr being the payload's global pointer registered by
+        # the producer at send time.
+        self._notifications: list[list[tuple[OutMessage, object]]] = [
+            [] for _ in range(n_ranks)
+        ]
         self._device_resident: list[set] = [set() for _ in range(n_ranks)]
         self._executed = [False] * len(graph.tasks)
         self._done_count = 0
@@ -107,19 +139,19 @@ class FanOutEngine:
 
     def _push_ready(self, tid: int) -> None:
         task = self.graph.tasks[tid]
-        if self.scheduling == "fifo":
+        if self.scheduling == Scheduling.FIFO:
             self._rtq_fifo[task.rank].append(tid)
         else:
             heapq.heappush(self._rtq_heap[task.rank], (task.priority, tid))
 
     def _pop_ready(self, rank: int) -> int | None:
-        if self.scheduling == "fifo":
+        if self.scheduling == Scheduling.FIFO:
             queue = self._rtq_fifo[rank]
             return queue.popleft() if queue else None
         heap = self._rtq_heap[rank]
         return heapq.heappop(heap)[1] if heap else None
 
-    def _decrement(self, tid: int, now: float) -> None:
+    def _decrement(self, tid: int) -> None:
         self._remaining[tid] -= 1
         if self._remaining[tid] == 0:
             self._push_ready(tid)
@@ -130,9 +162,9 @@ class FanOutEngine:
 
     # ------------------------------------------------------------- protocol
 
-    def _signal_handler(self, payload: OutMessage) -> None:
-        """The RPC body: enqueue (ptr, meta) for the poll loop (Fig. 4 step 3)."""
-        self._notifications[payload.dst_rank].append(payload)
+    def _signal_handler(self, payload: tuple[OutMessage, object]) -> None:
+        """The RPC body: enqueue (meta, ptr) for the poll loop (Fig. 4 step 3)."""
+        self._notifications[payload[0].dst_rank].append(payload)
 
     def _poll(self, rank: int, now: float) -> None:
         """Steps 2–5 of Figure 4: progress RPCs, then issue gets."""
@@ -141,7 +173,7 @@ class FanOutEngine:
         if not pending:
             return
         self._notifications[rank] = []
-        for msg in pending:
+        for msg, ptr in pending:
             dst_space = MemorySpace.HOST
             if (
                 msg.gpu_block
@@ -158,20 +190,16 @@ class FanOutEngine:
                 if dst_space is MemorySpace.DEVICE and msg.key is not None:
                     self._device_resident[rank].add(msg.key)
                 for tid in msg.consumers:
-                    self._decrement(tid, done_t)
+                    self._decrement(tid)
                 self._try_schedule(rank, done_t)
 
-            self._issue_get(rank, msg, now, dst_space, on_complete)
-
-    def _issue_get(self, rank, msg, now, dst_space, on_complete) -> None:
-        ptr = msg._ptr  # attached by the producer at send time
-        self.world.rma_get(rank, ptr, now, dst_space=dst_space,
-                           on_complete=on_complete)
+            self.world.rma_get(rank, ptr, now, dst_space=dst_space,
+                               on_complete=on_complete)
 
     # ------------------------------------------------------------ execution
 
-    def _task_duration(self, task: SimTask, rank: int, now: float) -> float:
-        """Simulated execution time; updates placement counters."""
+    def _place_task(self, task: SimTask, rank: int) -> tuple[str, float]:
+        """Device placement and simulated duration of one task."""
         machine = self.world.machine
         device = "cpu"
         if self.policy.wants_gpu(task.op, task.buffer_elems):
@@ -221,8 +249,7 @@ class FanOutEngine:
             for key, _ in task.out_buffers:
                 self._device_resident[rank].discard(key)
 
-        self.trace.ops.record(rank, task.op, device, task.flops)
-        return duration
+        return device, duration
 
     def _try_schedule(self, rank: int, now: float) -> None:
         """Poll, then start the next ready task if the rank is idle."""
@@ -234,8 +261,10 @@ class FanOutEngine:
             return
         task = self.graph.tasks[tid]
         self._busy[rank] = True
-        task.run()  # real numerics; dependencies already satisfied
-        duration = self._task_duration(task, rank, now)
+        device, duration = self._place_task(task, rank)
+        # Numerics are deferred: submission order is task start order, so
+        # the flushed execution is dependency-respecting.
+        self.executor.submit(task, rank, device)
         end = now + duration
         self.world.ranks[rank].busy_time += duration
         self.trace.record_task(now, end, rank, task.label)
@@ -254,7 +283,8 @@ class FanOutEngine:
 
         # Local dependents.
         for child in task.local_consumers:
-            self._decrement(child, now)
+            self._decrement(child)
+        # Newly-ready local tasks are picked up by _try_schedule below.
 
         # Remote fan-out: one signal RPC per destination rank.  The sender
         # serialises message initiations (send occupancy); one-sided RMA
@@ -269,7 +299,7 @@ class FanOutEngine:
                      and any(k in self._device_resident[rank]
                              for k, _ in task.out_buffers)
                      else MemorySpace.HOST)
-            msg._ptr = self.world.register_bytes(rank, msg.nbytes, space)
+            ptr = self.world.register_bytes(rank, msg.nbytes, space)
             if task.send_fanout:
                 # Deterministic broadcast slot of this destination rank.
                 slot = (msg.dst_rank - rank) % nranks - 1
@@ -277,7 +307,7 @@ class FanOutEngine:
                 slot = idx
             send_t = now + (slot + 1) * occ
             self.world.rpc(
-                rank, msg.dst_rank, self._signal_handler, msg, send_t,
+                rank, msg.dst_rank, self._signal_handler, (msg, ptr), send_t,
                 on_delivered=lambda t, dst=msg.dst_rank: self._try_schedule(dst, t),
             )
 
@@ -318,6 +348,9 @@ class FanOutEngine:
                 f"engine finished with {len(self.graph.tasks) - self._done_count}"
                 f" unexecuted tasks (protocol deadlock?); first stuck: {stuck}"
             )
+        # The simulation has fixed the execution order; now run the real
+        # numerics, batched.  Exceptions (e.g. non-SPD pivots) surface here.
+        self.executor.flush()
         busy = [r.busy_time for r in self.world.ranks]
         return EngineResult(
             makespan=self.world.makespan(),

@@ -1,0 +1,135 @@
+"""The execution-session layer: one place that owns world construction,
+engine invocation, trace plumbing and communication-statistics
+accumulation for **every** solver family.
+
+Historically each solver (fan-out, fan-in, fan-both, multifrontal,
+PaStiX-like) hand-copied its own ``_new_world()`` and engine-run block;
+:class:`ExecutionSession` replaces all five.  A session is created once
+per solver from its options and then :meth:`run` is called once per graph
+execution (factorization, forward solve, backward solve, ...): each run
+gets a fresh simulated :class:`~repro.pgas.runtime.World` (stateless
+hardware), while the :class:`~repro.core.tracing.ExecutionTrace` and the
+session-level :class:`~repro.pgas.runtime.CommStats` accumulate across
+runs — matching the paper's Figure 6 reporting, where factorization and
+solve share one counter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..machine.model import MachineModel
+from ..pgas.device_kinds import DeviceKind
+from ..pgas.network import MemoryKindsMode
+from ..pgas.runtime import CommStats, World
+from .engine import FanOutEngine, Scheduling
+from .offload import OffloadPolicy
+from .tasks import TaskGraph
+from .tracing import ExecutionTrace
+
+__all__ = ["RunResult", "ExecutionSession"]
+
+
+@dataclass
+class RunResult:
+    """Outcome of one graph execution through a session."""
+
+    makespan: float
+    tasks_total: int
+    rank_busy: list[float]
+    comm: CommStats          # this run's communication counters
+    trace: ExecutionTrace    # the session-accumulated trace
+
+    @property
+    def load_imbalance(self) -> float:
+        """max/mean busy-time ratio (1.0 = perfect balance)."""
+        if not self.rank_busy or max(self.rank_busy) == 0:
+            return 1.0
+        mean = sum(self.rank_busy) / len(self.rank_busy)
+        return max(self.rank_busy) / mean if mean > 0 else 1.0
+
+
+class ExecutionSession:
+    """Owns the simulated-execution plumbing shared by all solver families.
+
+    Parameters mirror the distributed-run subset of
+    :class:`~repro.core.base.CommonOptions`; use :meth:`from_options` to
+    derive a session from any options object.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        machine: MachineModel,
+        ranks_per_node: int = 1,
+        memory_kinds: MemoryKindsMode = MemoryKindsMode.NATIVE,
+        offload: OffloadPolicy | None = None,
+        scheduling: str | Scheduling = Scheduling.FIFO,
+        device_capacity: int | None = None,
+        device_kind: DeviceKind = DeviceKind.CUDA,
+        keep_timeline: bool = False,
+    ) -> None:
+        self.nranks = nranks
+        self.machine = machine
+        self.ranks_per_node = ranks_per_node
+        self.memory_kinds = memory_kinds
+        self.offload = offload if offload is not None else OffloadPolicy()
+        self.scheduling = Scheduling(scheduling)
+        self.device_capacity = device_capacity
+        self.device_kind = device_kind
+        self.trace = ExecutionTrace(keep_timeline=keep_timeline)
+        self.comm = CommStats()  # accumulated across all runs
+        self.runs = 0
+
+    @classmethod
+    def from_options(cls, options, machine: MachineModel | None = None
+                     ) -> "ExecutionSession":
+        """Build a session from a :class:`~repro.core.base.CommonOptions`.
+
+        ``machine`` overrides the options' machine model (used by the
+        PaStiX-like baseline to apply StarPU/MPI-style overheads).
+        """
+        return cls(
+            nranks=options.nranks,
+            machine=machine if machine is not None else options.machine,
+            ranks_per_node=options.ranks_per_node,
+            memory_kinds=options.memory_kinds,
+            offload=options.offload,
+            scheduling=options.scheduling,
+            device_capacity=options.resolved_device_capacity(),
+            device_kind=options.device_kind,
+            keep_timeline=options.keep_timeline,
+        )
+
+    # ----------------------------------------------------------- execution
+
+    def _new_world(self) -> World:
+        """Fresh simulated PGAS job for one graph execution.
+
+        This is the single world-construction point of the code base; the
+        solver families never build worlds themselves.
+        """
+        return World(
+            nranks=self.nranks,
+            machine=self.machine,
+            ranks_per_node=self.ranks_per_node,
+            mode=self.memory_kinds,
+            device_capacity=self.device_capacity,
+            device_kind=self.device_kind,
+        )
+
+    def run(self, graph: TaskGraph) -> RunResult:
+        """Execute one task graph on a fresh world; accumulate stats."""
+        world = self._new_world()
+        engine = FanOutEngine(world, graph, self.offload,
+                              scheduling=self.scheduling, trace=self.trace)
+        result = engine.run()
+        self.comm += world.stats
+        self.runs += 1
+        return RunResult(
+            makespan=result.makespan,
+            tasks_total=result.tasks_total,
+            rank_busy=result.rank_busy,
+            comm=world.stats,
+            trace=self.trace,
+        )

@@ -2,9 +2,10 @@
 
 The public entry point of the reproduction: analyze once, factorize, then
 solve any number of right-hand sides — with every run executed through the
-simulated PGAS runtime so it reports both *verified numerics* (real
-Cholesky factors, real solutions) and *simulated distributed-memory
-timings* (what the run would cost on the modeled machine).
+shared :class:`~repro.core.session.ExecutionSession` so it reports both
+*verified numerics* (real Cholesky factors, real solutions) and
+*simulated distributed-memory timings* (what the run would cost on the
+modeled machine).
 
 Quickstart::
 
@@ -19,110 +20,37 @@ Quickstart::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from ..machine.model import MachineModel
-from ..machine.perlmutter import perlmutter
-from ..pgas.device_kinds import DeviceKind
-from ..pgas.network import MemoryKindsMode
-from ..pgas.runtime import CommStats, World
 from ..sparse.csc import SymmetricCSC
-from ..sparse.validate import check_finite, probable_spd
-from ..symbolic.analysis import SymbolicAnalysis, analyze
-from ..symbolic.supernodes import AmalgamationOptions
-from .engine import FanOutEngine
+from .base import CommonOptions, FactorizeInfo, SolveInfo, SolverBase
 from .mapping import ProcessMap, make_map
-from .offload import OffloadPolicy
-from .storage import FactorStorage
 from .taskgraph import build_factor_graph
-from .tracing import ExecutionTrace
-from .triangular import build_backward_graph, build_forward_graph
+from .tasks import TaskGraph
 
 __all__ = ["SolverOptions", "FactorizeInfo", "SolveInfo", "SymPackSolver",
            "solve_spd"]
 
 
 @dataclass(frozen=True)
-class SolverOptions:
-    """Configuration of a symPACK-style run.
+class SolverOptions(CommonOptions):
+    """Configuration of a symPACK-style (fan-out) run.
+
+    Extends :class:`~repro.core.base.CommonOptions` with the fan-out
+    block-to-process mapping scheme.
 
     Attributes
     ----------
-    nranks:
-        Number of simulated UPC++ processes.
-    ranks_per_node:
-        Processes per node (the paper sweeps this and reports the best).
-    ordering:
-        Fill-reducing ordering name (default Scotch-like nested dissection).
-    amalgamation:
-        Supernode relaxation options.
-    machine:
-        Node performance model (default: Perlmutter GPU node).
-    memory_kinds:
-        Native (GPUDirect RDMA) or reference (staged) device transfers.
-    offload:
-        GPU offload policy (thresholds; ``OffloadPolicy(enabled=False)``
-        for CPU-only runs).
     mapping:
         Block-to-process mapping scheme: ``2d`` / ``1d-col`` / ``1d-row``.
-    scheduling:
-        RTQ policy: ``fifo`` (paper default) or ``priority``.
-    device_capacity:
-        Device segment bytes per process; ``None`` derives an equal split
-        of GPU memory among the processes sharing each device.
-    device_kind:
-        UPC++ memory-kinds device flavour (``cuda_device`` /
-        ``hip_device`` / ``ze_device``); pair with the matching machine
-        model (:func:`repro.machine.frontier` for HIP, etc.).
     """
 
-    nranks: int = 1
-    ranks_per_node: int = 1
-    ordering: str = "scotch_like"
-    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
-    machine: MachineModel = field(default_factory=perlmutter)
-    memory_kinds: MemoryKindsMode = MemoryKindsMode.NATIVE
-    offload: OffloadPolicy = field(default_factory=OffloadPolicy)
     mapping: str = "2d"
-    scheduling: str = "fifo"
-    device_capacity: int | None = None
-    device_kind: DeviceKind = DeviceKind.CUDA
-    keep_timeline: bool = False
-
-    def resolved_device_capacity(self) -> int | None:
-        """Per-process device segment size (the recommended equal split)."""
-        if not self.offload.enabled:
-            return None
-        if self.device_capacity is not None:
-            return self.device_capacity
-        sharers = max(1, -(-self.ranks_per_node // self.machine.gpus_per_node))
-        return self.machine.gpu_mem_bytes // sharers
 
 
-@dataclass
-class FactorizeInfo:
-    """Result metadata of one numeric factorization."""
-
-    simulated_seconds: float
-    trace: ExecutionTrace
-    comm: CommStats
-    tasks: int
-    rank_busy: list[float]
-
-
-@dataclass
-class SolveInfo:
-    """Result metadata of one triangular solve (forward + backward)."""
-
-    simulated_seconds: float
-    trace: ExecutionTrace
-    comm: CommStats
-    tasks: int
-
-
-class SymPackSolver:
+class SymPackSolver(SolverBase):
     """Sparse SPD solver with fan-out distributed factorization.
 
     Parameters
@@ -133,112 +61,21 @@ class SymPackSolver:
         Run configuration; defaults to a single-rank Perlmutter-node model.
     """
 
+    options_cls = SolverOptions
+
     def __init__(self, a: SymmetricCSC, options: SolverOptions | None = None):
-        self.options = options or SolverOptions()
-        check_finite(a)
-        if not probable_spd(a):
-            raise ValueError(
-                "matrix has non-positive diagonal entries; not SPD"
-            )
-        self.a = a
-        self.analysis: SymbolicAnalysis = analyze(
-            a, ordering=self.options.ordering,
-            amalgamation=self.options.amalgamation,
-        )
+        super().__init__(a, options)
         self.pmap: ProcessMap = make_map(self.options.nranks,
                                          self.options.mapping)
-        self.storage: FactorStorage | None = None
-        self.trace = ExecutionTrace(keep_timeline=self.options.keep_timeline)
-        self._factorized = False
 
-    # ------------------------------------------------------------ plumbing
+    def _build_factor_graph(self) -> TaskGraph:
+        """The fan-out factorization DAG (paper Sections 3.2–3.3)."""
+        return build_factor_graph(self.analysis, self.storage, self.pmap,
+                                  self.options.offload)
 
-    def _new_world(self) -> World:
-        opts = self.options
-        return World(
-            nranks=opts.nranks,
-            machine=opts.machine,
-            ranks_per_node=opts.ranks_per_node,
-            mode=opts.memory_kinds,
-            device_capacity=opts.resolved_device_capacity(),
-            device_kind=opts.device_kind,
-        )
-
-    # ------------------------------------------------------------- numeric
-
-    def factorize(self) -> FactorizeInfo:
-        """Numeric Cholesky factorization ``P A P^T = L L^T``.
-
-        Re-entrant: each call resets the factor storage from ``A`` (the
-        repeated-factorization pattern of PEXSI-style applications).
-        """
-        self.storage = FactorStorage(self.analysis)
-        world = self._new_world()
-        graph = build_factor_graph(self.analysis, self.storage, self.pmap,
-                                   self.options.offload)
-        engine = FanOutEngine(world, graph, self.options.offload,
-                              scheduling=self.options.scheduling,
-                              trace=self.trace)
-        result = engine.run()
-        self._factorized = True
-        return FactorizeInfo(
-            simulated_seconds=result.makespan,
-            trace=result.trace,
-            comm=world.stats,
-            tasks=result.tasks_total,
-            rank_busy=result.rank_busy,
-        )
-
-    def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveInfo]:
-        """Solve ``A x = b`` using the computed factor.
-
-        ``b`` may be a vector or an ``(n, nrhs)`` matrix.  Returns the
-        solution in the original (unpermuted) ordering plus solve metadata.
-        """
-        if not self._factorized or self.storage is None:
-            raise RuntimeError("call factorize() before solve()")
-        b = np.asarray(b, dtype=np.float64)
-        squeeze = b.ndim == 1
-        rhs = b.reshape(self.a.n, -1).copy()
-        rhs = rhs[self.analysis.perm.perm]  # permuted ordering
-
-        total_time = 0.0
-        total_tasks = 0
-        comm = CommStats()
-        for builder in (build_forward_graph, build_backward_graph):
-            world = self._new_world()
-            graph = builder(self.analysis, self.storage, self.pmap, rhs)
-            engine = FanOutEngine(world, graph, self.options.offload,
-                                  scheduling=self.options.scheduling,
-                                  trace=self.trace)
-            result = engine.run()
-            total_time += result.makespan
-            total_tasks += result.tasks_total
-            for name in vars(comm):
-                setattr(comm, name, getattr(comm, name)
-                        + getattr(world.stats, name))
-
-        x = rhs[self.analysis.perm.iperm]
-        if squeeze:
-            x = x.ravel()
-        info = SolveInfo(simulated_seconds=total_time, trace=self.trace,
-                         comm=comm, tasks=total_tasks)
-        return x, info
-
-    # ------------------------------------------------------------- queries
-
-    def factor_sparse(self):
-        """The factor ``L`` (permuted ordering) as a SciPy CSC matrix."""
-        if self.storage is None:
-            raise RuntimeError("call factorize() first")
-        return self.storage.to_sparse_factor()
-
-    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
-        """Relative residual ``||A x - b|| / ||b||`` (dense-free)."""
-        full = self.a.full()
-        r = full @ x - b
-        denom = float(np.linalg.norm(b))
-        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)
+    def _solve_pmap(self) -> ProcessMap:
+        """Triangular solves reuse the factorization's process map."""
+        return self.pmap
 
 
 def solve_spd(a: SymmetricCSC, b: np.ndarray,

@@ -29,15 +29,39 @@ class FactorStorage:
         self.diag: list[np.ndarray] = []
         self.panels: list[np.ndarray] = []
         self.block_views: list[list[np.ndarray]] = []
-        a = analysis.a_perm.lower
+
+        for s in range(part.nsup):
+            fc, lc = part.first_col(s), part.last_col(s)
+            w = lc - fc + 1
+            struct = part.structs[s]
+            panel = np.zeros((struct.size, w), dtype=dtype)
+            self.diag.append(np.zeros((w, w), dtype=dtype))
+            self.panels.append(panel)
+            views = []
+            for b in analysis.blocks.blocks[s]:
+                views.append(panel[b.offset : b.offset + b.nrows, :])
+            self.block_views.append(views)
+        self.reset()
+
+    def reset(self) -> None:
+        """Re-initialise the blocks with the entries of the permuted ``A``.
+
+        Factor tasks overwrite the storage in place, so re-running a
+        factorization graph (the PEXSI repeated-factorization pattern)
+        only needs this reset — the panel views stay valid.
+        """
+        part = self.analysis.supernodes
+        a = self.analysis.a_perm.lower
         indptr, indices, data = a.indptr, a.indices, a.data
 
         for s in range(part.nsup):
             fc, lc = part.first_col(s), part.last_col(s)
             w = lc - fc + 1
             struct = part.structs[s]
-            diag = np.zeros((w, w), dtype=dtype)
-            panel = np.zeros((struct.size, w), dtype=dtype)
+            diag = self.diag[s]
+            panel = self.panels[s]
+            diag[:, :] = 0.0
+            panel[:, :] = 0.0
             for c in range(w):
                 j = fc + c
                 lo, hi = indptr[j], indptr[j + 1]
@@ -54,12 +78,6 @@ class FactorStorage:
                             f"supernode {s}"
                         )
                     panel[pos, c] = vals[~in_diag]
-            self.diag.append(diag)
-            self.panels.append(panel)
-            views = []
-            for b in analysis.blocks.blocks[s]:
-                views.append(panel[b.offset : b.offset + b.nrows, :])
-            self.block_views.append(views)
 
     # ------------------------------------------------------------- access
 

@@ -13,6 +13,11 @@ blocks; ``U → F/D`` of the updated block.  All ``U → F/D`` edges are local
 by construction (the update runs where the target block lives), so the
 only communication is the fan-out of factorized blocks, each sent at most
 once per destination rank.
+
+Each task carries a declarative :class:`~repro.kernels.dispatch.KernelCall`
+whose operands are symbolic references into the graph's
+:class:`~repro.kernels.dispatch.ExecContext`, so the built graph holds no
+array pointers and can be executed repeatedly.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import numpy as np
 
 from ..kernels import dense as kd
 from ..kernels import flops as kf
+from ..kernels.dispatch import ExecContext, KernelCall
 from ..symbolic.analysis import SymbolicAnalysis
 from .mapping import ProcessMap
 from .offload import OffloadPolicy
@@ -50,13 +56,13 @@ def build_factor_graph(
 ) -> TaskGraph:
     """Construct the complete fan-out factorization DAG.
 
-    The returned graph's ``run`` callables mutate ``storage`` in place;
+    The returned graph's kernel calls mutate ``storage`` in place;
     executing the graph in any dependency-respecting order leaves the
     Cholesky factor in ``storage``.
     """
     part = analysis.supernodes
     blocks = analysis.blocks
-    graph = TaskGraph()
+    graph = TaskGraph(context=ExecContext(storage=storage))
 
     d_task: list[SimTask] = [None] * part.nsup  # type: ignore[list-item]
     f_task: dict[tuple[int, int], SimTask] = {}  # (s, bi) -> task
@@ -64,10 +70,6 @@ def build_factor_graph(
     # ---------------------------------------------------------------- D, F
     for s in range(part.nsup):
         w = part.width(s)
-        diag = storage.diag_block(s)
-
-        def run_d(diag=diag):
-            diag[:, :] = np.tril(kd.potrf(diag))
 
         d_task[s] = graph.new_task(
             kind=TaskKind.DIAG,
@@ -76,7 +78,7 @@ def build_factor_graph(
             flops=kf.potrf_flops(w),
             buffer_elems=w * w,
             operand_bytes=w * w * _F64,
-            run=run_d,
+            kernel=KernelCall("potrf_diag", (s,)),
             label=f"D[{s}]",
             in_buffers=[(_diag_key(s), w * w * _F64)],
             out_buffers=[(_diag_key(s), w * w * _F64)],
@@ -84,11 +86,7 @@ def build_factor_graph(
         )
 
         for bi, blk in enumerate(blocks.blocks[s]):
-            view = storage.off_block(s, bi)
             m = blk.nrows
-
-            def run_f(view=view, diag=diag):
-                view[:, :] = kd.trsm_right_lower_trans(view, diag)
 
             f_task[(s, bi)] = graph.new_task(
                 kind=TaskKind.FACTOR,
@@ -97,7 +95,7 @@ def build_factor_graph(
                 flops=kf.trsm_flops(m, w),
                 buffer_elems=max(m * w, w * w),
                 operand_bytes=(m * w + w * w) * _F64,
-                run=run_f,
+                kernel=KernelCall("trsm_block", (s, bi)),
                 label=f"F[{blk.tgt},{s}]",
                 in_buffers=[(_block_key(s, bi), m * w * _F64),
                             (_diag_key(s), w * w * _F64)],
@@ -142,24 +140,20 @@ def build_factor_graph(
             for bi in range(bj, len(blist)):
                 row_blk = blist[bi]
                 j = row_blk.tgt
-                src_rows = storage.off_block(s, bi)
-                src_cols = storage.off_block(s, bj)
                 m, k = row_blk.nrows, col_blk.nrows
 
                 if j == t:
                     # SYRK into the diagonal block of t.
-                    tgt_arr = storage.diag_block(t)
                     rpos = row_blk.rows - fc_t
-                    cpos = col_pos
                     op = kd.OP_SYRK
                     flops = kf.syrk_flops(k, w)
                     tgt_key = _diag_key(t)
-                    tgt_bytes = tgt_arr.nbytes
+                    tgt_bytes = part.width(t) ** 2 * _F64
                     rank = pmap(t, t)
                     downstream = d_task[t]
-
-                    def run_u(tgt=tgt_arr, a=src_rows, r=rpos, c=cpos):
-                        tgt[np.ix_(r, c)] -= kd.syrk_lower(a)
+                    kernel = KernelCall(
+                        "syrk_sub",
+                        (tgt_key, _block_key(s, bi), rpos, col_pos, -1.0))
                 else:
                     # GEMM into block B[j, t]: locate it in supernode t.
                     tb_index = block_index[t].get(j)
@@ -169,23 +163,21 @@ def build_factor_graph(
                             f"for update from supernode {s}"
                         )
                     tgt_blk = blocks.blocks[t][tb_index]
-                    tgt_arr = storage.off_block(t, tb_index)
                     rpos = np.searchsorted(tgt_blk.rows, row_blk.rows)
                     if not np.array_equal(tgt_blk.rows[rpos], row_blk.rows):
                         raise RuntimeError(
                             f"update rows of B[{j},{s}] missing from B[{j},{t}]"
                         )
-                    cpos = col_pos
                     op = kd.OP_GEMM
                     flops = kf.gemm_flops(m, k, w)
                     tgt_key = _block_key(t, tb_index)
-                    tgt_bytes = tgt_arr.nbytes
+                    tgt_bytes = tgt_blk.nrows * part.width(t) * _F64
                     rank = pmap(j, t)
                     downstream = f_task[(t, tb_index)]
-
-                    def run_u(tgt=tgt_arr, a=src_rows, b=src_cols,
-                              r=rpos, c=cpos):
-                        tgt[np.ix_(r, c)] -= kd.gemm_nt(a, b)
+                    kernel = KernelCall(
+                        "gemm_sub",
+                        (tgt_key, _block_key(s, bi), _block_key(s, bj),
+                         rpos, col_pos, -1.0))
 
                 ut = graph.new_task(
                     kind=TaskKind.UPDATE,
@@ -195,7 +187,7 @@ def build_factor_graph(
                     buffer_elems=max(m * w, k * w, m * k),
                     operand_bytes=(m * w + (0 if bi == bj else k * w)
                                    + m * k) * _F64,
-                    run=run_u,
+                    kernel=kernel,
                     label=f"U[{j},{s},{t}]",
                     in_buffers=[(_block_key(s, bi), m * w * _F64),
                                 (_block_key(s, bj), k * w * _F64),

@@ -8,14 +8,18 @@ same machinery with ``FWD``/``BWD`` (per-supernode solves) and
 
 A :class:`SimTask` is the unit of scheduling: statically mapped to a rank,
 carrying a dependency counter, a cost descriptor (op + dims + buffer
-bytes) for the machine model, and a ``run`` callable performing the real
-numeric work when the simulated task executes.
+bytes) for the machine model, and a declarative
+:class:`~repro.kernels.dispatch.KernelCall` naming the real numeric work.
+Tasks never hold closures or live array pointers, so a built
+:class:`TaskGraph` (plus its :class:`~repro.kernels.dispatch.ExecContext`)
+can be executed any number of times.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+
+from ..kernels.dispatch import NOOP, ExecContext, KernelCall
 
 __all__ = ["TaskKind", "OutMessage", "SimTask", "TaskGraph"]
 
@@ -40,6 +44,10 @@ class OutMessage:
     needs this payload (the factorized block is sent once per rank, not
     once per consumer) — matching the paper's notification protocol.
 
+    Messages are pure graph structure: the engine attaches the global
+    pointer of the payload to the in-flight notification itself (not to
+    this object), so executing a graph leaves it unmodified and reusable.
+
     Attributes
     ----------
     dst_rank:
@@ -62,8 +70,6 @@ class OutMessage:
     # Buffer key of the payload; when the get lands in device memory the
     # key becomes device-resident at the destination rank.
     key: object = None
-    # Global pointer attached by the producer at send time (engine detail).
-    _ptr: object = None
 
 
 @dataclass
@@ -87,8 +93,9 @@ class SimTask:
         paper's per-operation offload thresholds inspect.
     operand_bytes:
         Bytes that must be device-resident to run the task on the GPU.
-    run:
-        Numeric action; executed exactly once, when the task runs.
+    kernel:
+        Declarative numeric action; executed exactly once per graph run
+        through the :class:`~repro.kernels.dispatch.KernelExecutor`.
     local_consumers:
         Task ids on the *same* rank depending on this task.
     messages:
@@ -106,7 +113,7 @@ class SimTask:
     flops: float
     buffer_elems: int
     operand_bytes: int
-    run: Callable[[], None]
+    kernel: KernelCall = NOOP
     local_consumers: list[int] = field(default_factory=list)
     messages: list[OutMessage] = field(default_factory=list)
     deps: int = 0
@@ -127,9 +134,15 @@ class SimTask:
 
 @dataclass
 class TaskGraph:
-    """A complete distributed task DAG plus bookkeeping totals."""
+    """A complete distributed task DAG plus bookkeeping totals.
+
+    ``context`` is the :class:`~repro.kernels.dispatch.ExecContext` the
+    tasks' kernel calls resolve operands against; re-running a graph only
+    requires resetting the context, never rebuilding the tasks.
+    """
 
     tasks: list[SimTask] = field(default_factory=list)
+    context: ExecContext | None = None
 
     def new_task(self, **kwargs) -> SimTask:
         """Append a task, assigning its id."""

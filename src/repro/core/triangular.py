@@ -9,15 +9,20 @@ Forward tasks: ``FWD_s`` (dense triangular solve of supernode ``s``'s
 diagonal block, on ``map(s, s)``) and ``FUP_{j,s}`` (the contribution of
 block ``B[j, s]`` to the rows of supernode ``j``, on ``map(j, s)``).
 Backward tasks mirror them against ``L^T``.
+
+Tasks carry declarative ``trsv`` / ``gemv_fwd`` / ``gemv_bwd``
+:class:`~repro.kernels.dispatch.KernelCall` descriptors; the graph's
+context binds the factor storage and the reusable rhs buffer, so the
+same solve graph replays for every new right-hand side.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg as la
 
 from ..kernels import dense as kd
 from ..kernels import flops as kf
+from ..kernels.dispatch import ExecContext, KernelCall
 from ..symbolic.analysis import SymbolicAnalysis
 from .mapping import ProcessMap
 from .storage import FactorStorage
@@ -41,18 +46,12 @@ def build_forward_graph(
     part = analysis.supernodes
     blocks = analysis.blocks
     nrhs = rhs.shape[1]
-    graph = TaskGraph()
+    graph = TaskGraph(context=ExecContext(storage=storage, rhs=rhs))
 
     fwd: list[SimTask] = [None] * part.nsup  # type: ignore[list-item]
     for s in range(part.nsup):
         fc, lc = part.first_col(s), part.last_col(s)
         w = lc - fc + 1
-        diag = storage.diag_block(s)
-
-        def run_fwd(diag=diag, fc=fc, lc=lc):
-            rhs[fc : lc + 1] = la.solve_triangular(
-                diag, rhs[fc : lc + 1], lower=True, check_finite=False
-            )
 
         fwd[s] = graph.new_task(
             kind=TaskKind.FWD,
@@ -61,7 +60,7 @@ def build_forward_graph(
             flops=kf.trsv_flops(w, nrhs),
             buffer_elems=w * w,
             operand_bytes=(w * w + w * nrhs) * _F64,
-            run=run_fwd,
+            kernel=KernelCall("trsv", (s, fc, lc, True)),
             label=f"FWD[{s}]",
             in_buffers=[(("diag", s), w * w * _F64)],
             priority=float(s),
@@ -71,12 +70,7 @@ def build_forward_graph(
         fc, lc = part.first_col(s), part.last_col(s)
         w = lc - fc + 1
         for bi, blk in enumerate(blocks.blocks[s]):
-            view = storage.off_block(s, bi)
-            rows = blk.rows
             j = blk.tgt
-
-            def run_fup(view=view, rows=rows, fc=fc, lc=lc):
-                rhs[rows] -= view @ rhs[fc : lc + 1]
 
             fup = graph.new_task(
                 kind=TaskKind.FUP,
@@ -85,7 +79,7 @@ def build_forward_graph(
                 flops=kf.gemv_flops(blk.nrows, w, nrhs),
                 buffer_elems=blk.nrows * w,
                 operand_bytes=(blk.nrows * w + (w + blk.nrows) * nrhs) * _F64,
-                run=run_fup,
+                kernel=KernelCall("gemv_fwd", (s, bi, blk.rows, fc, lc)),
                 label=f"FUP[{j},{s}]",
                 in_buffers=[(("blk", s, bi), blk.nrows * w * _F64)],
                 priority=float(s),
@@ -106,18 +100,12 @@ def build_backward_graph(
     part = analysis.supernodes
     blocks = analysis.blocks
     nrhs = rhs.shape[1]
-    graph = TaskGraph()
+    graph = TaskGraph(context=ExecContext(storage=storage, rhs=rhs))
 
     bwd: list[SimTask] = [None] * part.nsup  # type: ignore[list-item]
     for s in range(part.nsup):
         fc, lc = part.first_col(s), part.last_col(s)
         w = lc - fc + 1
-        diag = storage.diag_block(s)
-
-        def run_bwd(diag=diag, fc=fc, lc=lc):
-            rhs[fc : lc + 1] = la.solve_triangular(
-                diag.T, rhs[fc : lc + 1], lower=False, check_finite=False
-            )
 
         bwd[s] = graph.new_task(
             kind=TaskKind.BWD,
@@ -126,7 +114,7 @@ def build_backward_graph(
             flops=kf.trsv_flops(w, nrhs),
             buffer_elems=w * w,
             operand_bytes=(w * w + w * nrhs) * _F64,
-            run=run_bwd,
+            kernel=KernelCall("trsv", (s, fc, lc, False)),
             label=f"BWD[{s}]",
             in_buffers=[(("diag", s), w * w * _F64)],
             priority=float(-s),
@@ -136,12 +124,7 @@ def build_backward_graph(
         fc, lc = part.first_col(s), part.last_col(s)
         w = lc - fc + 1
         for bi, blk in enumerate(blocks.blocks[s]):
-            view = storage.off_block(s, bi)
-            rows = blk.rows
             j = blk.tgt
-
-            def run_bup(view=view, rows=rows, fc=fc, lc=lc):
-                rhs[fc : lc + 1] -= view.T @ rhs[rows]
 
             bup = graph.new_task(
                 kind=TaskKind.BUP,
@@ -150,7 +133,7 @@ def build_backward_graph(
                 flops=kf.gemv_flops(w, blk.nrows, nrhs),
                 buffer_elems=blk.nrows * w,
                 operand_bytes=(blk.nrows * w + (w + blk.nrows) * nrhs) * _F64,
-                run=run_bup,
+                kernel=KernelCall("gemv_bwd", (s, bi, blk.rows, fc, lc)),
                 label=f"BUP[{j},{s}]",
                 in_buffers=[(("blk", s, bi), blk.nrows * w * _F64)],
                 priority=float(-s),

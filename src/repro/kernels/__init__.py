@@ -1,4 +1,5 @@
-"""Dense kernels (POTRF/TRSM/SYRK/GEMM) and flop-count formulas."""
+"""Dense kernels (POTRF/TRSM/SYRK/GEMM), flop formulas and the
+declarative kernel-dispatch layer."""
 
 from .dense import (
     OP_GEMM,
@@ -10,6 +11,7 @@ from .dense import (
     syrk_lower,
     trsm_right_lower_trans,
 )
+from .dispatch import KERNEL_OPS, ExecContext, KernelCall, KernelExecutor
 from .flops import (
     gemm_flops,
     gemv_flops,
@@ -29,6 +31,10 @@ __all__ = [
     "potrf",
     "syrk_lower",
     "trsm_right_lower_trans",
+    "KERNEL_OPS",
+    "ExecContext",
+    "KernelCall",
+    "KernelExecutor",
     "gemm_flops",
     "gemv_flops",
     "kernel_flops",

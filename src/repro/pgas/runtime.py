@@ -15,7 +15,7 @@ Numerics are real (the payload arrays move); only time is simulated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Any, Callable
 
 import numpy as np
@@ -42,6 +42,24 @@ class CommStats:
     bytes_staged: int = 0
     puts_issued: int = 0
     bytes_put: int = 0
+
+    def merge(self, other: "CommStats") -> "CommStats":
+        """Add another stats object's counters into this one; returns self."""
+        for f in fields(CommStats):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def __iadd__(self, other: "CommStats") -> "CommStats":
+        """``stats += other`` accumulates counters field-wise."""
+        return self.merge(other)
+
+    def __add__(self, other: "CommStats") -> "CommStats":
+        """``a + b`` returns a new summed stats object."""
+        out = CommStats()
+        out.merge(self)
+        out.merge(other)
+        return out
 
 
 @dataclass

@@ -23,22 +23,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.engine import FanOutEngine
+from ..core.base import CommonOptions, SolverBase
 from ..core.mapping import ProcessMap, make_map
 from ..core.offload import CPU_ONLY, OffloadPolicy
-from ..core.storage import FactorStorage
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
-from ..core.tracing import ExecutionTrace
-from ..core.triangular import build_backward_graph, build_forward_graph
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..machine.model import MachineModel
-from ..machine.perlmutter import perlmutter
-from ..pgas.network import MemoryKindsMode
-from ..pgas.runtime import World
+from ..kernels.dispatch import ExecContext, KernelCall
 from ..sparse.csc import SymmetricCSC
-from ..symbolic.analysis import SymbolicAnalysis, analyze
-from ..symbolic.supernodes import AmalgamationOptions
 
 __all__ = ["FanBothOptions", "FanBothSolver"]
 
@@ -46,47 +38,37 @@ _F64 = 8
 
 
 @dataclass(frozen=True)
-class FanBothOptions:
-    """Configuration of a fan-both run."""
+class FanBothOptions(CommonOptions):
+    """Configuration of a fan-both run (CPU-only offload by default)."""
 
-    nranks: int = 1
-    ranks_per_node: int = 1
-    ordering: str = "scotch_like"
-    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
-    machine: MachineModel = field(default_factory=perlmutter)
     offload: OffloadPolicy = field(default_factory=lambda: CPU_ONLY)
     mapping: str = "2d"
 
 
-class FanBothSolver:
+class FanBothSolver(SolverBase):
     """Fan-both supernodal Cholesky with a 2D computation map."""
 
+    options_cls = FanBothOptions
+
     def __init__(self, a: SymmetricCSC, options: FanBothOptions | None = None):
-        self.options = options or FanBothOptions()
-        self.a = a
-        self.analysis: SymbolicAnalysis = analyze(
-            a, ordering=self.options.ordering,
-            amalgamation=self.options.amalgamation)
+        super().__init__(a, options)
         self.pmap: ProcessMap = make_map(self.options.nranks,
                                          self.options.mapping)
-        self.storage: FactorStorage | None = None
-        self.trace = ExecutionTrace()
-        self._factorized = False
 
-    def _new_world(self) -> World:
-        return World(nranks=self.options.nranks,
-                     machine=self.options.machine,
-                     ranks_per_node=self.options.ranks_per_node,
-                     mode=MemoryKindsMode.NATIVE)
+    def _solve_pmap(self) -> ProcessMap:
+        """Triangular solves reuse the fan-both computation map."""
+        return self.pmap
 
     # ---------------------------------------------------------- task graph
 
-    def _build_graph(self, storage: FactorStorage) -> TaskGraph:
+    def _build_factor_graph(self) -> TaskGraph:
+        """Fan-both DAG: factor fan-out plus aggregate fan-in messages."""
         analysis = self.analysis
         part = analysis.supernodes
         blocks = analysis.blocks
         pmap = self.pmap
-        graph = TaskGraph()
+        ctx = ExecContext(storage=self.storage)
+        graph = TaskGraph(context=ctx)
 
         block_index = [
             {blk.tgt: bi for bi, blk in enumerate(blocks.blocks[t])}
@@ -98,45 +80,36 @@ class FanBothSolver:
 
         for s in range(part.nsup):
             w = part.width(s)
-            diag = storage.diag_block(s)
-
-            def run_d(diag=diag):
-                diag[:, :] = np.tril(kd.potrf(diag))
 
             d_task[s] = graph.new_task(
                 kind=TaskKind.DIAG, rank=pmap(s, s), op=kd.OP_POTRF,
                 flops=kf.potrf_flops(w), buffer_elems=w * w,
-                operand_bytes=w * w * _F64, run=run_d, label=f"D[{s}]",
+                operand_bytes=w * w * _F64,
+                kernel=KernelCall("potrf_diag", (s,)), label=f"D[{s}]",
                 priority=float(s))
 
             for bi, blk in enumerate(blocks.blocks[s]):
-                view = storage.off_block(s, bi)
                 m = blk.nrows
-
-                def run_f(view=view, diag=diag):
-                    view[:, :] = kd.trsm_right_lower_trans(view, diag)
 
                 f_task[(s, bi)] = graph.new_task(
                     kind=TaskKind.FACTOR, rank=pmap(blk.tgt, s),
                     op=kd.OP_TRSM, flops=kf.trsm_flops(m, w),
                     buffer_elems=max(m * w, w * w),
-                    operand_bytes=(m * w + w * w) * _F64, run=run_f,
+                    operand_bytes=(m * w + w * w) * _F64,
+                    kernel=KernelCall("trsm_block", (s, bi)),
                     label=f"F[{blk.tgt},{s}]", priority=float(s))
 
         # Aggregate buffers per (computing rank, target supernode, target
-        # block index or -1 for the diagonal).
-        aggregates: dict[tuple[int, int, int], np.ndarray] = {}
-
+        # block index or -1 for the diagonal), in the context scratch space
+        # so fresh_run() zeroes them for graph replay.
         def aggregate_for(rank: int, t: int, tb: int) -> np.ndarray:
-            key = (rank, t, tb)
-            if key not in aggregates:
-                if tb < 0:
-                    w_t = part.width(t)
-                    aggregates[key] = np.zeros((w_t, w_t))
-                else:
-                    blk = blocks.blocks[t][tb]
-                    aggregates[key] = np.zeros((blk.nrows, part.width(t)))
-            return aggregates[key]
+            if tb < 0:
+                w_t = part.width(t)
+                shape = (w_t, w_t)
+            else:
+                blk = blocks.blocks[t][tb]
+                shape = (blk.nrows, part.width(t))
+            return ctx.scratch_array(("agg", rank, t, tb), shape)
 
         d_consumers: list[dict[int, list[int]]] = [defaultdict(list)
                                                    for _ in range(part.nsup)]
@@ -164,8 +137,8 @@ class FanBothSolver:
                 for bi in range(bj, len(blist)):
                     row_blk = blist[bi]
                     j = row_blk.tgt
-                    src_rows = storage.off_block(s, bi)
-                    src_cols = storage.off_block(s, bj)
+                    a_rows = ("blk", s, bi)
+                    a_cols = ("blk", s, bj)
                     compute_rank = pmap(j, s)  # fan-both computation map
                     if j == t:
                         tb = -1
@@ -185,23 +158,21 @@ class FanBothSolver:
 
                     local = compute_rank == tgt_rank
                     if local:
-                        if tb < 0:
-                            tgt_arr = storage.diag_block(t)
-                        else:
-                            tgt_arr = storage.off_block(t, tb)
+                        tgt_ref = (("diag", t) if tb < 0
+                                   else ("blk", t, tb))
                         sign = -1.0
                     else:
-                        tgt_arr = aggregate_for(compute_rank, t, tb)
+                        aggregate_for(compute_rank, t, tb)
+                        tgt_ref = ("scratch", ("agg", compute_rank, t, tb))
                         sign = 1.0
 
-                    def run_u(tgt=tgt_arr, a_rows=src_rows, a_cols=src_cols,
-                              r=rpos, c=col_pos, is_diag=(tb < 0),
-                              sign=sign):
-                        if is_diag:
-                            tgt[np.ix_(r, c)] += sign * kd.syrk_lower(a_cols)
-                        else:
-                            tgt[np.ix_(r, c)] += sign * kd.gemm_nt(a_rows,
-                                                                   a_cols)
+                    if tb < 0:
+                        kernel = KernelCall(
+                            "syrk_sub", (tgt_ref, a_cols, rpos, col_pos, sign))
+                    else:
+                        kernel = KernelCall(
+                            "gemm_sub",
+                            (tgt_ref, a_rows, a_cols, rpos, col_pos, sign))
 
                     ut = graph.new_task(
                         kind=TaskKind.UPDATE, rank=compute_rank,
@@ -211,7 +182,7 @@ class FanBothSolver:
                                          col_blk.nrows * w),
                         operand_bytes=2 * max(row_blk.nrows,
                                               col_blk.nrows) * w * _F64,
-                        run=run_u, label=f"U[{j},{s},{t}]",
+                        kernel=kernel, label=f"U[{j},{s},{t}]",
                         priority=float(s))
 
                     # Source dependencies (factor messages, fan-out style).
@@ -232,22 +203,16 @@ class FanBothSolver:
 
         # Aggregate sends (fan-in style messages).
         for (rank, t, tb), tasks in sorted(agg_updates.items()):
-            agg = aggregates[(rank, t, tb)]
-            if tb < 0:
-                downstream = d_task[t]
-
-                def run_apply(agg=agg, t=t, storage=storage):
-                    storage.diag_block(t)[:, :] -= agg
-            else:
-                downstream = f_task[(t, tb)]
-
-                def run_apply(agg=agg, t=t, tb=tb, storage=storage):
-                    storage.off_block(t, tb)[:, :] -= agg
+            agg = aggregate_for(rank, t, tb)
+            downstream = d_task[t] if tb < 0 else f_task[(t, tb)]
+            tgt_ref = ("diag", t) if tb < 0 else ("blk", t, tb)
 
             apply_task = graph.new_task(
                 kind=TaskKind.UPDATE, rank=downstream.rank, op=kd.OP_GEMM,
                 flops=float(agg.size), buffer_elems=int(agg.size),
-                operand_bytes=int(agg.nbytes), run=run_apply,
+                operand_bytes=int(agg.nbytes),
+                kernel=KernelCall(
+                    "axpy_sub", (tgt_ref, ("scratch", ("agg", rank, t, tb)))),
                 label=f"APPLY[{rank}->{t},{tb}]", priority=float(t))
             graph.add_dependency(apply_task, downstream)
             sender = tasks[-1]
@@ -272,43 +237,3 @@ class FanBothSolver:
                 f_task[(s, bi)].messages.append(OutMessage(
                     dst_rank=dst_rank, nbytes=nbytes, consumers=consumers))
         return graph
-
-    # ------------------------------------------------------------- numeric
-
-    def factorize(self):
-        """Numeric fan-both factorization; returns the engine result."""
-        self.storage = FactorStorage(self.analysis)
-        world = self._new_world()
-        graph = self._build_graph(self.storage)
-        engine = FanOutEngine(world, graph, self.options.offload,
-                              trace=self.trace)
-        result = engine.run()
-        self._factorized = True
-        self._world_stats = world.stats
-        return result
-
-    def solve(self, b: np.ndarray):
-        """Standard distributed triangular solves over the 2D map."""
-        if not self._factorized or self.storage is None:
-            raise RuntimeError("call factorize() before solve()")
-        b = np.asarray(b, dtype=np.float64)
-        squeeze = b.ndim == 1
-        rhs = b.reshape(self.a.n, -1).copy()
-        rhs = rhs[self.analysis.perm.perm]
-        total = 0.0
-        for builder in (build_forward_graph, build_backward_graph):
-            world = self._new_world()
-            graph = builder(self.analysis, self.storage, self.pmap, rhs)
-            engine = FanOutEngine(world, graph, self.options.offload,
-                                  trace=self.trace)
-            total += engine.run().makespan
-        x = rhs[self.analysis.perm.iperm]
-        if squeeze:
-            x = x.ravel()
-        return x, total
-
-    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
-        """Relative residual ``||A x - b|| / ||b||``."""
-        r = self.a.full() @ x - b
-        denom = float(np.linalg.norm(b))
-        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

@@ -17,7 +17,8 @@ just cited:
 
 Numerics are identical to the fan-out solver (same symbolic phase, same
 kernels); only where updates execute and what travels on the network
-differ.
+differ.  Aggregate buffers live in the graph context's scratch space
+(zeroed per run), so the built graph replays across factorizations.
 """
 
 from __future__ import annotations
@@ -27,20 +28,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.engine import FanOutEngine
+from ..core.base import CommonOptions, SolverBase
 from ..core.offload import CPU_ONLY, OffloadPolicy
-from ..core.storage import FactorStorage
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
-from ..core.tracing import ExecutionTrace
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..machine.model import MachineModel
-from ..machine.perlmutter import perlmutter
-from ..pgas.network import MemoryKindsMode
-from ..pgas.runtime import World
-from ..sparse.csc import SymmetricCSC
-from ..symbolic.analysis import SymbolicAnalysis, analyze
-from ..symbolic.supernodes import AmalgamationOptions
+from ..kernels.dispatch import ExecContext, KernelCall
 
 __all__ = ["FanInOptions", "FanInSolver"]
 
@@ -48,52 +41,34 @@ _F64 = 8
 
 
 @dataclass(frozen=True)
-class FanInOptions:
-    """Configuration of a fan-in run."""
+class FanInOptions(CommonOptions):
+    """Configuration of a fan-in run (CPU-only offload by default)."""
 
-    nranks: int = 1
-    ranks_per_node: int = 1
-    ordering: str = "scotch_like"
-    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
-    machine: MachineModel = field(default_factory=perlmutter)
     offload: OffloadPolicy = field(default_factory=lambda: CPU_ONLY)
 
 
-class FanInSolver:
+class FanInSolver(SolverBase):
     """Fan-in supernodal Cholesky on the simulated PGAS runtime.
 
-    API mirrors :class:`~repro.core.solver.SymPackSolver` (factorize /
-    solve / residual_norm) so the family comparison bench can treat all
-    variants uniformly.
+    API is the shared :class:`~repro.core.base.SolverBase` surface
+    (factorize / solve / residual_norm), so the family comparison bench
+    treats all variants uniformly.
     """
 
-    def __init__(self, a: SymmetricCSC, options: FanInOptions | None = None):
-        self.options = options or FanInOptions()
-        self.a = a
-        self.analysis: SymbolicAnalysis = analyze(
-            a, ordering=self.options.ordering,
-            amalgamation=self.options.amalgamation)
-        self.storage: FactorStorage | None = None
-        self.trace = ExecutionTrace()
-        self._factorized = False
+    options_cls = FanInOptions
 
     def _owner(self, s: int) -> int:
         return s % self.options.nranks
 
-    def _new_world(self) -> World:
-        return World(nranks=self.options.nranks,
-                     machine=self.options.machine,
-                     ranks_per_node=self.options.ranks_per_node,
-                     mode=MemoryKindsMode.NATIVE)
-
     # ---------------------------------------------------------- task graph
 
-    def _build_graph(self, storage: FactorStorage) -> TaskGraph:
+    def _build_factor_graph(self) -> TaskGraph:
+        """Fan-in DAG: source-owner updates + aggregate apply tasks."""
         analysis = self.analysis
         part = analysis.supernodes
         blocks = analysis.blocks
-        nranks = self.options.nranks
-        graph = TaskGraph()
+        ctx = ExecContext(storage=self.storage)
+        graph = TaskGraph(context=ctx)
 
         block_index = [
             {blk.tgt: bi for bi, blk in enumerate(blocks.blocks[t])}
@@ -102,28 +77,17 @@ class FanInSolver:
 
         # Aggregate buffers: one per (source rank, target supernode) pair
         # that has at least one remote update.  Shaped like the target's
-        # full panel (diag + off-diag rows) for simple scatter-adds.
-        aggregates: dict[tuple[int, int], np.ndarray] = {}
-
+        # full panel (diag + off-diag rows) for simple scatter-adds; they
+        # live in the context scratch space so fresh_run() zeroes them.
         def aggregate_for(rank: int, t: int) -> np.ndarray:
-            key = (rank, t)
-            if key not in aggregates:
-                w = part.width(t)
-                rows = part.structs[t].size
-                aggregates[key] = np.zeros((w + rows, w))
-            return aggregates[key]
+            w = part.width(t)
+            rows = part.structs[t].size
+            return ctx.scratch_array(("agg", rank, t), (w + rows, w))
 
         panel_task: list[SimTask] = [None] * part.nsup  # type: ignore
         for s in range(part.nsup):
             w = part.width(s)
-            diag = storage.diag_block(s)
-            panel = storage.panels[s]
-            m = panel.shape[0]
-
-            def run_panel(diag=diag, panel=panel):
-                diag[:, :] = np.tril(kd.potrf(diag))
-                if panel.shape[0]:
-                    panel[:, :] = kd.trsm_right_lower_trans(panel, diag)
+            m = part.structs[s].size
 
             panel_task[s] = graph.new_task(
                 kind=TaskKind.FACTOR,
@@ -132,7 +96,7 @@ class FanInSolver:
                 flops=kf.potrf_flops(w) + kf.trsm_flops(m, w),
                 buffer_elems=max((m + w) * w, 1),
                 operand_bytes=(m + w) * w * _F64,
-                run=run_panel,
+                kernel=KernelCall("panel_factor", (s,)),
                 label=f"PANEL[{s}]",
                 priority=float(s),
             )
@@ -150,20 +114,26 @@ class FanInSolver:
                 w_t = part.width(t)
                 col_pos = col_blk.rows - fc_t
                 remote = self._owner(t) != src_rank
+                if remote:
+                    aggregate_for(src_rank, t)  # register the scratch buffer
+                    agg_ref = ("scratch", ("agg", src_rank, t))
                 actions = []
                 flops = 0.0
                 max_buf = 0
                 for bi in range(bj, len(blist)):
                     row_blk = blist[bi]
                     j = row_blk.tgt
-                    src_rows = storage.off_block(s, bi)
-                    src_cols = storage.off_block(s, bj)
+                    a_rows = ("blk", s, bi)
+                    a_cols = ("blk", s, bj)
                     if j == t:
                         rpos = row_blk.rows - fc_t
-                        cpos = col_pos
-                        is_diag = True
                         flops += kf.syrk_flops(col_blk.nrows, w)
-                        tb = None
+                        if remote:
+                            actions.append(("syrk", agg_ref, a_cols, None,
+                                            rpos, col_pos, 1.0))
+                        else:
+                            actions.append(("syrk", ("diag", t), a_cols, None,
+                                            rpos, col_pos, -1.0))
                     else:
                         tb = block_index[t].get(j)
                         if tb is None:
@@ -171,40 +141,17 @@ class FanInSolver:
                                 f"missing target block B[{j},{t}]")
                         tgt_blk = blocks.blocks[t][tb]
                         rpos = np.searchsorted(tgt_blk.rows, row_blk.rows)
-                        cpos = col_pos
-                        is_diag = False
                         flops += kf.gemm_flops(row_blk.nrows,
                                                col_blk.nrows, w)
-                    actions.append((tb, src_rows, src_cols, rpos, cpos,
-                                    is_diag))
+                        if remote:
+                            off = w_t + tgt_blk.offset
+                            actions.append(("gemm", agg_ref, a_rows, a_cols,
+                                            off + rpos, col_pos, 1.0))
+                        else:
+                            actions.append(("gemm", ("blk", t, tb), a_rows,
+                                            a_cols, rpos, col_pos, -1.0))
                     max_buf = max(max_buf, row_blk.nrows * w,
                                   col_blk.nrows * w)
-
-                if remote:
-                    agg = aggregate_for(src_rank, t)
-
-                    def run_update(actions=actions, agg=agg, t=t, w_t=w_t,
-                                   blocks=blocks):
-                        for tb, a_rows, a_cols, rpos, cpos, is_diag in actions:
-                            if is_diag:
-                                agg[np.ix_(rpos, cpos)] += kd.syrk_lower(a_cols)
-                            else:
-                                off = w_t + blocks.blocks[t][tb].offset
-                                agg[np.ix_(off + rpos, cpos)] += kd.gemm_nt(
-                                    a_rows, a_cols)
-                else:
-
-                    def run_update(actions=actions, t=t,
-                                   storage=storage):
-                        diag_t = storage.diag_block(t)
-                        for tb, a_rows, a_cols, rpos, cpos, is_diag in actions:
-                            if is_diag:
-                                diag_t[np.ix_(rpos, cpos)] -= kd.syrk_lower(
-                                    a_cols)
-                            else:
-                                tgt = storage.off_block(t, tb)
-                                tgt[np.ix_(rpos, cpos)] -= kd.gemm_nt(
-                                    a_rows, a_cols)
 
                 ut = graph.new_task(
                     kind=TaskKind.UPDATE,
@@ -213,7 +160,7 @@ class FanInSolver:
                     flops=flops,
                     buffer_elems=max_buf,
                     operand_bytes=2 * max_buf * _F64,
-                    run=run_update,
+                    kernel=KernelCall("multi_update", (tuple(actions),)),
                     label=f"UPD[{s}->{t}]",
                     priority=float(s),
                 )
@@ -227,12 +174,6 @@ class FanInSolver:
             if src_rank == self._owner(t):
                 continue
             agg = aggregate_for(src_rank, t)
-            w_t = part.width(t)
-
-            def run_apply(agg=agg, t=t, w_t=w_t, storage=storage):
-                storage.diag_block(t)[:, :] -= agg[:w_t, :]
-                if storage.panels[t].shape[0]:
-                    storage.panels[t][:, :] -= agg[w_t:, :]
 
             apply_task = graph.new_task(
                 kind=TaskKind.UPDATE,
@@ -241,7 +182,8 @@ class FanInSolver:
                 flops=float(agg.size),  # an AXPY-like accumulation
                 buffer_elems=int(agg.size),
                 operand_bytes=int(agg.nbytes),
-                run=run_apply,
+                kernel=KernelCall("apply_panel",
+                                  (t, ("scratch", ("agg", src_rank, t)))),
                 label=f"APPLY[{src_rank}->{t}]",
                 priority=float(t),
             )
@@ -258,48 +200,3 @@ class FanInSolver:
             apply_task.deps += 1
 
         return graph
-
-    # ------------------------------------------------------------- numeric
-
-    def factorize(self):
-        """Numeric fan-in factorization; returns the engine result."""
-        self.storage = FactorStorage(self.analysis)
-        world = self._new_world()
-        graph = self._build_graph(self.storage)
-        engine = FanOutEngine(world, graph, self.options.offload,
-                              trace=self.trace)
-        result = engine.run()
-        self._factorized = True
-        self._world_stats = world.stats
-        return result
-
-    def solve(self, b: np.ndarray):
-        """Triangular solves reusing the fan-out solve graphs (the solve
-        phase is family-agnostic)."""
-        if not self._factorized or self.storage is None:
-            raise RuntimeError("call factorize() before solve()")
-        from ..core.mapping import column_cyclic_1d
-        from ..core.triangular import build_backward_graph, build_forward_graph
-
-        b = np.asarray(b, dtype=np.float64)
-        squeeze = b.ndim == 1
-        rhs = b.reshape(self.a.n, -1).copy()
-        rhs = rhs[self.analysis.perm.perm]
-        pmap = column_cyclic_1d(self.options.nranks)
-        total = 0.0
-        for builder in (build_forward_graph, build_backward_graph):
-            world = self._new_world()
-            graph = builder(self.analysis, self.storage, pmap, rhs)
-            engine = FanOutEngine(world, graph, self.options.offload,
-                                  trace=self.trace)
-            total += engine.run().makespan
-        x = rhs[self.analysis.perm.iperm]
-        if squeeze:
-            x = x.ravel()
-        return x, total
-
-    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
-        """Relative residual ``||A x - b|| / ||b||``."""
-        r = self.a.full() @ x - b
-        denom = float(np.linalg.norm(b))
-        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

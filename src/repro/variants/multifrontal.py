@@ -28,22 +28,14 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..core.engine import FanOutEngine
-from ..core.mapping import column_cyclic_1d
+from ..core.base import CommonOptions, SolverBase
 from ..core.offload import CPU_ONLY, OffloadPolicy
-from ..core.storage import FactorStorage
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
-from ..core.tracing import ExecutionTrace
-from ..core.triangular import build_backward_graph, build_forward_graph
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..machine.model import MachineModel
-from ..machine.perlmutter import perlmutter
-from ..pgas.network import MemoryKindsMode
-from ..pgas.runtime import World
+from ..kernels.dispatch import ExecContext, KernelCall
 from ..sparse.csc import SymmetricCSC
-from ..symbolic.analysis import SymbolicAnalysis, analyze
-from ..symbolic.supernodes import AmalgamationOptions
+from ..symbolic.analysis import SymbolicAnalysis
 
 __all__ = ["MultifrontalOptions", "MultifrontalSolver",
            "proportional_supernode_mapping"]
@@ -118,27 +110,21 @@ def proportional_supernode_mapping(analysis: SymbolicAnalysis,
 
 
 @dataclass(frozen=True)
-class MultifrontalOptions:
+class MultifrontalOptions(CommonOptions):
     """Configuration of a multifrontal run (CPU-only, like MUMPS)."""
 
-    nranks: int = 1
-    ranks_per_node: int = 1
-    ordering: str = "scotch_like"
-    amalgamation: AmalgamationOptions = field(default_factory=AmalgamationOptions)
-    machine: MachineModel = field(default_factory=perlmutter)
+    offload: OffloadPolicy = field(default_factory=lambda: CPU_ONLY)
     mapping: str = "proportional"  # or "cyclic"
 
 
-class MultifrontalSolver:
+class MultifrontalSolver(SolverBase):
     """MUMPS-like multifrontal SPD solver on the simulated runtime."""
+
+    options_cls = MultifrontalOptions
 
     def __init__(self, a: SymmetricCSC,
                  options: MultifrontalOptions | None = None):
-        self.options = options or MultifrontalOptions()
-        self.a = a
-        self.analysis: SymbolicAnalysis = analyze(
-            a, ordering=self.options.ordering,
-            amalgamation=self.options.amalgamation)
+        super().__init__(a, options)
         if self.options.mapping == "proportional":
             self._owner_of = proportional_supernode_mapping(
                 self.analysis, self.options.nranks)
@@ -148,27 +134,25 @@ class MultifrontalSolver:
         else:
             raise ValueError(
                 f"unknown multifrontal mapping {self.options.mapping!r}")
-        self.storage: FactorStorage | None = None
-        self.trace = ExecutionTrace()
-        self._factorized = False
 
-    def _new_world(self) -> World:
-        return World(nranks=self.options.nranks,
-                     machine=self.options.machine,
-                     ranks_per_node=self.options.ranks_per_node,
-                     mode=MemoryKindsMode.NATIVE)
+    def _prepare_storage(self) -> None:
+        """Blank the pre-scattered A entries before every factorization.
+
+        The frontal assembly overwrites diag blocks and panels wholesale;
+        leaving the scattered entries in place would double-count them.
+        """
+        for s in range(self.analysis.nsup):
+            self.storage.diag[s][:, :] = 0.0
+            self.storage.panels[s][:, :] = 0.0
 
     # ---------------------------------------------------------- task graph
 
-    def _build_graph(self, storage: FactorStorage) -> TaskGraph:
+    def _build_factor_graph(self) -> TaskGraph:
+        """Assembly-tree DAG of ``frontal`` tasks; contribution blocks are
+        the only messages (and travel via the context's transient store)."""
         analysis = self.analysis
         part = analysis.supernodes
-        a_perm = analysis.a_perm.lower
-        indptr, indices, data = a_perm.indptr, a_perm.indices, a_perm.data
-        graph = TaskGraph()
-
-        # Contribution blocks handed child -> parent, keyed by child.
-        contributions: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        graph = TaskGraph(context=ExecContext(storage=self.storage))
 
         front_task: list[SimTask] = [None] * part.nsup  # type: ignore
         children: list[list[int]] = [[] for _ in range(part.nsup)]
@@ -178,40 +162,8 @@ class MultifrontalSolver:
                 children[p].append(s)
 
         for s in range(part.nsup):
-            fc, lc = part.first_col(s), part.last_col(s)
-            w = lc - fc + 1
-            struct = part.structs[s]
-            m = struct.size
-            front_vars = np.concatenate([np.arange(fc, lc + 1), struct])
-            kids = children[s]
-
-            def run_front(s=s, fc=fc, lc=lc, w=w, struct=struct, m=m,
-                          front_vars=front_vars, kids=kids):
-                size = w + m
-                front = np.zeros((size, size))
-                # Assemble original entries of A (lower triangle).
-                pos = {int(v): i for i, v in enumerate(front_vars)}
-                for c in range(w):
-                    j = fc + c
-                    for p in range(indptr[j], indptr[j + 1]):
-                        front[pos[int(indices[p])], c] = data[p]
-                # Extend-add the children's contribution blocks.
-                for child in kids:
-                    c_rows, c_block = contributions.pop(child)
-                    idx = np.asarray([pos[int(r)] for r in c_rows])
-                    front[np.ix_(idx, idx)] += c_block
-                # Partial factorization of the first w variables.
-                l11 = kd.potrf(front[:w, :w])
-                front[:w, :w] = np.tril(l11)
-                if m:
-                    l21 = kd.trsm_right_lower_trans(front[w:, :w], l11)
-                    front[w:, :w] = l21
-                    update = front[w:, w:] - kd.syrk_lower(l21)
-                    contributions[s] = (struct, update)
-                # Scatter the eliminated columns into the shared factor.
-                storage.diag_block(s)[:, :] = front[:w, :w]
-                if m:
-                    storage.panels[s][:, :] = front[w:, :w]
+            w = part.width(s)
+            m = part.structs[s].size
 
             flops = (kf.potrf_flops(w) + kf.trsm_flops(m, w)
                      + kf.syrk_flops(m, w))
@@ -222,7 +174,7 @@ class MultifrontalSolver:
                 flops=flops + (w + m) ** 2,  # + assembly/extend-add cost
                 buffer_elems=(w + m) ** 2,
                 operand_bytes=(w + m) ** 2 * _F64,
-                run=run_front,
+                kernel=KernelCall("frontal", (s, tuple(children[s]))),
                 label=f"FRONT[{s}]",
                 priority=float(s),
             )
@@ -243,47 +195,3 @@ class MultifrontalSolver:
                     consumers=[parent_t.tid]))
                 parent_t.deps += 1
         return graph
-
-    # ------------------------------------------------------------- numeric
-
-    def factorize(self):
-        """Numeric multifrontal factorization; returns the engine result."""
-        self.storage = FactorStorage(self.analysis)
-        # The frontal assembly overwrites panels wholesale; blank them so
-        # pre-scattered A entries do not double-count.
-        for s in range(self.analysis.nsup):
-            self.storage.diag[s][:, :] = 0.0
-            self.storage.panels[s][:, :] = 0.0
-        world = self._new_world()
-        graph = self._build_graph(self.storage)
-        engine = FanOutEngine(world, graph, CPU_ONLY, trace=self.trace)
-        result = engine.run()
-        self._factorized = True
-        self._world_stats = world.stats
-        return result
-
-    def solve(self, b: np.ndarray):
-        """Triangular solves via the standard distributed solve graphs."""
-        if not self._factorized or self.storage is None:
-            raise RuntimeError("call factorize() before solve()")
-        b = np.asarray(b, dtype=np.float64)
-        squeeze = b.ndim == 1
-        rhs = b.reshape(self.a.n, -1).copy()
-        rhs = rhs[self.analysis.perm.perm]
-        pmap = column_cyclic_1d(self.options.nranks)
-        total = 0.0
-        for builder in (build_forward_graph, build_backward_graph):
-            world = self._new_world()
-            graph = builder(self.analysis, self.storage, pmap, rhs)
-            engine = FanOutEngine(world, graph, CPU_ONLY, trace=self.trace)
-            total += engine.run().makespan
-        x = rhs[self.analysis.perm.iperm]
-        if squeeze:
-            x = x.ravel()
-        return x, total
-
-    def residual_norm(self, x: np.ndarray, b: np.ndarray) -> float:
-        """Relative residual ``||A x - b|| / ||b||``."""
-        r = self.a.full() @ x - b
-        denom = float(np.linalg.norm(b))
-        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)

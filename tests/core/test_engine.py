@@ -8,7 +8,6 @@ from repro.core import (
     FactorStorage,
     FanOutEngine,
     OffloadPolicy,
-    OutMessage,
     TaskGraph,
     TaskKind,
     build_factor_graph,
@@ -163,7 +162,7 @@ class TestProtocolFidelity:
         """An inconsistent graph (dep never satisfied) raises, not hangs."""
         g = TaskGraph()
         t = g.new_task(kind=TaskKind.DIAG, rank=0, op="POTRF", flops=1.0,
-                       buffer_elems=1, operand_bytes=8, run=lambda: None)
+                       buffer_elems=1, operand_bytes=8)
         t.deps = 1  # no producer will ever satisfy this
         world = World(1, perlmutter())
         engine = FanOutEngine.__new__(FanOutEngine)

@@ -7,7 +7,6 @@ reference implementation the same bytes are staged.
 """
 
 import numpy as np
-import pytest
 
 from repro import MemoryKindsMode, OffloadPolicy, SolverOptions, SymPackSolver
 from repro.sparse import flan_like

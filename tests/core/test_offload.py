@@ -1,7 +1,5 @@
 """Unit tests for the GPU offload policy."""
 
-import pytest
-
 from repro.core import CPU_ONLY, DEFAULT_THRESHOLDS, OffloadPolicy
 from repro.kernels import OP_GEMM, OP_POTRF, OP_SYRK, OP_TRSM
 from repro.pgas import OomFallback

@@ -10,6 +10,7 @@ from repro.core import (
     build_factor_graph,
     make_map,
 )
+from repro.kernels.dispatch import KERNEL_OPS
 from repro.sparse import random_spd
 from repro.symbolic import analyze
 
@@ -103,7 +104,8 @@ class TestSequentialExecution:
         ready = [t.tid for t in g.tasks if indeg[t.tid] == 0]
         while ready:
             tid = ready.pop(0)
-            g.tasks[tid].run()
+            call = g.tasks[tid].kernel
+            KERNEL_OPS[call.op](g.context, *call.args)
             for c in consumers[tid]:
                 indeg[c] -= 1
                 if indeg[c] == 0:

@@ -5,13 +5,9 @@ import pytest
 from repro.core import OutMessage, TaskGraph, TaskKind
 
 
-def noop():
-    pass
-
-
 def add_task(g, rank=0, **kw):
     defaults = dict(kind=TaskKind.DIAG, rank=rank, op="POTRF", flops=1.0,
-                    buffer_elems=1, operand_bytes=8, run=noop)
+                    buffer_elems=1, operand_bytes=8)
     defaults.update(kw)
     return g.new_task(**defaults)
 

@@ -1,6 +1,5 @@
 """Tests of timeline analysis and Gantt rendering."""
 
-import numpy as np
 import pytest
 
 from repro import CPU_ONLY, SolverOptions, SymPackSolver

@@ -10,7 +10,7 @@ from repro.core.validation import (
     factor_reconstruction_error,
     normwise_backward_error,
 )
-from repro.sparse import SymmetricCSC, grid_laplacian_2d, random_spd
+from repro.sparse import SymmetricCSC, grid_laplacian_2d
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ library paths at larger sizes and are run by the documented workflow).
 
 import py_compile
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.machine import MachineModel, perlmutter
+from repro.machine import perlmutter
 
 
 class TestMachineModel:

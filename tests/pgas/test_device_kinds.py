@@ -1,6 +1,5 @@
 """Tests of the multi-vendor device kinds (paper Sections 4.1 and 6)."""
 
-import numpy as np
 import pytest
 
 from repro import DeviceKind, OffloadPolicy, SolverOptions, SymPackSolver

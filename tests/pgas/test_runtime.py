@@ -6,7 +6,7 @@ import pytest
 from repro.machine import perlmutter
 from repro.pgas import (
     BufferRegistry,
-    DeviceAllocator,
+    CommStats,
     DeviceOutOfMemory,
     MemoryKindsMode,
     MemorySpace,
@@ -49,6 +49,46 @@ class TestBufferRegistry:
         reg = BufferRegistry(rank=0)
         ptr = reg.register(np.ones(2), MemorySpace.DEVICE)
         assert ptr.is_device()
+
+
+class TestCommStats:
+    def test_merge_adds_every_field(self):
+        a = CommStats(rpcs_sent=2, gets_issued=3, bytes_get=100,
+                      bytes_device_direct=5, bytes_staged=6,
+                      puts_issued=7, bytes_put=8)
+        b = CommStats(rpcs_sent=10, gets_issued=20, bytes_get=30,
+                      bytes_device_direct=40, bytes_staged=50,
+                      puts_issued=60, bytes_put=70)
+        out = a.merge(b)
+        assert out is a  # merge mutates and returns self
+        assert a == CommStats(rpcs_sent=12, gets_issued=23, bytes_get=130,
+                              bytes_device_direct=45, bytes_staged=56,
+                              puts_issued=67, bytes_put=78)
+        assert b.rpcs_sent == 10  # the argument is untouched
+
+    def test_iadd_accumulates(self):
+        total = CommStats()
+        total += CommStats(rpcs_sent=1, bytes_get=8)
+        total += CommStats(rpcs_sent=2, bytes_get=16)
+        assert total.rpcs_sent == 3
+        assert total.bytes_get == 24
+
+    def test_add_returns_new_object(self):
+        a = CommStats(rpcs_sent=1)
+        b = CommStats(rpcs_sent=2)
+        c = a + b
+        assert c.rpcs_sent == 3
+        assert a.rpcs_sent == 1 and b.rpcs_sent == 2
+        assert c is not a and c is not b
+
+    def test_merge_matches_world_accumulation(self):
+        """Summing two worlds' stats equals the per-field totals."""
+        w1, w2 = make_world(), make_world()
+        w1.rpc(0, 1, lambda p: None, None, t=0.0)
+        w2.rpc(0, 1, lambda p: None, None, t=0.0)
+        w2.rpc(1, 0, lambda p: None, None, t=0.0)
+        total = w1.stats + w2.stats
+        assert total.rpcs_sent == 3
 
 
 class TestRpc:

@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.sparse import (
-    SymmetricCSC,
     random_spd,
     read_matrix_market,
     read_rutherford_boeing,

@@ -1,7 +1,6 @@
 """Tests for the symbolic-analysis facade."""
 
 import numpy as np
-import pytest
 
 from repro.ordering import Permutation
 from repro.symbolic import AmalgamationOptions, analyze

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.sparse import SymmetricCSC, lower_csc, random_spd, tridiagonal_spd
 from repro.symbolic import (

@@ -1,7 +1,6 @@
 """Tests of the opt-in etree postordering (equivalent reordering)."""
 
 import numpy as np
-import pytest
 
 from repro import CPU_ONLY, SolverOptions, SymPackSolver
 from repro.ordering import Permutation, is_permutation

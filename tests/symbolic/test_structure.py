@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 import scipy.linalg as la
 
-from repro.sparse import SymmetricCSC, random_spd, tridiagonal_spd
+from repro.sparse import random_spd, tridiagonal_spd
 from repro.symbolic import SymbolicL, column_counts, column_structures, factor_nnz
 
 

@@ -1,9 +1,8 @@
 """Unit tests for supernode detection and relaxed amalgamation."""
 
 import numpy as np
-import pytest
 
-from repro.sparse import block_dense_spd, grid_laplacian_2d, random_spd, tridiagonal_spd
+from repro.sparse import block_dense_spd, grid_laplacian_2d, tridiagonal_spd
 from repro.symbolic import AmalgamationOptions, SymbolicL, detect_supernodes
 
 FUND = AmalgamationOptions(enabled=False)

@@ -56,8 +56,8 @@ class TestBothMessageKinds:
         of messages can be exchanged ... factors and aggregate vectors.'"""
         a = grid_laplacian_2d(14, 14)
         solver = FanBothSolver(a, FanBothOptions(nranks=4))
-        from repro.core.storage import FactorStorage
-        graph = solver._build_graph(FactorStorage(solver.analysis))
+        solver.factorize()
+        graph = solver._factor_graph
         factor_msgs = 0
         aggregate_msgs = 0
         for t in graph.tasks:
@@ -71,5 +71,5 @@ class TestBothMessageKinds:
 
     def test_single_rank_no_messages(self, lap2d):
         solver = FanBothSolver(lap2d, FanBothOptions(nranks=1))
-        solver.factorize()
-        assert solver._world_stats.rpcs_sent == 0
+        info = solver.factorize()
+        assert info.comm.rpcs_sent == 0

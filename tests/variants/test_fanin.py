@@ -46,9 +46,8 @@ class TestCommunicationPattern:
         exchanges at most one aggregate message."""
         a = grid_laplacian_2d(12, 12)
         solver = FanInSolver(a, FanInOptions(nranks=4))
-        storage_graph = solver._build_graph(
-            __import__("repro.core.storage", fromlist=["FactorStorage"])
-            .FactorStorage(solver.analysis))
+        solver.factorize()
+        storage_graph = solver._factor_graph
         seen = set()
         for t in storage_graph.tasks:
             for m in t.messages:
@@ -65,8 +64,8 @@ class TestCommunicationPattern:
         many updates per (rank, target) pair it sends fewer messages."""
         a = grid_laplacian_2d(16, 16)
         fan_in = FanInSolver(a, FanInOptions(nranks=4))
-        fan_in.factorize()
-        in_msgs = fan_in._world_stats.rpcs_sent
+        in_info = fan_in.factorize()
+        in_msgs = in_info.comm.rpcs_sent
 
         fan_out = SymPackSolver(a, SolverOptions(nranks=4, offload=CPU_ONLY))
         info = fan_out.factorize()
@@ -76,5 +75,5 @@ class TestCommunicationPattern:
     def test_single_rank_no_aggregates(self, lap2d):
         solver = FanInSolver(lap2d, FanInOptions(nranks=1))
         result = solver.factorize()
-        assert solver._world_stats.rpcs_sent == 0
-        assert result.tasks_total > 0
+        assert result.comm.rpcs_sent == 0
+        assert result.tasks > 0

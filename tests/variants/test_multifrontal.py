@@ -62,7 +62,7 @@ class TestTaskStructure:
     def test_one_front_per_supernode(self, lap2d):
         solver = MultifrontalSolver(lap2d, MultifrontalOptions(nranks=2))
         result = solver.factorize()
-        assert result.tasks_total == solver.analysis.nsup
+        assert result.tasks == solver.analysis.nsup
 
     def test_messages_follow_assembly_tree(self):
         """Message count <= number of cross-rank parent edges."""
