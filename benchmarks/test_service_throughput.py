@@ -1,0 +1,93 @@
+"""Solve-service throughput across the cache tiers.
+
+Three workloads against an in-process :class:`~repro.service.SolveService`:
+
+* **cold** — every request carries a structurally distinct matrix, so
+  each pays the full ordering + symbolic + factorization pipeline;
+* **symbolic-hit** — one sparsity pattern, a new numeric shift per
+  request: the first request is cold, the rest refactorize by replaying
+  the cached task graph;
+* **factor-hit** — one fixed matrix, many right-hand sides: after the
+  cold request everything is a live-factor solve (with coalescing).
+
+Wall-clock requests/sec per workload and the observed tier counts are
+recorded into ``benchmarks/BENCH_service.json``.  Expected shape:
+factor-hit ≫ symbolic-hit ≫ cold.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import ServiceConfig, SolveService, SolverOptions
+from repro.sparse import grid_laplacian_2d, random_spd
+
+N_REQUESTS = 24
+RESULTS_PATH = Path(__file__).parent / "BENCH_service.json"
+
+_results: dict[str, dict] = {}
+
+
+def _run_workload(name: str, matrices) -> dict:
+    rng = np.random.default_rng(7)
+    config = ServiceConfig(workers=4, queue_depth=N_REQUESTS,
+                           max_coalesce=8)
+    with SolveService(SolverOptions(nranks=2), config) as svc:
+        start = time.perf_counter()
+        futures = [svc.submit(a, rng.standard_normal(a.n)) for a in matrices]
+        results = [f.result(timeout=600.0) for f in futures]
+        elapsed = time.perf_counter() - start
+    counts = svc.counters()
+    assert counts.requests_failed == 0
+    assert all(stats.residual < 1e-8 for _, stats in results)
+    record = {
+        "requests": len(matrices),
+        "elapsed_seconds": round(elapsed, 4),
+        "requests_per_second": round(len(matrices) / elapsed, 2),
+        "tiers": counts.tiers,
+        "symbolic_builds": counts.symbolic_builds,
+        "numeric_factorizations": counts.numeric_factorizations,
+        "refactorizations": counts.refactorizations,
+        "solve_runs": counts.solve_runs,
+        "coalesced_requests": counts.coalesced_requests,
+        "hit_rate": round(counts.hit_rate(), 4),
+    }
+    _results[name] = record
+    RESULTS_PATH.write_text(json.dumps(_results, indent=2) + "\n")
+    return record
+
+
+def test_cold_workload(benchmark):
+    matrices = [random_spd(40, density=0.12, seed=s)
+                for s in range(N_REQUESTS)]
+    record = benchmark.pedantic(
+        _run_workload, args=("cold", matrices), rounds=1, iterations=1)
+    assert record["tiers"] == {"cold": N_REQUESTS}
+    assert record["hit_rate"] == 0.0
+
+
+def test_symbolic_hit_workload(benchmark):
+    matrices = [grid_laplacian_2d(8, 8, shift=0.1 + 0.05 * i)
+                for i in range(N_REQUESTS)]
+    record = benchmark.pedantic(
+        _run_workload, args=("symbolic_hit", matrices), rounds=1,
+        iterations=1)
+    assert record["symbolic_builds"] == 1
+    assert record["tiers"].get("cold", 0) == 1
+    assert record["hit_rate"] >= round(1.0 - 1.0 / N_REQUESTS, 4)
+
+
+def test_factor_hit_workload(benchmark):
+    a = grid_laplacian_2d(8, 8)
+    matrices = [a] * N_REQUESTS
+    record = benchmark.pedantic(
+        _run_workload, args=("factor_hit", matrices), rounds=1, iterations=1)
+    assert record["numeric_factorizations"] == 1
+    assert record["tiers"].get("factor", 0) == N_REQUESTS - 1
+
+    # The whole point: factor hits dominate cold throughput.
+    if "cold" in _results:
+        assert (record["requests_per_second"]
+                > _results["cold"]["requests_per_second"])

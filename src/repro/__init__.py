@@ -15,6 +15,7 @@ from .core.solver import SolverOptions, SymPackSolver, solve_spd
 from .machine import MachineModel, aurora, frontier, perlmutter
 from .pgas.device_kinds import DeviceKind
 from .pgas.network import MemoryKindsMode
+from .service import ServiceConfig, ServiceStats, SolveService
 from .sparse.csc import SymmetricCSC
 from .symbolic.analysis import SymbolicAnalysis, analyze
 
@@ -39,5 +40,8 @@ __all__ = [
     "SymmetricCSC",
     "SymbolicAnalysis",
     "analyze",
+    "ServiceConfig",
+    "ServiceStats",
+    "SolveService",
     "__version__",
 ]

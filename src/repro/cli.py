@@ -5,6 +5,13 @@ Mirrors the paper's benchmarking drivers (``run_sympack2D`` and PaStiX's
 
 * ``solve``    — read a matrix (Matrix Market or Rutherford-Boeing, like
   the paper's drivers), factor and solve it, print timings and residual;
+  ``--save-factor`` persists the factor for later ``resolve`` runs;
+* ``resolve``  — solve against a previously saved factor (no matrix,
+  no factorization: the factor-reuse workflow across process restarts);
+* ``serve``    — run a :class:`~repro.service.SolveService` over a file
+  spool directory (the concurrent multi-tenant solve daemon);
+* ``submit``   — drop a request into a spool directory and optionally
+  wait for the server's result;
 * ``generate`` — write one of the synthetic stand-in matrices to disk;
 * ``info``     — symbolic statistics of a matrix under a chosen ordering;
 * ``bench``    — regenerate a paper experiment (fig5 / fig6 / scaling);
@@ -23,15 +30,12 @@ __all__ = ["main", "build_parser"]
 
 
 def _load_matrix(path: str):
-    from .sparse import read_matrix_market, read_rutherford_boeing
+    from .sparse import read_matrix_auto
 
-    suffix = Path(path).suffix.lower()
-    if suffix in (".mtx", ".mm"):
-        return read_matrix_market(path)
-    if suffix in (".rb", ".rsa"):
-        return read_rutherford_boeing(path)
-    raise SystemExit(f"unsupported matrix format {suffix!r} "
-                     "(use .mtx/.mm or .rb/.rsa)")
+    try:
+        return read_matrix_auto(path)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def _machine(name: str):
@@ -54,7 +58,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         ordering=args.ordering, machine=_machine(args.machine),
         offload=offload))
     info = solver.factorize()
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(args.seed)
     b = rng.standard_normal((a.n, args.nrhs))
     x, sinfo = solver.solve(b)
     res = solver.residual_norm(x, b)
@@ -66,7 +70,84 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"relative residual: {res:.3e}")
     print(f"communication    : {info.comm.rpcs_sent} RPCs, "
           f"{info.comm.bytes_get} bytes pulled")
+    if args.save_factor:
+        from .core.serialization import save_factor
+        save_factor(solver, args.save_factor)
+        print(f"factor saved     : {args.save_factor}")
     return 0 if res < 1e-8 else 1
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    from .core.serialization import load_factor
+
+    factor = load_factor(args.factor)
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal((factor.n, args.nrhs))
+    x = factor.solve(b)
+    if args.matrix:
+        a = _load_matrix(args.matrix)
+        r = a.full() @ x - b
+        denom = float(np.linalg.norm(b))
+        res = float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)
+        res_kind = "relative residual"
+    else:
+        res = factor.factor_residual(x, b)
+        res_kind = "factor residual  "
+    print(f"factor           : {args.factor} "
+          f"(matrix {factor.matrix_name!r}, n={factor.n})")
+    print(f"logdet(A)        : {factor.logdet():.6f}")
+    print(f"{res_kind}: {res:.3e}")
+    return 0 if res < 1e-8 else 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .core.offload import CPU_ONLY, OffloadPolicy
+    from .core.solver import SolverOptions
+    from .service import ServiceConfig, SolveService, SpoolServer
+
+    offload = CPU_ONLY if args.no_gpu else OffloadPolicy()
+    options = SolverOptions(
+        nranks=args.nranks, ranks_per_node=args.ranks_per_node,
+        machine=_machine(args.machine), offload=offload)
+    config = ServiceConfig(
+        workers=args.workers, queue_depth=args.queue_depth,
+        factor_budget_bytes=args.budget_mb * 1024 * 1024,
+        max_coalesce=args.max_coalesce)
+    with SolveService(options, config) as service:
+        server = SpoolServer(service, args.spool, poll=args.poll)
+        print(f"serving spool {args.spool} "
+              f"({args.workers} workers, budget {args.budget_mb} MiB)")
+        n = server.run(max_requests=args.max_requests,
+                       idle_timeout=args.idle_timeout, once=args.once)
+        counters = service.counters()
+    print(f"processed        : {n} requests")
+    print(f"cache tiers      : {counters.tiers}")
+    print(f"hit rate         : {counters.hit_rate():.2%}")
+    print(f"factor cache     : {counters.factor_entries} entries, "
+          f"{counters.factor_bytes} bytes, {counters.evictions} evictions")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .service import submit_request, wait_result
+
+    rid = submit_request(args.spool, args.matrix, nrhs=args.nrhs,
+                         seed=args.seed)
+    print(f"submitted        : {rid}")
+    if not args.wait:
+        return 0
+    result = wait_result(args.spool, rid, timeout=args.timeout)
+    if not result.get("ok"):
+        print(f"request failed   : {result.get('error')}")
+        return 1
+    print(f"tier             : {result['tier']}")
+    print(f"queue wait       : {result['queue_wait']:.4f} s")
+    print(f"simulated time   : {result['simulated_seconds']:.6f} s")
+    print(f"coalesced width  : {result['coalesced_width']}")
+    if result.get("residual") is not None:
+        print(f"relative residual: {result['residual']:.3e}")
+    print(f"solution         : {result['x_file']}")
+    return 0
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -181,9 +262,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("matrix", help="path to .mtx/.mm or .rb/.rsa file")
     p.add_argument("--ordering", default="scotch_like")
     p.add_argument("--nrhs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0,
+                   help="rng seed of the random right-hand side")
     p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--save-factor", default=None, metavar="PATH",
+                   help="persist the factor (.npz) for later `resolve` runs")
     add_run_args(p)
     p.set_defaults(func=_cmd_solve)
+
+    p = sub.add_parser("resolve",
+                       help="solve against a factor saved by `solve "
+                            "--save-factor` (no refactorization)")
+    p.add_argument("--factor", required=True, metavar="PATH",
+                   help="factor file written by `solve --save-factor`")
+    p.add_argument("--matrix", default=None,
+                   help="original matrix file (enables the true residual)")
+    p.add_argument("--nrhs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0,
+                   help="rng seed of the random right-hand side")
+    p.set_defaults(func=_cmd_resolve)
+
+    p = sub.add_parser("serve",
+                       help="run a concurrent solve service over a spool "
+                            "directory")
+    p.add_argument("spool", help="spool directory (created if missing)")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-depth", type=int, default=64)
+    p.add_argument("--budget-mb", type=int, default=256,
+                   help="factor-cache memory budget in MiB")
+    p.add_argument("--max-coalesce", type=int, default=8)
+    p.add_argument("--poll", type=float, default=0.1,
+                   help="spool poll interval in seconds")
+    p.add_argument("--max-requests", type=int, default=None,
+                   help="exit after this many requests")
+    p.add_argument("--idle-timeout", type=float, default=None,
+                   help="exit after this many idle seconds")
+    p.add_argument("--once", action="store_true",
+                   help="drain the inbox once and exit")
+    p.add_argument("--no-gpu", action="store_true")
+    add_run_args(p)
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit a request to a `serve` spool directory")
+    p.add_argument("spool", help="spool directory of the running server")
+    p.add_argument("matrix", help="path to .mtx/.mm or .rb/.rsa file")
+    p.add_argument("--nrhs", type=int, default=1)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the result arrives and print it")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="max seconds to wait with --wait")
+    p.set_defaults(func=_cmd_submit)
 
     p = sub.add_parser("generate", help="write a synthetic matrix to disk")
     p.add_argument("family", choices=["flan", "bone", "thermal"])

@@ -31,7 +31,7 @@ from ..pgas.network import MemoryKindsMode
 from ..pgas.runtime import CommStats
 from ..sparse.csc import SymmetricCSC
 from ..sparse.validate import check_finite, probable_spd
-from ..symbolic.analysis import SymbolicAnalysis, analyze
+from ..symbolic.analysis import SymbolicAnalysis, analyze, rebind_analysis_values
 from ..symbolic.supernodes import AmalgamationOptions
 from .engine import Scheduling
 from .mapping import ProcessMap, column_cyclic_1d
@@ -149,7 +149,9 @@ class SolverBase:
 
     options_cls: type[CommonOptions] = CommonOptions
 
-    def __init__(self, a: SymmetricCSC, options: CommonOptions | None = None):
+    def __init__(self, a: SymmetricCSC, options: CommonOptions | None = None,
+                 *, analysis: SymbolicAnalysis | None = None,
+                 trace: ExecutionTrace | None = None):
         self.options = options if options is not None else self.options_cls()
         check_finite(a)
         if not probable_spd(a):
@@ -157,12 +159,22 @@ class SolverBase:
                 "matrix has non-positive diagonal entries; not SPD"
             )
         self.a = a
-        self.analysis: SymbolicAnalysis = analyze(
-            a, ordering=self.options.ordering,
-            amalgamation=self.options.amalgamation,
-        )
+        if analysis is not None:
+            # Precomputed symbolic phase (the service's symbolic-cache hit
+            # path): the caller guarantees ``analysis`` was computed on a
+            # matrix with the exact sparsity structure of ``a``, so only
+            # the permuted numeric values need recomputing.
+            if analysis.n != a.n:
+                raise ValueError(
+                    f"analysis is for n={analysis.n}, matrix has n={a.n}")
+            self.analysis = rebind_analysis_values(analysis, a)
+        else:
+            self.analysis = analyze(
+                a, ordering=self.options.ordering,
+                amalgamation=self.options.amalgamation,
+            )
         self.session = ExecutionSession.from_options(
-            self.options, machine=self._session_machine())
+            self.options, machine=self._session_machine(), trace=trace)
         self.storage: FactorStorage | None = None
         self._factor_graph: TaskGraph | None = None
         # Solve graphs cached per right-hand-side count:
@@ -230,6 +242,35 @@ class SolverBase:
             tasks=run.tasks_total,
             rank_busy=run.rank_busy,
         )
+
+    def update_values(self, a: SymmetricCSC) -> None:
+        """Rebind the solver to ``a``'s numeric values, keeping all
+        pattern-derived state.
+
+        ``a`` must have exactly the sparsity structure of the analyzed
+        matrix.  The symbolic analysis, the factor-storage layout and any
+        built task graphs survive; the next :meth:`factorize` replays the
+        cached factorization graph on the new values — the cheapest
+        refactorization path (no ordering, no symbolic phase, no graph
+        build).  This is how the solve service refactorizes on
+        numeric-only changes.
+        """
+        check_finite(a)
+        if not probable_spd(a):
+            raise ValueError(
+                "matrix has non-positive diagonal entries; not SPD")
+        a_perm = a.permuted(self.analysis.perm.perm)
+        old, new = self.analysis.a_perm.lower, a_perm.lower
+        if not (np.array_equal(old.indptr, new.indptr)
+                and np.array_equal(old.indices, new.indices)):
+            raise ValueError(
+                "matrix sparsity pattern differs from the analyzed pattern")
+        # In place: FactorStorage.reset() and the multifrontal assembly
+        # read values through ``self.analysis.a_perm``, so updating the
+        # canonical CSC data array retargets every downstream consumer.
+        old.data[:] = new.data
+        self.a = a
+        self._factorized = False
 
     def solve(self, b: np.ndarray) -> tuple[np.ndarray, SolveInfo]:
         """Solve ``A x = b`` using the computed factor.

@@ -225,7 +225,7 @@ class FanOutEngine:
                     if new_bytes:
                         allocator.allocate((max(1, new_bytes // 8),))
                     duration += transfer
-                    self.trace.h2d_bytes += new_bytes
+                    self.trace.add_h2d(new_bytes)
                     resident.update(seen)
                     for key, _ in task.out_buffers:
                         resident.add(key)
@@ -235,7 +235,7 @@ class FanOutEngine:
                     duration += (machine.kernel_launch_s * (launch_factor - 1.0)
                                  + machine.gpu_time(task.flops))
                 except DeviceOutOfMemory:
-                    self.trace.gpu_fallbacks += 1
+                    self.trace.record_fallback()
                     if self.policy.oom_fallback is OomFallback.RAISE:
                         raise
                     device = "cpu"

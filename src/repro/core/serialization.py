@@ -41,6 +41,7 @@ class SerializedFactor:
     perm: np.ndarray
     iperm: np.ndarray
     matrix_name: str = "matrix"
+    pattern_key: str = ""    # sparsity-structure digest of the factored A
 
     @property
     def n(self) -> int:
@@ -62,6 +63,19 @@ class SerializedFactor:
         """``log det(A) = 2 * sum(log(diag(L)))`` — free from the factor."""
         return 2.0 * float(np.sum(np.log(self.l_factor.diagonal())))
 
+    def factor_residual(self, x: np.ndarray, b: np.ndarray) -> float:
+        """Relative residual of ``x`` against the *stored factor*:
+        ``||L L^T (P x) - P b|| / ||b||``.
+
+        Verifies a solve without access to the original matrix (the
+        ``repro resolve`` path, where only the factor file exists).
+        """
+        x = np.asarray(x, dtype=np.float64).reshape(self.n, -1)
+        b = np.asarray(b, dtype=np.float64).reshape(self.n, -1)
+        r = self.l_factor @ (self.l_factor.T @ x[self.perm]) - b[self.perm]
+        denom = float(np.linalg.norm(b))
+        return float(np.linalg.norm(r)) / (denom if denom > 0 else 1.0)
+
 
 def save_factor(solver, path: str | Path) -> None:
     """Persist a factorized solver's ``L`` and permutation to ``path``.
@@ -72,12 +86,15 @@ def save_factor(solver, path: str | Path) -> None:
     """
     if getattr(solver, "storage", None) is None:
         raise RuntimeError("solver has no factor; call factorize() first")
+    from ..service.keys import pattern_key  # deferred: avoids a cycle
+
     l_factor = solver.storage.to_sparse_factor().tocsc()
     l_factor.sort_indices()
     np.savez_compressed(
         Path(path),
         version=np.int64(_FORMAT_VERSION),
         name=np.bytes_(getattr(solver.a, "name", "matrix").encode()),
+        pattern=np.bytes_(pattern_key(solver.a).encode()),
         perm=solver.analysis.perm.perm,
         indptr=l_factor.indptr,
         indices=l_factor.indices,
@@ -102,7 +119,9 @@ def load_factor(path: str | Path) -> SerializedFactor:
         )
         perm = archive["perm"].astype(np.int64)
         name = bytes(archive["name"]).decode()
+        pattern = (bytes(archive["pattern"]).decode()
+                   if "pattern" in archive.files else "")
     iperm = np.empty_like(perm)
     iperm[perm] = np.arange(perm.size)
     return SerializedFactor(l_factor=l_factor, perm=perm, iperm=iperm,
-                            matrix_name=name)
+                            matrix_name=name, pattern_key=pattern)

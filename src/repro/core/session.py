@@ -16,6 +16,7 @@ solve share one counter set.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from ..machine.model import MachineModel
@@ -68,6 +69,7 @@ class ExecutionSession:
         device_capacity: int | None = None,
         device_kind: DeviceKind = DeviceKind.CUDA,
         keep_timeline: bool = False,
+        trace: ExecutionTrace | None = None,
     ) -> None:
         self.nranks = nranks
         self.machine = machine
@@ -77,17 +79,25 @@ class ExecutionSession:
         self.scheduling = Scheduling(scheduling)
         self.device_capacity = device_capacity
         self.device_kind = device_kind
-        self.trace = ExecutionTrace(keep_timeline=keep_timeline)
+        # ``trace`` may be shared across sessions (the solve service hands
+        # every cached solver one service-wide trace); the trace itself is
+        # thread-safe, and the session guards its own accumulators below.
+        self.trace = (trace if trace is not None
+                      else ExecutionTrace(keep_timeline=keep_timeline))
         self.comm = CommStats()  # accumulated across all runs
         self.runs = 0
+        self._stats_lock = threading.Lock()
 
     @classmethod
-    def from_options(cls, options, machine: MachineModel | None = None
+    def from_options(cls, options, machine: MachineModel | None = None,
+                     trace: ExecutionTrace | None = None
                      ) -> "ExecutionSession":
         """Build a session from a :class:`~repro.core.base.CommonOptions`.
 
         ``machine`` overrides the options' machine model (used by the
-        PaStiX-like baseline to apply StarPU/MPI-style overheads).
+        PaStiX-like baseline to apply StarPU/MPI-style overheads);
+        ``trace`` substitutes a shared (possibly service-wide) trace for
+        the session-private one.
         """
         return cls(
             nranks=options.nranks,
@@ -99,6 +109,7 @@ class ExecutionSession:
             device_capacity=options.resolved_device_capacity(),
             device_kind=options.device_kind,
             keep_timeline=options.keep_timeline,
+            trace=trace,
         )
 
     # ----------------------------------------------------------- execution
@@ -124,8 +135,9 @@ class ExecutionSession:
         engine = FanOutEngine(world, graph, self.offload,
                               scheduling=self.scheduling, trace=self.trace)
         result = engine.run()
-        self.comm += world.stats
-        self.runs += 1
+        with self._stats_lock:
+            self.comm += world.stats
+            self.runs += 1
         return RunResult(
             makespan=result.makespan,
             tasks_total=result.tasks_total,

@@ -63,8 +63,9 @@ class SymPackSolver(SolverBase):
 
     options_cls = SolverOptions
 
-    def __init__(self, a: SymmetricCSC, options: SolverOptions | None = None):
-        super().__init__(a, options)
+    def __init__(self, a: SymmetricCSC, options: SolverOptions | None = None,
+                 **kwargs):
+        super().__init__(a, options, **kwargs)
         self.pmap: ProcessMap = make_map(self.options.nranks,
                                          self.options.mapping)
 

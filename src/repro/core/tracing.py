@@ -4,19 +4,30 @@ Paper Figure 6 reports how many POTRF/TRSM/SYRK/GEMM calls land on the CPU
 versus the GPU (per rank); these counters are incremented by the engine as
 tasks execute, so they are exact counts of the executed protocol, not
 estimates.
+
+All mutation paths are thread-safe: the solve service
+(:mod:`repro.service`) runs a worker pool whose solvers may share one
+trace, and two workers recording kernel calls concurrently must not lose
+counts (a lost increment would silently skew the Fig. 6 split).  Readers
+take the same lock only where they snapshot multi-step aggregates.
+
+The trace is also the export surface for service-level telemetry:
+:class:`ServiceEvent` records one request's queue wait, cache-hit tier and
+simulated makespan, appended via :meth:`ExecutionTrace.record_request`.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["OpCounters", "ExecutionTrace"]
+__all__ = ["OpCounters", "ExecutionTrace", "ServiceEvent"]
 
 
 @dataclass
 class OpCounters:
-    """Per-(rank, op, device) call and flop counters."""
+    """Per-(rank, op, device) call and flop counters (thread-safe)."""
 
     calls: dict[tuple[int, str, str], int] = field(
         default_factory=lambda: defaultdict(int)
@@ -24,34 +35,72 @@ class OpCounters:
     flops: dict[tuple[int, str, str], float] = field(
         default_factory=lambda: defaultdict(float)
     )
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record(self, rank: int, op: str, device: str, flops: float) -> None:
         """Count one kernel call."""
-        self.calls[(rank, op, device)] += 1
-        self.flops[(rank, op, device)] += flops
+        with self._lock:
+            self.calls[(rank, op, device)] += 1
+            self.flops[(rank, op, device)] += flops
 
     def calls_by_op(self, rank: int | None = None) -> dict[str, dict[str, int]]:
         """``{op: {'cpu': n, 'gpu': n}}``, optionally restricted to a rank."""
         out: dict[str, dict[str, int]] = defaultdict(lambda: {"cpu": 0, "gpu": 0})
-        for (r, op, device), n in self.calls.items():
+        with self._lock:
+            items = list(self.calls.items())
+        for (r, op, device), n in items:
             if rank is None or r == rank:
                 out[op][device] += n
         return {op: dict(v) for op, v in out.items()}
 
     def total_calls(self, device: str | None = None) -> int:
         """Total kernel calls, optionally filtered by device."""
-        return sum(n for (_, _, d), n in self.calls.items()
-                   if device is None or d == device)
+        with self._lock:
+            return sum(n for (_, _, d), n in self.calls.items()
+                       if device is None or d == device)
 
     def total_flops(self, device: str | None = None) -> float:
         """Total flops, optionally filtered by device."""
-        return sum(f for (_, _, d), f in self.flops.items()
-                   if device is None or d == device)
+        with self._lock:
+            return sum(f for (_, _, d), f in self.flops.items()
+                       if device is None or d == device)
+
+
+@dataclass(frozen=True)
+class ServiceEvent:
+    """One solve-service request as seen by the tracing layer.
+
+    Attributes
+    ----------
+    request_id:
+        Monotonic id assigned by the service at submission.
+    tier:
+        Cache-hit tier the request resolved at: ``cold`` (full symbolic +
+        numeric), ``symbolic`` (pattern known, factor rebuilt),
+        ``refactor`` (graph replayed on new values) or ``factor`` (live
+        factor reused, solve only).
+    queue_wait:
+        Wall-clock seconds between submission and a worker picking the
+        request up.
+    makespan:
+        Simulated seconds of all graph executions the request paid for
+        (factorization, if any, plus its share of the solve).
+    coalesced_width:
+        Number of right-hand sides stacked into the triangular solve this
+        request rode in (1 = not coalesced).
+    """
+
+    request_id: int
+    tier: str
+    queue_wait: float
+    makespan: float
+    coalesced_width: int = 1
 
 
 @dataclass
 class ExecutionTrace:
-    """Full execution record of one simulated run."""
+    """Full execution record of one simulated run (thread-safe)."""
 
     ops: OpCounters = field(default_factory=OpCounters)
     tasks_executed: int = 0
@@ -60,9 +109,42 @@ class ExecutionTrace:
     d2h_bytes: int = 0
     timeline: list[tuple[float, float, int, str]] = field(default_factory=list)
     keep_timeline: bool = False
+    service_events: list[ServiceEvent] = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
 
     def record_task(self, start: float, end: float, rank: int, label: str) -> None:
         """Record one executed task (timeline optional to bound memory)."""
-        self.tasks_executed += 1
-        if self.keep_timeline:
-            self.timeline.append((start, end, rank, label))
+        with self._lock:
+            self.tasks_executed += 1
+            if self.keep_timeline:
+                self.timeline.append((start, end, rank, label))
+
+    def add_h2d(self, nbytes: int) -> None:
+        """Account a host-to-device transfer."""
+        with self._lock:
+            self.h2d_bytes += nbytes
+
+    def add_d2h(self, nbytes: int) -> None:
+        """Account a device-to-host transfer."""
+        with self._lock:
+            self.d2h_bytes += nbytes
+
+    def record_fallback(self) -> None:
+        """Count one device-OOM CPU fallback."""
+        with self._lock:
+            self.gpu_fallbacks += 1
+
+    def record_request(self, event: ServiceEvent) -> None:
+        """Append one service request's telemetry."""
+        with self._lock:
+            self.service_events.append(event)
+
+    def tier_counts(self) -> dict[str, int]:
+        """``{tier: request count}`` over the recorded service events."""
+        with self._lock:
+            events = list(self.service_events)
+        out: dict[str, int] = defaultdict(int)
+        for ev in events:
+            out[ev.tier] += 1
+        return dict(out)

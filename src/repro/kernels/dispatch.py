@@ -219,22 +219,34 @@ def _op_frontal(ctx, s, kids) -> None:
         storage.panels[s][:, :] = front[w:, :w]
 
 
+# The three solve kernels sweep a multi-column rhs column by column so
+# that every column goes through the exact single-vector BLAS path.  This
+# is what makes the service's rhs coalescing lossless: a k-wide stacked
+# solve is bit-identical to k sequential single-rhs solves (multi-column
+# solve_triangular / gemm may otherwise pick differently-blocked kernels
+# with different rounding).
+
+
 def _op_trsv(ctx, s, fc, lc, lower) -> None:
     """Per-supernode dense triangular solve of the rhs slice."""
     diag = ctx.storage.diag_block(s)
     mat = diag if lower else diag.T
-    ctx.rhs[fc : lc + 1] = la.solve_triangular(
-        mat, ctx.rhs[fc : lc + 1], lower=lower, check_finite=False)
+    sl = ctx.rhs[fc : lc + 1]
+    for c in range(sl.shape[1]):
+        sl[:, c] = la.solve_triangular(
+            mat, sl[:, c], lower=lower, check_finite=False)
 
 
 def _op_gemv_fwd(ctx, s, bi, rows, fc, lc) -> None:
     view = ctx.storage.off_block(s, bi)
-    ctx.rhs[rows] -= view @ ctx.rhs[fc : lc + 1]
+    for c in range(ctx.rhs.shape[1]):
+        ctx.rhs[rows, c] -= view @ ctx.rhs[fc : lc + 1, c]
 
 
 def _op_gemv_bwd(ctx, s, bi, rows, fc, lc) -> None:
     view = ctx.storage.off_block(s, bi)
-    ctx.rhs[fc : lc + 1] -= view.T @ ctx.rhs[rows]
+    for c in range(ctx.rhs.shape[1]):
+        ctx.rhs[fc : lc + 1, c] -= view.T @ ctx.rhs[rows, c]
 
 
 KERNEL_OPS = {

@@ -1,0 +1,154 @@
+"""The two cache tiers of the solve service.
+
+* :class:`SymbolicCache` — pattern key → :class:`SymbolicAnalysis`.
+  Symbolic state is small (index arrays, no numeric panels) and is what
+  PEXSI-style repeated workloads amortise, so this tier is unbounded by
+  default (an optional entry cap turns it into an LRU).
+* :class:`FactorCache` — pattern key → :class:`FactorEntry` holding a
+  live, factorized solver.  Factors are the memory hog (dense supernode
+  panels), so this tier enforces a configurable *byte* budget with LRU
+  eviction and exact eviction accounting.  Evicting a factor never loses
+  symbolic work: the pattern stays in the symbolic cache, so the next
+  request on it re-enters at the ``symbolic`` tier, not ``cold``.
+
+Both caches are thread-safe; entry-level serialization (one worker per
+factor at a time) is the service's job via :attr:`FactorEntry.lock`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..symbolic.analysis import SymbolicAnalysis
+
+__all__ = ["SymbolicCache", "FactorCache", "FactorEntry"]
+
+
+class SymbolicCache:
+    """Pattern-keyed cache of symbolic analyses (optionally LRU-capped)."""
+
+    def __init__(self, max_entries: int | None = None):
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, SymbolicAnalysis] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> SymbolicAnalysis | None:
+        """The cached analysis for ``key``, or ``None`` (counts the miss)."""
+        with self._lock:
+            analysis = self._entries.get(key)
+            if analysis is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return analysis
+
+    def put(self, key: str, analysis: SymbolicAnalysis) -> None:
+        """Insert ``analysis`` under ``key``, evicting LRU past the cap."""
+        with self._lock:
+            self._entries[key] = analysis
+            self._entries.move_to_end(key)
+            while (self.max_entries is not None
+                   and len(self._entries) > self.max_entries):
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+@dataclass
+class FactorEntry:
+    """One live factorized solver held by the factor cache.
+
+    ``lock`` serializes workers on the entry: a solver's storage and task
+    graphs are shared mutable state, so only one request may factorize or
+    solve through it at a time (the coalescing path stacks concurrent
+    same-key solves into one multi-RHS run instead).
+    """
+
+    pattern_key: str
+    solver: object
+    values_key: str
+    nbytes: int
+    lock: threading.Lock = field(default_factory=threading.Lock,
+                                 repr=False, compare=False)
+    hits: int = 0
+
+
+class FactorCache:
+    """LRU cache of factorized solvers under a memory budget.
+
+    Parameters
+    ----------
+    budget_bytes:
+        Soft ceiling on the summed ``FactorStorage.factor_bytes()`` of
+        the cached entries.  The most recently inserted entry is always
+        retained even if it alone exceeds the budget (otherwise a single
+        large factor would make every request on it a miss); everything
+        beyond that is evicted least-recently-used.
+    """
+
+    def __init__(self, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise ValueError(f"budget_bytes must be > 0, got {budget_bytes}")
+        self.budget_bytes = budget_bytes
+        self._entries: OrderedDict[str, FactorEntry] = OrderedDict()
+        self._lock = threading.Lock()
+        self.current_bytes = 0
+        self.evictions = 0
+        self.bytes_evicted = 0
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> FactorEntry | None:
+        """The entry for ``key`` (refreshing its LRU slot), or ``None``."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            entry.hits += 1
+            return entry
+
+    def put(self, entry: FactorEntry) -> list[FactorEntry]:
+        """Insert ``entry``; returns the entries evicted to fit the budget."""
+        evicted: list[FactorEntry] = []
+        with self._lock:
+            old = self._entries.pop(entry.pattern_key, None)
+            if old is not None:
+                self.current_bytes -= old.nbytes
+            self._entries[entry.pattern_key] = entry
+            self.current_bytes += entry.nbytes
+            while self.current_bytes > self.budget_bytes and len(self._entries) > 1:
+                _, victim = self._entries.popitem(last=False)
+                self.current_bytes -= victim.nbytes
+                self.evictions += 1
+                self.bytes_evicted += victim.nbytes
+                evicted.append(victim)
+        return evicted
+
+    def account_resize(self, entry: FactorEntry, nbytes: int) -> None:
+        """Update byte accounting after an entry's factor changed size."""
+        with self._lock:
+            if entry.pattern_key in self._entries:
+                self.current_bytes += nbytes - entry.nbytes
+            entry.nbytes = nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,69 @@
+"""Structure and value hashing for the solve-service cache tiers.
+
+The service keys its caches on content hashes of the input matrix:
+
+* :func:`pattern_key` — a digest of the *sparsity structure only*
+  (dimension, column pointers, row indices of the canonical lower
+  triangle).  Two matrices with identical patterns but different values
+  share a pattern key, which is exactly the reuse granularity of the
+  symbolic phase (ordering, supernodes, Algorithm 2 blocks, task graphs
+  all depend only on the pattern).
+* :func:`values_key` — a digest of the numeric values, used to decide
+  between the ``factor`` tier (same values: reuse the live factor) and
+  the ``refactor`` tier (same pattern, new values: replay the cached
+  factorization graph).
+
+Keys are computed on the *canonical* lower triangle (sorted indices,
+duplicates summed, explicit zeros dropped), so the same matrix assembled
+in a different entry order — or handed over as an upper triangle — hashes
+identically.  A symmetric *permutation* of the pattern changes the
+structure and therefore the key: permuted matrices are different cache
+entries, as they must be (their orderings and supernode partitions
+differ).
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..sparse.csc import SymmetricCSC, lower_csc
+
+__all__ = ["pattern_key", "values_key", "matrix_keys"]
+
+
+def _canonical(a: SymmetricCSC):
+    # ``SymmetricCSC.from_any`` already canonicalises, but direct
+    # construction may not; ``lower_csc`` is idempotent and cheap.
+    return lower_csc(a.lower)
+
+
+def _pattern_digest(low) -> str:
+    h = hashlib.sha256()
+    h.update(np.int64(low.shape[0]).tobytes())
+    h.update(np.asarray(low.indptr, dtype=np.int64).tobytes())
+    h.update(np.asarray(low.indices, dtype=np.int64).tobytes())
+    return h.hexdigest()
+
+
+def _values_digest(low) -> str:
+    h = hashlib.sha256()
+    h.update(np.asarray(low.data, dtype=np.float64).tobytes())
+    return h.hexdigest()
+
+
+def pattern_key(a: SymmetricCSC) -> str:
+    """Digest of the sparsity structure of ``a`` (values ignored)."""
+    return _pattern_digest(_canonical(a))
+
+
+def values_key(a: SymmetricCSC) -> str:
+    """Digest of the numeric values of ``a`` (canonical entry order)."""
+    return _values_digest(_canonical(a))
+
+
+def matrix_keys(a: SymmetricCSC) -> tuple[str, str]:
+    """``(pattern_key, values_key)`` with one canonicalisation pass."""
+    low = _canonical(a)
+    return _pattern_digest(low), _values_digest(low)

@@ -1,0 +1,392 @@
+"""`SolveService`: a multi-tenant, concurrent sparse-SPD solve service.
+
+Layered on the execution-session stack, the service amortises every
+reusable artifact of a solve across requests:
+
+* structurally identical matrices share one symbolic analysis (ordering,
+  supernodes, Algorithm 2 blocks) through the pattern-keyed
+  :class:`~repro.service.caches.SymbolicCache`;
+* numerically identical matrices share one live factor through the
+  LRU-budgeted :class:`~repro.service.caches.FactorCache`; numeric-only
+  changes replay the cached factorization graph
+  (:meth:`~repro.core.base.SolverBase.update_values` + graph replay)
+  instead of rebuilding anything;
+* pending solves against the same factor are stolen from the queue and
+  stacked into one multi-RHS triangular solve (column-deterministic
+  kernels keep the results bit-identical to solo solves).
+
+Every request resolves to a **tier** recording how much work it skipped:
+
+=========  ==========================================================
+tier       work performed
+=========  ==========================================================
+cold       ordering + symbolic analysis + graph build + factorization
+symbolic   graph build + factorization (symbolic phase skipped)
+refactor   factorization via graph replay (nothing rebuilt)
+factor     triangular solve only (live factor reused)
+=========  ==========================================================
+
+All solvers created by the service share one thread-safe
+:class:`~repro.core.tracing.ExecutionTrace`; per-request telemetry is
+exported through it as :class:`~repro.core.tracing.ServiceEvent` records.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.base import CommonOptions, SolverBase
+from ..core.solver import SolverOptions, SymPackSolver
+from ..core.tracing import ExecutionTrace, ServiceEvent
+from ..pgas.runtime import CommStats
+from ..sparse.csc import SymmetricCSC
+from .caches import FactorCache, FactorEntry, SymbolicCache
+from .keys import matrix_keys
+from .requests import RequestQueue, ServiceOverloaded, ServiceStats, SolveRequest
+
+__all__ = ["ServiceConfig", "ServiceCounters", "SolveService"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Operational knobs of a :class:`SolveService`.
+
+    Attributes
+    ----------
+    workers:
+        Worker threads draining the request queue.
+    queue_depth:
+        Bounded queue capacity; the backpressure knob.  ``submit`` blocks
+        when this many requests are pending and fails with
+        :class:`~repro.service.requests.ServiceOverloaded` after
+        ``submit_timeout``.
+    factor_budget_bytes:
+        Memory budget of the LRU factor cache.
+    symbolic_entries:
+        Optional entry cap of the symbolic cache (``None`` = unbounded).
+    coalesce:
+        Stack pending same-factor solves into one multi-RHS solve.
+    max_coalesce:
+        Ceiling on stacked right-hand-side columns per solve run.
+    submit_timeout:
+        Seconds ``submit`` waits for queue space (``None`` = forever).
+    compute_residuals:
+        Verify each returned solution with its relative residual.
+    """
+
+    workers: int = 2
+    queue_depth: int = 64
+    factor_budget_bytes: int = 256 * 1024 * 1024
+    symbolic_entries: int | None = None
+    coalesce: bool = True
+    max_coalesce: int = 8
+    submit_timeout: float | None = None
+    compute_residuals: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_coalesce < 1:
+            raise ValueError(
+                f"max_coalesce must be >= 1, got {self.max_coalesce}")
+
+
+@dataclass
+class ServiceCounters:
+    """Snapshot of service-wide counters (see :meth:`SolveService.counters`)."""
+
+    requests_completed: int = 0
+    requests_failed: int = 0
+    symbolic_builds: int = 0
+    numeric_factorizations: int = 0
+    refactorizations: int = 0
+    solve_runs: int = 0
+    coalesced_requests: int = 0
+    tiers: dict = field(default_factory=dict)
+    queue_depth: int = 0
+    symbolic_entries: int = 0
+    factor_entries: int = 0
+    factor_bytes: int = 0
+    evictions: int = 0
+    bytes_evicted: int = 0
+    comm: CommStats = field(default_factory=CommStats)
+
+    def hit_rate(self) -> float:
+        """Fraction of completed requests that skipped the symbolic phase."""
+        total = sum(self.tiers.values())
+        if total == 0:
+            return 0.0
+        return 1.0 - self.tiers.get("cold", 0) / total
+
+
+class SolveService:
+    """Concurrent solve service with symbolic/factor caching and coalescing.
+
+    Parameters
+    ----------
+    options:
+        Solver options every request runs under (one machine/rank
+        configuration per service instance).
+    config:
+        Operational knobs (:class:`ServiceConfig`).
+    solver_cls:
+        Solver family used for cache entries; any
+        :class:`~repro.core.base.SolverBase` subclass works.
+
+    Use as a context manager, or call :meth:`start` / :meth:`stop`::
+
+        with SolveService(SolverOptions(nranks=4)) as svc:
+            x, stats = svc.solve(a, b)          # synchronous
+            fut = svc.submit(a2, b2)            # asynchronous
+            x2, stats2 = fut.result()
+    """
+
+    def __init__(self, options: CommonOptions | None = None,
+                 config: ServiceConfig | None = None,
+                 solver_cls: type[SolverBase] = SymPackSolver):
+        self.options = options if options is not None else SolverOptions()
+        self.config = config if config is not None else ServiceConfig()
+        self.solver_cls = solver_cls
+        self.trace = ExecutionTrace()
+        self.comm = CommStats()
+        self.symbolic_cache = SymbolicCache(self.config.symbolic_entries)
+        self.factor_cache = FactorCache(self.config.factor_budget_bytes)
+        self._queue = RequestQueue(self.config.queue_depth)
+        self._threads: list[threading.Thread] = []
+        self._lock = threading.Lock()          # counters + comm + key locks
+        self._key_locks: dict[str, threading.Lock] = {}
+        self._next_id = 0
+        self._started = False
+        self._stopping = False
+        self._counts = ServiceCounters()
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> "SolveService":
+        """Launch the worker pool (idempotent)."""
+        if self._started:
+            return self
+        self._started = True
+        for i in range(self.config.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"solve-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down: refuse new work, finish (or cancel) pending requests."""
+        if not self._started or self._stopping:
+            return
+        self._stopping = True
+        if not drain:
+            for req in self._queue.drain():
+                req.future.cancel()
+        self._queue.close()
+        for t in self._threads:
+            t.join()
+        self._threads.clear()
+
+    def __enter__(self) -> "SolveService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ----------------------------------------------------------- submission
+
+    def submit(self, a: SymmetricCSC, b: np.ndarray,
+               timeout: float | None = None) -> Future:
+        """Queue one solve of ``A x = b``; returns a future of
+        ``(x, ServiceStats)``.
+
+        Blocks while the queue is at ``queue_depth``; raises
+        :class:`ServiceOverloaded` once ``timeout`` (default: the
+        config's ``submit_timeout``) expires.
+        """
+        if not self._started:
+            raise RuntimeError("call start() (or use the context manager) "
+                               "before submitting")
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != a.n:
+            raise ValueError(
+                f"rhs has {b.shape[0]} rows, matrix has n={a.n}")
+        squeeze = b.ndim == 1
+        vals = b.reshape(a.n, -1).copy()
+        pkey, vkey = matrix_keys(a)
+        with self._lock:
+            rid = self._next_id
+            self._next_id += 1
+        req = SolveRequest(
+            request_id=rid, a=a, b=vals, squeeze=squeeze,
+            pattern_key=pkey, values_key=vkey, future=Future(),
+            submit_time=time.monotonic(),
+        )
+        self._queue.put(
+            req,
+            timeout=timeout if timeout is not None
+            else self.config.submit_timeout)
+        return req.future
+
+    def solve(self, a: SymmetricCSC, b: np.ndarray
+              ) -> tuple[np.ndarray, ServiceStats]:
+        """Synchronous convenience: submit and wait for the result."""
+        return self.submit(a, b).result()
+
+    # ------------------------------------------------------------ telemetry
+
+    def counters(self) -> ServiceCounters:
+        """Consistent snapshot of the service-wide counters."""
+        with self._lock:
+            snap = ServiceCounters(
+                requests_completed=self._counts.requests_completed,
+                requests_failed=self._counts.requests_failed,
+                symbolic_builds=self._counts.symbolic_builds,
+                numeric_factorizations=self._counts.numeric_factorizations,
+                refactorizations=self._counts.refactorizations,
+                solve_runs=self._counts.solve_runs,
+                coalesced_requests=self._counts.coalesced_requests,
+                comm=CommStats() + self.comm,
+            )
+        snap.tiers = self.trace.tier_counts()
+        snap.queue_depth = len(self._queue)
+        snap.symbolic_entries = len(self.symbolic_cache)
+        snap.factor_entries = len(self.factor_cache)
+        snap.factor_bytes = self.factor_cache.current_bytes
+        snap.evictions = self.factor_cache.evictions
+        snap.bytes_evicted = self.factor_cache.bytes_evicted
+        return snap
+
+    # ---------------------------------------------------------- worker pool
+
+    def _key_lock(self, pattern_key: str) -> threading.Lock:
+        with self._lock:
+            lock = self._key_locks.get(pattern_key)
+            if lock is None:
+                lock = self._key_locks[pattern_key] = threading.Lock()
+            return lock
+
+    def _worker_loop(self) -> None:
+        while True:
+            req = self._queue.get(timeout=0.2)
+            if req is None:
+                if self._stopping and len(self._queue) == 0:
+                    return
+                continue
+            try:
+                self._process(req)
+            except Exception as exc:  # materialization / solve failure
+                if not req.future.done():
+                    req.future.set_exception(exc)
+                with self._lock:
+                    self._counts.requests_failed += 1
+
+    def _process(self, req: SolveRequest) -> None:
+        picked_up = time.monotonic()
+        with self._key_lock(req.pattern_key):
+            tier, entry, factor_seconds = self._materialize(req)
+            with entry.lock:
+                batch = [req]
+                if self.config.coalesce:
+                    batch += self._queue.steal_matching(
+                        req.pattern_key, req.values_key,
+                        self.config.max_coalesce - req.ncols)
+                # Followers left the queue just now, not at leader pickup.
+                waits = [picked_up - req.submit_time]
+                steal_time = time.monotonic()
+                waits += [steal_time - r.submit_time for r in batch[1:]]
+                self._run_solve(entry, batch, waits, tier, factor_seconds)
+
+    def _materialize(self, req: SolveRequest
+                     ) -> tuple[str, FactorEntry, float]:
+        """Resolve the cache tiers until a live factor for ``req`` exists.
+
+        Called under the pattern's key lock, so concurrent requests on
+        one pattern never duplicate symbolic or numeric work.
+        """
+        entry = self.factor_cache.get(req.pattern_key)
+        if entry is not None:
+            if entry.values_key == req.values_key:
+                return "factor", entry, 0.0
+            # Numeric-only change: swap the values in place and replay
+            # the cached factorization graph.
+            entry.solver.update_values(req.a)
+            info = entry.solver.factorize()
+            entry.values_key = req.values_key
+            with self._lock:
+                self._counts.refactorizations += 1
+                self.comm += info.comm
+            return "refactor", entry, info.simulated_seconds
+
+        analysis = self.symbolic_cache.get(req.pattern_key)
+        if analysis is not None:
+            tier = "symbolic"
+            solver = self.solver_cls(req.a, self.options,
+                                     analysis=analysis, trace=self.trace)
+        else:
+            tier = "cold"
+            solver = self.solver_cls(req.a, self.options, trace=self.trace)
+            self.symbolic_cache.put(req.pattern_key, solver.analysis)
+            with self._lock:
+                self._counts.symbolic_builds += 1
+        info = solver.factorize()
+        entry = FactorEntry(pattern_key=req.pattern_key, solver=solver,
+                            values_key=req.values_key,
+                            nbytes=solver.storage.factor_bytes())
+        self.factor_cache.put(entry)
+        with self._lock:
+            self._counts.numeric_factorizations += 1
+            self.comm += info.comm
+        return tier, entry, info.simulated_seconds
+
+    def _run_solve(self, entry: FactorEntry, batch: list[SolveRequest],
+                   waits: list[float], tier: str,
+                   factor_seconds: float) -> None:
+        """One (possibly stacked) triangular solve for ``batch``."""
+        solver = entry.solver
+        stacked = (batch[0].b if len(batch) == 1
+                   else np.concatenate([r.b for r in batch], axis=1))
+        width = stacked.shape[1]
+        try:
+            x, sinfo = solver.solve(stacked)
+        except Exception as exc:
+            for r in batch:
+                r.future.set_exception(exc)
+            with self._lock:
+                self._counts.requests_failed += len(batch)
+            return
+        x = x.reshape(solver.a.n, -1)
+        with self._lock:
+            self._counts.solve_runs += 1
+            self.comm += sinfo.comm
+        col = 0
+        for i, r in enumerate(batch):
+            xs = x[:, col:col + r.ncols]
+            col += r.ncols
+            residual = (solver.residual_norm(xs, r.b)
+                        if self.config.compute_residuals else None)
+            # Followers hit the factor the leader materialized.
+            r_tier = tier if i == 0 else "factor"
+            stats = ServiceStats(
+                request_id=r.request_id,
+                tier=r_tier,
+                queue_wait=waits[i],
+                factor_seconds=factor_seconds if i == 0 else 0.0,
+                solve_seconds=sinfo.simulated_seconds,
+                coalesced_width=width,
+                residual=residual,
+            )
+            self.trace.record_request(ServiceEvent(
+                request_id=r.request_id, tier=r_tier,
+                queue_wait=stats.queue_wait, makespan=stats.makespan,
+                coalesced_width=width))
+            with self._lock:
+                self._counts.requests_completed += 1
+                if width > r.ncols:
+                    self._counts.coalesced_requests += 1
+            r.future.set_result((xs.ravel() if r.squeeze else xs.copy(), stats))

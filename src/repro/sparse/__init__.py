@@ -37,6 +37,25 @@ from .validate import (
     probable_spd,
 )
 
+
+def read_matrix_auto(path) -> SymmetricCSC:
+    """Read a matrix file, dispatching on its suffix.
+
+    Accepts Matrix Market (``.mtx`` / ``.mm``) and Rutherford-Boeing
+    (``.rb`` / ``.rsa``) files — the two formats the paper's drivers
+    consume.  Shared by the CLI and the solve-service spool server.
+    """
+    from pathlib import Path
+
+    suffix = Path(path).suffix.lower()
+    if suffix in (".mtx", ".mm"):
+        return read_matrix_market(path)
+    if suffix in (".rb", ".rsa"):
+        return read_rutherford_boeing(path)
+    raise ValueError(f"unsupported matrix format {suffix!r} "
+                     "(use .mtx/.mm or .rb/.rsa)")
+
+
 __all__ = [
     "SymmetricCSC",
     "expand_symmetric",
@@ -47,6 +66,7 @@ __all__ = [
     "bfs_levels",
     "connected_components",
     "pseudo_peripheral_vertex",
+    "read_matrix_auto",
     "read_matrix_market",
     "write_matrix_market",
     "read_rutherford_boeing",

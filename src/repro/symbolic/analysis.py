@@ -8,7 +8,7 @@ workflow (the repeated-factorization applications in paper Section 5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
@@ -19,7 +19,7 @@ from .blocks import BlockPartition, partition_blocks
 from .structure import SymbolicL
 from .supernodes import AmalgamationOptions, SupernodePartition, detect_supernodes
 
-__all__ = ["SymbolicAnalysis", "analyze"]
+__all__ = ["SymbolicAnalysis", "analyze", "rebind_analysis_values"]
 
 
 @dataclass
@@ -129,3 +129,27 @@ def analyze(
     blocks = partition_blocks(supernodes)
     return SymbolicAnalysis(a_perm=a_perm, perm=perm, symbolic=symbolic,
                             supernodes=supernodes, blocks=blocks)
+
+
+def rebind_analysis_values(analysis: SymbolicAnalysis, a: SymmetricCSC
+                           ) -> SymbolicAnalysis:
+    """A copy of ``analysis`` carrying the numeric values of ``a``.
+
+    Every pattern-derived structure — ordering, elimination tree, column
+    structures, supernodes, blocks — depends only on the sparsity pattern
+    and is *shared* with the input analysis; only the permuted matrix
+    ``a_perm`` is recomputed so the numeric phase factors ``a``'s values.
+    This is the symbolic-cache hit path of :mod:`repro.service`: a
+    structurally identical matrix skips the whole symbolic phase
+    (Algorithm 2 included) at the cost of one value permutation.
+
+    Raises :class:`ValueError` if ``a``'s pattern differs from the pattern
+    the analysis was computed on.
+    """
+    a_perm = a.permuted(analysis.perm.perm)
+    old, new = analysis.a_perm.lower, a_perm.lower
+    if not (np.array_equal(old.indptr, new.indptr)
+            and np.array_equal(old.indices, new.indices)):
+        raise ValueError(
+            "matrix sparsity pattern differs from the analyzed pattern")
+    return replace(analysis, a_perm=a_perm)

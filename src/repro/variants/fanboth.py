@@ -50,8 +50,9 @@ class FanBothSolver(SolverBase):
 
     options_cls = FanBothOptions
 
-    def __init__(self, a: SymmetricCSC, options: FanBothOptions | None = None):
-        super().__init__(a, options)
+    def __init__(self, a: SymmetricCSC, options: FanBothOptions | None = None,
+                 **kwargs):
+        super().__init__(a, options, **kwargs)
         self.pmap: ProcessMap = make_map(self.options.nranks,
                                          self.options.mapping)
 

@@ -123,8 +123,8 @@ class MultifrontalSolver(SolverBase):
     options_cls = MultifrontalOptions
 
     def __init__(self, a: SymmetricCSC,
-                 options: MultifrontalOptions | None = None):
-        super().__init__(a, options)
+                 options: MultifrontalOptions | None = None, **kwargs):
+        super().__init__(a, options, **kwargs)
         if self.options.mapping == "proportional":
             self._owner_of = proportional_supernode_mapping(
                 self.analysis, self.options.nranks)

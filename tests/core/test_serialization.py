@@ -39,6 +39,32 @@ class TestRoundTrip:
         save_factor(factored, path)
         assert load_factor(path).matrix_name == factored.a.name
 
+    def test_pattern_key_provenance(self, factored, tmp_path):
+        """The saved factor records which sparsity structure produced it."""
+        from repro.service import pattern_key
+
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        assert load_factor(path).pattern_key == pattern_key(factored.a)
+
+    def test_logdet_survives_round_trip(self, factored, tmp_path):
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        loaded = load_factor(path)
+        sign, expected = np.linalg.slogdet(factored.a.to_dense())
+        assert sign == 1.0
+        assert loaded.logdet() == pytest.approx(expected, rel=1e-10)
+
+    def test_factor_residual_without_matrix(self, factored, tmp_path, rng):
+        """resolve-style verification: residual against the stored factor."""
+        path = tmp_path / "factor.npz"
+        save_factor(factored, path)
+        loaded = load_factor(path)
+        b = rng.standard_normal(loaded.n)
+        x = loaded.solve(b)
+        assert loaded.factor_residual(x, b) < 1e-10
+        assert loaded.factor_residual(x + 1.0, b) > 1e-6
+
     def test_works_for_multifrontal(self, tmp_path, rng):
         a = random_spd(25, density=0.2, seed=2)
         solver = MultifrontalSolver(a, MultifrontalOptions(nranks=2))

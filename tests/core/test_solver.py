@@ -47,6 +47,44 @@ class TestSolveCorrectness:
             x, _ = solver.solve(b)
             assert solver.residual_norm(x, b) < 1e-10
 
+    def test_update_values_refactorizes_in_place(self, rng):
+        """Numeric-only change: swap values, replay the cached graph."""
+        a1 = grid_laplacian_2d(8, 8, shift=0.1)
+        a2 = grid_laplacian_2d(8, 8, shift=0.9)
+        solver = SymPackSolver(a1, SolverOptions(nranks=2, offload=CPU_ONLY))
+        solver.factorize()
+        solver.update_values(a2)
+        solver.factorize()
+        b = rng.standard_normal(a2.n)
+        x, _ = solver.solve(b)
+        assert np.linalg.norm(a2.full() @ x - b) < 1e-8
+        # Matches a from-scratch solver on the new values exactly.
+        fresh = SymPackSolver(a2, SolverOptions(nranks=2, offload=CPU_ONLY))
+        fresh.factorize()
+        x_fresh, _ = fresh.solve(b)
+        assert np.array_equal(x, x_fresh)
+
+    def test_update_values_rejects_new_pattern(self):
+        a = grid_laplacian_2d(6, 6)
+        other = random_spd(a.n, density=0.2, seed=1)
+        solver = SymPackSolver(a, SolverOptions(offload=CPU_ONLY))
+        solver.factorize()
+        with pytest.raises(ValueError, match="pattern"):
+            solver.update_values(other)
+
+    def test_shared_analysis_between_solvers(self, rng):
+        """A second solver reuses the first one's symbolic analysis."""
+        a1 = grid_laplacian_2d(7, 7, shift=0.1)
+        a2 = grid_laplacian_2d(7, 7, shift=0.4)
+        opts = SolverOptions(nranks=2, offload=CPU_ONLY)
+        first = SymPackSolver(a1, opts)
+        second = SymPackSolver(a2, opts, analysis=first.analysis)
+        assert second.analysis.perm is first.analysis.perm
+        second.factorize()
+        b = rng.standard_normal(a2.n)
+        x, _ = second.solve(b)
+        assert np.linalg.norm(a2.full() @ x - b) < 1e-8
+
     @pytest.mark.parametrize("ordering", ["natural", "rcm", "amd", "nd",
                                           "scotch_like"])
     def test_all_orderings_solve_correctly(self, ordering, rng):

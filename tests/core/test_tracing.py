@@ -1,6 +1,9 @@
 """Unit tests for execution tracing and op counters."""
 
+import threading
+
 from repro.core import ExecutionTrace, OpCounters
+from repro.core.tracing import ServiceEvent
 
 
 class TestOpCounters:
@@ -40,3 +43,74 @@ class TestExecutionTrace:
         t = ExecutionTrace(keep_timeline=True)
         t.record_task(0.0, 1.0, 2, "F[1,0]")
         assert t.timeline == [(0.0, 1.0, 2, "F[1,0]")]
+
+    def test_transfer_and_fallback_accumulators(self):
+        t = ExecutionTrace()
+        t.add_h2d(100)
+        t.add_h2d(50)
+        t.add_d2h(30)
+        t.record_fallback()
+        assert t.h2d_bytes == 150
+        assert t.d2h_bytes == 30
+        assert t.gpu_fallbacks == 1
+
+    def test_service_events_and_tier_counts(self):
+        t = ExecutionTrace()
+        t.record_request(ServiceEvent(request_id=0, tier="cold",
+                                      queue_wait=0.1, makespan=1.0))
+        t.record_request(ServiceEvent(request_id=1, tier="factor",
+                                      queue_wait=0.0, makespan=0.2,
+                                      coalesced_width=3))
+        t.record_request(ServiceEvent(request_id=2, tier="factor",
+                                      queue_wait=0.0, makespan=0.2))
+        assert t.tier_counts() == {"cold": 1, "factor": 2}
+        assert t.service_events[1].coalesced_width == 3
+
+
+class TestThreadSafety:
+    """The service shares one trace across worker threads — counters must
+    not drop updates under concurrent recording."""
+
+    THREADS = 8
+    PER_THREAD = 500
+
+    def _hammer(self, fn):
+        threads = [threading.Thread(target=fn) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_concurrent_op_counter_record(self):
+        c = OpCounters()
+
+        def work():
+            for i in range(self.PER_THREAD):
+                c.record(i % 4, "GEMM", "cpu" if i % 2 else "gpu", 2.0)
+
+        self._hammer(work)
+        total = self.THREADS * self.PER_THREAD
+        assert c.total_calls() == total
+        assert c.total_flops() == 2.0 * total
+
+    def test_concurrent_trace_recording(self):
+        t = ExecutionTrace()
+
+        def work():
+            for i in range(self.PER_THREAD):
+                t.record_task(0.0, 1.0, i % 4, "D[0]")
+                t.add_h2d(8)
+                t.add_d2h(4)
+                t.record_fallback()
+                t.record_request(ServiceEvent(
+                    request_id=i, tier="factor",
+                    queue_wait=0.0, makespan=0.1))
+
+        self._hammer(work)
+        total = self.THREADS * self.PER_THREAD
+        assert t.tasks_executed == total
+        assert t.h2d_bytes == 8 * total
+        assert t.d2h_bytes == 4 * total
+        assert t.gpu_fallbacks == total
+        assert len(t.service_events) == total
+        assert t.tier_counts() == {"factor": total}

@@ -1,0 +1,62 @@
+"""Tests of the service cache keys: pattern/value separation and stability."""
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.service import matrix_keys, pattern_key, values_key
+from repro.sparse import SymmetricCSC, grid_laplacian_2d, random_spd
+
+
+def _shuffled_copy(a: SymmetricCSC, rng) -> SymmetricCSC:
+    """Rebuild ``a`` from COO triplets in a permuted entry order."""
+    coo = a.full().tocoo()
+    order = rng.permutation(coo.nnz)
+    rebuilt = sp.coo_matrix(
+        (coo.data[order], (coo.row[order], coo.col[order])),
+        shape=coo.shape)
+    return SymmetricCSC.from_any(rebuilt, name="shuffled")
+
+
+class TestPatternKey:
+    def test_deterministic(self):
+        a = grid_laplacian_2d(7, 7)
+        assert pattern_key(a) == pattern_key(a)
+
+    def test_stable_under_entry_order(self):
+        """Permuted-but-identical construction hashes identically."""
+        rng = np.random.default_rng(3)
+        a = random_spd(40, density=0.15, seed=1)
+        b = _shuffled_copy(a, rng)
+        assert pattern_key(a) == pattern_key(b)
+        assert values_key(a) == values_key(b)
+
+    def test_stable_under_triangle_convention(self):
+        a = grid_laplacian_2d(6, 6)
+        upper = SymmetricCSC.from_any(sp.triu(a.full(), format="csc"))
+        assert pattern_key(a) == pattern_key(upper)
+
+    def test_value_change_keeps_pattern(self):
+        a = grid_laplacian_2d(6, 6, shift=1e-2)
+        b = grid_laplacian_2d(6, 6, shift=0.7)
+        assert pattern_key(a) == pattern_key(b)
+        assert values_key(a) != values_key(b)
+
+    def test_symmetric_permutation_changes_key(self):
+        """A permuted pattern is a different symbolic problem."""
+        a = random_spd(30, density=0.2, seed=5)
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(a.n)
+        b = a.permuted(perm)
+        assert pattern_key(a) != pattern_key(b)
+
+    def test_different_structures_differ(self):
+        assert pattern_key(grid_laplacian_2d(6, 6)) != \
+            pattern_key(grid_laplacian_2d(6, 7))
+
+
+class TestMatrixKeys:
+    def test_matches_individual_functions(self):
+        a = random_spd(25, density=0.2, seed=2)
+        pk, vk = matrix_keys(a)
+        assert pk == pattern_key(a)
+        assert vk == values_key(a)

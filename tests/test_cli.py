@@ -34,6 +34,9 @@ class TestParser:
         p.parse_args(["info", "m.mtx"])
         p.parse_args(["bench", "table1"])
         p.parse_args(["tune"])
+        p.parse_args(["resolve", "--factor", "f.npz"])
+        p.parse_args(["serve", "spool", "--workers", "2", "--once"])
+        p.parse_args(["submit", "spool", "m.mtx", "--nrhs", "2", "--wait"])
 
 
 class TestSolve:
@@ -56,6 +59,66 @@ class TestSolve:
         bad.write_text("")
         with pytest.raises(SystemExit):
             main(["solve", str(bad)])
+
+    def test_seed_changes_rhs(self, mtx_file, capsys):
+        assert main(["solve", mtx_file, "--no-gpu", "--seed", "1"]) == 0
+        out1 = capsys.readouterr().out
+        assert main(["solve", mtx_file, "--no-gpu", "--seed", "1"]) == 0
+        out2 = capsys.readouterr().out
+        assert out1 == out2                       # same seed: reproducible
+
+
+class TestResolve:
+    def test_solve_save_then_resolve(self, mtx_file, tmp_path, capsys):
+        factor = str(tmp_path / "f.npz")
+        assert main(["solve", mtx_file, "--no-gpu",
+                     "--save-factor", factor]) == 0
+        assert "factor saved" in capsys.readouterr().out
+
+        assert main(["resolve", "--factor", factor]) == 0
+        out = capsys.readouterr().out
+        assert "logdet(A)" in out
+        assert "residual" in out
+
+    def test_resolve_with_matrix(self, mtx_file, tmp_path, capsys):
+        factor = str(tmp_path / "f.npz")
+        main(["solve", mtx_file, "--no-gpu", "--save-factor", factor])
+        capsys.readouterr()
+        assert main(["resolve", "--factor", factor, "--matrix", mtx_file,
+                     "--nrhs", "2"]) == 0
+        assert "residual" in capsys.readouterr().out
+
+
+class TestServeSubmit:
+    def test_spool_round_trip(self, mtx_file, tmp_path, capsys):
+        spool = str(tmp_path / "spool")
+        assert main(["submit", spool, mtx_file, "--seed", "3"]) == 0
+        assert main(["submit", spool, mtx_file, "--seed", "4"]) == 0
+        capsys.readouterr()
+        assert main(["serve", spool, "--workers", "1", "--no-gpu",
+                     "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "processed        : 2 requests" in out
+        assert "hit rate" in out
+
+    def test_submit_wait(self, mtx_file, tmp_path, capsys):
+        import threading
+
+        spool = str(tmp_path / "spool")
+        server = threading.Thread(
+            target=main,
+            args=(["serve", spool, "--workers", "1", "--no-gpu",
+                   "--max-requests", "1"],))
+        server.start()
+        try:
+            rc = main(["submit", spool, mtx_file, "--wait",
+                       "--timeout", "60"])
+        finally:
+            server.join(timeout=60)
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "tier             : cold" in out
+        assert "relative residual" in out
 
 
 class TestGenerateAndInfo:
