@@ -1,0 +1,139 @@
+"""Symbolic-phase hot-path benchmark: before/after the vectorization pass.
+
+The symbolic kernels (elimination tree, postorder, levels, first
+descendants, Gilbert-Ng-Peyton column counts) were rewritten from
+numpy-scalar-boxed loops to native-int list walks and vectorized passes.
+This benchmark times the rewritten kernels on a >=50k-column 2-D
+Laplacian and records their throughput next to the **baked pre-rewrite
+baselines** (measured on the same host, same matrix, at the commit
+preceding the rewrite), so the speedup is visible in
+``benchmarks/perf/BENCH_symbolic.json``.
+
+Structure must be unchanged: the vectorized column counts are asserted
+bitwise-equal to the independent structure-merge implementation, the
+etree/postorder invariants are re-validated, and the resulting supernode
+partition is checked to cover the matrix exactly.
+
+Set ``REPRO_BENCH_QUICK=1`` for a fast CI-sized run (smaller grid; the
+baked baselines only apply to the full-size run and are omitted).
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.sparse import grid_laplacian_2d
+from repro.symbolic import analyze
+from repro.symbolic.colcounts import column_counts_gnp
+from repro.symbolic.etree import (
+    elimination_tree,
+    first_descendants,
+    is_valid_etree,
+    postorder,
+    tree_levels,
+)
+from repro.symbolic.structure import column_counts
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+RESULTS_PATH = Path(__file__).parent / "BENCH_symbolic.json"
+GRID = 60 if QUICK else 224  # 224^2 = 50176 columns
+
+# Pre-rewrite wall-clock seconds on grid_laplacian_2d(224, 224), measured
+# on this host at the seed commit of the vectorization work.  They apply
+# to the full-size run only.
+BASELINE_SECONDS = {
+    "elimination_tree": 0.1677,
+    "postorder": 0.0796,
+    "tree_levels": 0.0577,
+    "first_descendants": 0.0351,
+    "column_counts_gnp": 0.3273,
+}
+
+REPS = 3 if QUICK else 5
+
+
+def _best(fn, reps=REPS):
+    best = float("inf")
+    out = None
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        out = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, out
+
+
+def test_symbolic_hot_paths():
+    a = grid_laplacian_2d(GRID, GRID)
+    lower = a.lower
+    n = a.n
+
+    timings = {}
+    timings["elimination_tree"], parent = _best(lambda: elimination_tree(lower))
+    timings["postorder"], post = _best(lambda: postorder(parent))
+    timings["tree_levels"], levels = _best(lambda: tree_levels(parent))
+    timings["first_descendants"], first = _best(
+        lambda: first_descendants(parent, post))
+    timings["column_counts_gnp"], counts = _best(
+        lambda: column_counts_gnp(lower, parent))
+
+    # ------------------------------------------------ structure unchanged
+    assert is_valid_etree(parent)
+    # postorder is a permutation that places children before parents
+    rank = np.empty(n, dtype=np.int64)
+    rank[post] = np.arange(n)
+    nonroot = parent >= 0
+    assert np.all(rank[nonroot] < rank[parent[nonroot]])
+    # levels follow the parent chain exactly
+    assert np.all(levels[~nonroot] == 0)
+    assert np.array_equal(levels[nonroot], levels[parent[nonroot]] + 1)
+    # first descendants never rank above the node itself
+    assert np.all(first <= rank)
+    # GNP counts == independent structure-merge counts, bit for bit
+    assert np.array_equal(counts, column_counts(lower, parent))
+    # the supernode partition still tiles the matrix
+    an = analyze(a)
+    part = an.supernodes
+    widths = [part.width(s) for s in range(part.nsup)]
+    assert sum(widths) == n
+    starts = [part.first_col(s) for s in range(part.nsup)]
+    assert starts == sorted(starts)
+
+    # --------------------------------------------------------- reporting
+    record = {
+        "benchmark": "symbolic hot paths (vectorization before/after)",
+        "quick_mode": QUICK,
+        "grid": GRID,
+        "n": n,
+        "nnz_lower": int(lower.nnz),
+        "supernodes": part.nsup,
+        "kernels": {},
+    }
+    total_before = total_after = 0.0
+    for name, seconds in timings.items():
+        entry = {
+            "seconds": round(seconds, 6),
+            "columns_per_second": round(n / seconds, 1),
+        }
+        if not QUICK:
+            before = BASELINE_SECONDS[name]
+            entry["baseline_seconds"] = before
+            entry["baseline_columns_per_second"] = round(n / before, 1)
+            entry["speedup"] = round(before / seconds, 2)
+            total_before += before
+        total_after += seconds
+        record["kernels"][name] = entry
+    record["total_seconds"] = round(total_after, 6)
+    if not QUICK:
+        record["total_baseline_seconds"] = round(total_before, 6)
+        record["total_speedup"] = round(total_before / total_after, 2)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    if not QUICK:
+        print(f"\nsymbolic total: {total_before:.3f}s -> {total_after:.3f}s "
+              f"({total_before / total_after:.2f}x) on n={n}")
+        # The rewrite should comfortably outpace the baked baselines even
+        # under host noise.
+        assert total_before / total_after > 1.5

@@ -31,7 +31,7 @@ from ..core.base import CommonOptions, SolverBase
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall
+from ..kernels.dispatch import ExecContext, KernelCall, flat_index
 from ..machine.model import MachineModel
 from ..pgas.network import MemoryKindsMode
 
@@ -131,6 +131,7 @@ class PastixLikeSolver(SolverBase):
             for bj, col_blk in enumerate(blist):
                 t = col_blk.tgt
                 fc_t = part.first_col(t)
+                w_t = part.width(t)
                 col_pos = col_blk.rows - fc_t
                 # Collect all scatter actions from s into supernode t.
                 actions = []
@@ -145,7 +146,8 @@ class PastixLikeSolver(SolverBase):
                         rpos = row_blk.rows - fc_t
                         flops += kf.syrk_flops(col_blk.nrows, w)
                         actions.append(("syrk", ("diag", t), a_cols, None,
-                                        rpos, col_pos, -1.0))
+                                        flat_index(rpos, col_pos, w_t),
+                                        -1.0))
                     else:
                         tb = block_index[t].get(j)
                         if tb is None:
@@ -157,7 +159,9 @@ class PastixLikeSolver(SolverBase):
                         flops += kf.gemm_flops(row_blk.nrows,
                                                col_blk.nrows, w)
                         actions.append(("gemm", ("blk", t, tb), a_rows,
-                                        a_cols, rpos, col_pos, -1.0))
+                                        a_cols,
+                                        flat_index(rpos, col_pos, w_t),
+                                        -1.0))
                     max_buf = max(max_buf, row_blk.nrows * w,
                                   col_blk.nrows * w)
 

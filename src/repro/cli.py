@@ -56,7 +56,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     solver = SymPackSolver(a, SolverOptions(
         nranks=args.nranks, ranks_per_node=args.ranks_per_node,
         ordering=args.ordering, machine=_machine(args.machine),
-        offload=offload))
+        offload=offload, parallelism=args.parallelism))
     info = solver.factorize()
     rng = np.random.default_rng(args.seed)
     b = rng.standard_normal((a.n, args.nrhs))
@@ -265,6 +265,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="rng seed of the random right-hand side")
     p.add_argument("--no-gpu", action="store_true")
+    p.add_argument("--parallelism", type=int, default=1,
+                   help="wave-parallel kernel flush workers (results stay "
+                        "bit-identical to serial; see docs/performance.md)")
     p.add_argument("--save-factor", default=None, metavar="PATH",
                    help="persist the factor (.npz) for later `resolve` runs")
     add_run_args(p)

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..kernels.dispatch import ExecContext
+from ..kernels.dispatch import ExecContext, ExecutorStats
 from ..machine.model import MachineModel
 from ..machine.perlmutter import perlmutter
 from ..pgas.device_kinds import DeviceKind
@@ -78,6 +78,16 @@ class CommonOptions:
         model (:func:`repro.machine.frontier` for HIP, etc.).
     keep_timeline:
         Record the full per-task timeline in the trace.
+    parallelism:
+        Worker-thread count of the deferred numeric flush.  ``1``
+        (default) executes kernels serially in submission order; ``> 1``
+        executes each dependency wave's independent kernels on a thread
+        pool with bit-identical results (see ``docs/performance.md``).
+    batching:
+        ``False`` disables flush batching entirely: every kernel call
+        executes one at a time in submission order.  This is the serial
+        reference mode the performance benchmarks and determinism tests
+        compare against; results are bit-identical in all three modes.
     """
 
     nranks: int = 1
@@ -91,6 +101,8 @@ class CommonOptions:
     device_capacity: int | None = None
     device_kind: DeviceKind = DeviceKind.CUDA
     keep_timeline: bool = False
+    parallelism: int = 1
+    batching: bool = True
 
     def __post_init__(self) -> None:
         Scheduling(self.scheduling)  # raises ValueError on unknown policy
@@ -99,6 +111,9 @@ class CommonOptions:
         if self.ranks_per_node < 1:
             raise ValueError(
                 f"ranks_per_node must be >= 1, got {self.ranks_per_node}")
+        if self.parallelism < 1:
+            raise ValueError(
+                f"parallelism must be >= 1, got {self.parallelism}")
 
     def resolved_device_capacity(self) -> int | None:
         """Per-process device segment size (the recommended equal split)."""
@@ -119,6 +134,7 @@ class FactorizeInfo:
     comm: CommStats
     tasks: int
     rank_busy: list[float]
+    exec_stats: "ExecutorStats | None" = None  # flush counters of this run
 
 
 @dataclass
@@ -241,6 +257,7 @@ class SolverBase:
             comm=run.comm,
             tasks=run.tasks_total,
             rank_busy=run.rank_busy,
+            exec_stats=run.exec_stats,
         )
 
     def update_values(self, a: SymmetricCSC) -> None:

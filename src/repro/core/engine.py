@@ -31,7 +31,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from enum import Enum
 
-from ..kernels.dispatch import KernelExecutor
+from ..kernels.dispatch import ExecutorStats, KernelExecutor
 from ..pgas.device import DeviceOutOfMemory, OomFallback
 from ..pgas.device_kinds import vendor_libraries
 from ..pgas.network import MemoryKindsMode, MemorySpace
@@ -65,6 +65,7 @@ class EngineResult:
     trace: ExecutionTrace
     tasks_total: int
     rank_busy: list[float] = field(default_factory=list)
+    exec_stats: ExecutorStats | None = None
 
     @property
     def load_imbalance(self) -> float:
@@ -98,6 +99,12 @@ class FanOutEngine:
     executor:
         Optional pre-built kernel executor; by default one is created
         over ``graph.context``.
+    parallelism:
+        Worker-thread count of the deferred numeric flush (forwarded to
+        the default-constructed :class:`KernelExecutor`; 1 = serial).
+    batching:
+        ``False`` disables flush batching entirely — the one-at-a-time
+        reference execution mode (forwarded to the default executor).
     """
 
     def __init__(
@@ -108,6 +115,8 @@ class FanOutEngine:
         scheduling: str | Scheduling = Scheduling.FIFO,
         trace: ExecutionTrace | None = None,
         executor: KernelExecutor | None = None,
+        parallelism: int = 1,
+        batching: bool = True,
     ) -> None:
         graph.validate()
         self.world = world
@@ -116,7 +125,9 @@ class FanOutEngine:
         self.scheduling = Scheduling(scheduling)
         self.trace = trace if trace is not None else ExecutionTrace()
         self.executor = (executor if executor is not None
-                         else KernelExecutor(graph.context, trace=self.trace))
+                         else KernelExecutor(graph.context, trace=self.trace,
+                                             parallelism=parallelism,
+                                             batching=batching))
         if self.executor.trace is None:
             self.executor.trace = self.trace
 
@@ -134,6 +145,10 @@ class FanOutEngine:
         self._device_resident: list[set] = [set() for _ in range(n_ranks)]
         self._executed = [False] * len(graph.tasks)
         self._done_count = 0
+        # Dependency wave (DAG depth) of each task: 0 for roots, else
+        # 1 + max over producers.  Producers all complete before a
+        # consumer is submitted, so the value is final by submission time.
+        self._wave = [0] * len(graph.tasks)
 
     # --------------------------------------------------------------- queues
 
@@ -264,7 +279,7 @@ class FanOutEngine:
         device, duration = self._place_task(task, rank)
         # Numerics are deferred: submission order is task start order, so
         # the flushed execution is dependency-respecting.
-        self.executor.submit(task, rank, device)
+        self.executor.submit(task, rank, device, wave=self._wave[tid])
         end = now + duration
         self.world.ranks[rank].busy_time += duration
         self.trace.record_task(now, end, rank, task.label)
@@ -280,6 +295,17 @@ class FanOutEngine:
         self._busy[rank] = False
         self._executed[tid] = True
         self._done_count += 1
+
+        # Propagate dependency waves to every consumer (local and remote).
+        wave = self._wave
+        child_wave = wave[tid] + 1
+        for child in task.local_consumers:
+            if child_wave > wave[child]:
+                wave[child] = child_wave
+        for msg in task.messages:
+            for child in msg.consumers:
+                if child_wave > wave[child]:
+                    wave[child] = child_wave
 
         # Local dependents.
         for child in task.local_consumers:
@@ -357,4 +383,5 @@ class FanOutEngine:
             trace=self.trace,
             tasks_total=len(self.graph.tasks),
             rank_busy=busy,
+            exec_stats=self.executor.stats,
         )

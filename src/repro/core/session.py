@@ -19,6 +19,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from ..kernels.dispatch import ExecutorStats
 from ..machine.model import MachineModel
 from ..pgas.device_kinds import DeviceKind
 from ..pgas.network import MemoryKindsMode
@@ -40,6 +41,7 @@ class RunResult:
     rank_busy: list[float]
     comm: CommStats          # this run's communication counters
     trace: ExecutionTrace    # the session-accumulated trace
+    exec_stats: ExecutorStats | None = None  # this run's flush counters
 
     @property
     def load_imbalance(self) -> float:
@@ -70,6 +72,8 @@ class ExecutionSession:
         device_kind: DeviceKind = DeviceKind.CUDA,
         keep_timeline: bool = False,
         trace: ExecutionTrace | None = None,
+        parallelism: int = 1,
+        batching: bool = True,
     ) -> None:
         self.nranks = nranks
         self.machine = machine
@@ -79,6 +83,8 @@ class ExecutionSession:
         self.scheduling = Scheduling(scheduling)
         self.device_capacity = device_capacity
         self.device_kind = device_kind
+        self.parallelism = parallelism
+        self.batching = batching
         # ``trace`` may be shared across sessions (the solve service hands
         # every cached solver one service-wide trace); the trace itself is
         # thread-safe, and the session guards its own accumulators below.
@@ -110,6 +116,8 @@ class ExecutionSession:
             device_kind=options.device_kind,
             keep_timeline=options.keep_timeline,
             trace=trace,
+            parallelism=options.parallelism,
+            batching=options.batching,
         )
 
     # ----------------------------------------------------------- execution
@@ -133,7 +141,9 @@ class ExecutionSession:
         """Execute one task graph on a fresh world; accumulate stats."""
         world = self._new_world()
         engine = FanOutEngine(world, graph, self.offload,
-                              scheduling=self.scheduling, trace=self.trace)
+                              scheduling=self.scheduling, trace=self.trace,
+                              parallelism=self.parallelism,
+                              batching=self.batching)
         result = engine.run()
         with self._stats_lock:
             self.comm += world.stats
@@ -144,4 +154,5 @@ class ExecutionSession:
             rank_busy=result.rank_busy,
             comm=world.stats,
             trace=self.trace,
+            exec_stats=result.exec_stats,
         )

@@ -30,12 +30,30 @@ class FactorStorage:
         self.panels: list[np.ndarray] = []
         self.block_views: list[list[np.ndarray]] = []
 
+        # Same-width diagonal blocks live contiguously in one (k, w, w)
+        # pool; ``diag[s]`` is a view into its pool.  Batched executors
+        # factor a whole width group through the Cholesky gufunc straight
+        # off the pool — no stacking copies, no per-block write-back.
+        widths = [part.last_col(s) - part.first_col(s) + 1
+                  for s in range(part.nsup)]
+        by_width: dict[int, list[int]] = {}
+        for s, w in enumerate(widths):
+            by_width.setdefault(w, []).append(s)
+        self.diag_pool: dict[int, np.ndarray] = {}
+        self.diag_pos: dict[int, tuple[int, int]] = {}
+        for w, sups in by_width.items():
+            pool = np.zeros((len(sups), w, w), dtype=dtype)
+            self.diag_pool[w] = pool
+            for i, s in enumerate(sups):
+                self.diag_pos[s] = (w, i)
+
         for s in range(part.nsup):
             fc, lc = part.first_col(s), part.last_col(s)
-            w = lc - fc + 1
+            w = widths[s]
             struct = part.structs[s]
             panel = np.zeros((struct.size, w), dtype=dtype)
-            self.diag.append(np.zeros((w, w), dtype=dtype))
+            pw, pi = self.diag_pos[s]
+            self.diag.append(self.diag_pool[pw][pi])
             self.panels.append(panel)
             views = []
             for b in analysis.blocks.blocks[s]:

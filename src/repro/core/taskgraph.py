@@ -28,7 +28,7 @@ import numpy as np
 
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall
+from ..kernels.dispatch import ExecContext, KernelCall, flat_index
 from ..symbolic.analysis import SymbolicAnalysis
 from .mapping import ProcessMap
 from .offload import OffloadPolicy
@@ -136,6 +136,7 @@ def build_factor_graph(
         for bj, col_blk in enumerate(blist):
             t = col_blk.tgt
             fc_t = part.first_col(t)
+            w_t = part.width(t)
             col_pos = col_blk.rows - fc_t  # columns within supernode t
             for bi in range(bj, len(blist)):
                 row_blk = blist[bi]
@@ -144,16 +145,16 @@ def build_factor_graph(
 
                 if j == t:
                     # SYRK into the diagonal block of t.
-                    rpos = row_blk.rows - fc_t
+                    flat = flat_index(row_blk.rows - fc_t, col_pos, w_t)
                     op = kd.OP_SYRK
                     flops = kf.syrk_flops(k, w)
                     tgt_key = _diag_key(t)
-                    tgt_bytes = part.width(t) ** 2 * _F64
+                    tgt_bytes = w_t * w_t * _F64
                     rank = pmap(t, t)
                     downstream = d_task[t]
                     kernel = KernelCall(
                         "syrk_sub",
-                        (tgt_key, _block_key(s, bi), rpos, col_pos, -1.0))
+                        (tgt_key, _block_key(s, bi), flat, -1.0))
                 else:
                     # GEMM into block B[j, t]: locate it in supernode t.
                     tb_index = block_index[t].get(j)
@@ -171,13 +172,13 @@ def build_factor_graph(
                     op = kd.OP_GEMM
                     flops = kf.gemm_flops(m, k, w)
                     tgt_key = _block_key(t, tb_index)
-                    tgt_bytes = tgt_blk.nrows * part.width(t) * _F64
+                    tgt_bytes = tgt_blk.nrows * w_t * _F64
                     rank = pmap(j, t)
                     downstream = f_task[(t, tb_index)]
                     kernel = KernelCall(
                         "gemm_sub",
                         (tgt_key, _block_key(s, bi), _block_key(s, bj),
-                         rpos, col_pos, -1.0))
+                         flat_index(rpos, col_pos, w_t), -1.0))
 
                 ut = graph.new_task(
                     kind=TaskKind.UPDATE,

@@ -10,7 +10,7 @@ NumPy arrays; SciPy routes them to the platform BLAS/LAPACK.
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg as la
+from scipy.linalg.blas import dtrsm as _dtrsm
 
 from ..sparse.validate import NotPositiveDefiniteError
 
@@ -26,12 +26,18 @@ OP_GEMM = "GEMM"
 def potrf(a: np.ndarray) -> np.ndarray:
     """Cholesky factor of a dense SPD block: returns lower-triangular ``L``.
 
+    Uses ``np.linalg.cholesky`` — a gufunc, so a ``(k, w, w)`` stack of
+    blocks factors in one call with results bitwise identical to ``k``
+    single calls (the batched executor paths rely on exactly this), and
+    per-call overhead is far below the high-level SciPy wrapper the solver
+    originally used.  Returns a clean lower triangle (zero upper).
+
     Raises :class:`NotPositiveDefiniteError` on a non-positive pivot, the
     numeric signal that the (permuted) input was not SPD.
     """
     try:
-        return la.cholesky(a, lower=True, check_finite=False)
-    except la.LinAlgError as exc:
+        return np.linalg.cholesky(a)
+    except np.linalg.LinAlgError as exc:
         raise NotPositiveDefiniteError(str(exc)) from exc
 
 
@@ -39,11 +45,16 @@ def trsm_right_lower_trans(b: np.ndarray, l_diag: np.ndarray) -> np.ndarray:
     """Solve ``X @ L^T = B`` for a panel ``B`` given the diagonal factor ``L``.
 
     This is the off-diagonal factorization step: ``L[rows, snode] =
-    A[rows, snode] @ L_diag^{-T}`` (paper task ``F``).
+    A[rows, snode] @ L_diag^{-T}`` (paper task ``F``).  Calls BLAS
+    ``dtrsm`` (side=right, lower, transposed) directly for the same
+    per-call-overhead reason as :func:`potrf`.
     """
-    # Solve L X^T = B^T  =>  X = (L^{-1} B^T)^T
-    xt = la.solve_triangular(l_diag, b.T, lower=True, check_finite=False)
-    return np.ascontiguousarray(xt.T)
+    if b.size == 0:
+        return np.array(b, copy=True)
+    # Solve L X^T = B^T.  Passing the transposed views hands BLAS
+    # Fortran-ordered operands without copies, and transposing the
+    # Fortran-ordered result back yields a C-contiguous X.
+    return _dtrsm(1.0, l_diag.T, b.T, side=0, lower=0, trans_a=1).T
 
 
 def syrk_lower(l_panel: np.ndarray) -> np.ndarray:

@@ -18,8 +18,14 @@ the closure design could not provide:
   per-call overhead on the hot update path while keeping the scatter
   order — and therefore the floating-point results — identical to
   eager per-task execution;
-* **automatic tracing** — per-op call/flop counters are recorded by the
-  executor at submission, not hand-kept by each engine code path.
+* **wave-parallel execution** — with ``parallelism > 1`` the flush
+  executes one dependency *wave* (DAG depth level, recorded by the engine
+  at submission) at a time: the wave's mutually independent kernels run
+  on a ``ThreadPoolExecutor`` (NumPy/SciPy BLAS releases the GIL), with
+  same-op same-shape products stacked wave-wide, while every scatter-add
+  is deferred into a per-buffer queue that the coordinating thread drains
+  in original submission order just before the buffer's first consumer
+  executes — so the results stay **bit-identical** to the serial path.
 
 Operand references understood by :meth:`ExecContext.resolve`:
 
@@ -32,10 +38,19 @@ reference                 resolves to
 ``("scratch", key)``      a named accumulator array (aggregate buffers)
 ``("rhs",)``              the dense right-hand-side block of a solve graph
 ========================  =====================================================
+
+Scatter targets (``syrk_sub`` / ``gemm_sub`` / ``multi_update``) carry
+precomputed *raveled flat indices* (:func:`flat_index`) instead of
+``(rpos, cpos)`` pairs, so the apply is a single flat-indexed add on the
+target's contiguous memory — elementwise identical to the historical
+``tgt[np.ix_(rpos, cpos)] += sign * prod`` form.
 """
 
 from __future__ import annotations
 
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
@@ -43,7 +58,26 @@ import scipy.linalg as la
 
 from . import dense as kd
 
-__all__ = ["KernelCall", "ExecContext", "KernelExecutor", "KERNEL_OPS"]
+__all__ = ["KernelCall", "ExecContext", "KernelExecutor", "KERNEL_OPS",
+           "flat_index"]
+
+
+def flat_index(rpos, cpos, ncols: int) -> np.ndarray:
+    """Raveled C-order indices of the ``rpos × cpos`` scatter rectangle.
+
+    Precomputed at graph-build time so the numeric scatter is a single
+    flat-indexed add into the target's contiguous buffer.
+    """
+    rpos = np.asarray(rpos, dtype=np.int64)
+    cpos = np.asarray(cpos, dtype=np.int64)
+    return (rpos[:, None] * int(ncols) + cpos[None, :]).ravel()
+
+
+def _flat_view(tgt: np.ndarray) -> np.ndarray:
+    """1-D view of a scatter target; loud failure if a copy would be made."""
+    if not tgt.flags.c_contiguous:
+        raise ValueError("scatter target is not C-contiguous")
+    return tgt.reshape(-1)
 
 
 @dataclass(frozen=True)
@@ -87,10 +121,19 @@ class ExecContext:
         self.transient: dict = {}
 
     def scratch_array(self, key, shape) -> np.ndarray:
-        """Get-or-create the named zero-initialised accumulator."""
+        """Get-or-create the named zero-initialised accumulator.
+
+        A cache hit with a different ``shape`` is a graph-build bug (two
+        buffers silently aliased); it raises instead of returning the
+        mismatched array.
+        """
         arr = self.scratch.get(key)
         if arr is None:
             arr = self.scratch[key] = np.zeros(shape)
+        elif arr.shape != tuple(shape):
+            raise ValueError(
+                f"scratch array {key!r} already registered with shape "
+                f"{arr.shape}, requested {tuple(shape)}")
         return arr
 
     def fresh_run(self) -> None:
@@ -128,7 +171,7 @@ def _op_noop(ctx) -> None:
 
 def _op_potrf_diag(ctx, s) -> None:
     diag = ctx.storage.diag_block(s)
-    diag[:, :] = np.tril(kd.potrf(diag))
+    diag[:, :] = kd.potrf(diag)
 
 
 def _op_trsm_block(ctx, s, bi) -> None:
@@ -139,31 +182,29 @@ def _op_trsm_block(ctx, s, bi) -> None:
 def _op_panel_factor(ctx, s) -> None:
     diag = ctx.storage.diag_block(s)
     panel = ctx.storage.panels[s]
-    diag[:, :] = np.tril(kd.potrf(diag))
+    diag[:, :] = kd.potrf(diag)
     if panel.shape[0]:
         panel[:, :] = kd.trsm_right_lower_trans(panel, diag)
 
 
-def _op_syrk_sub(ctx, tgt_ref, a_ref, rpos, cpos, sign) -> None:
-    tgt = ctx.resolve(tgt_ref)
-    tgt[np.ix_(rpos, cpos)] += sign * kd.syrk_lower(ctx.resolve(a_ref))
+def _op_syrk_sub(ctx, tgt_ref, a_ref, flat, sign) -> None:
+    prod = kd.syrk_lower(ctx.resolve(a_ref))
+    _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
 
 
-def _op_gemm_sub(ctx, tgt_ref, a_ref, b_ref, rpos, cpos, sign) -> None:
-    tgt = ctx.resolve(tgt_ref)
-    tgt[np.ix_(rpos, cpos)] += sign * kd.gemm_nt(ctx.resolve(a_ref),
-                                                 ctx.resolve(b_ref))
+def _op_gemm_sub(ctx, tgt_ref, a_ref, b_ref, flat, sign) -> None:
+    prod = kd.gemm_nt(ctx.resolve(a_ref), ctx.resolve(b_ref))
+    _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
 
 
 def _op_multi_update(ctx, actions) -> None:
     """Aggregated update: a sequence of syrk/gemm scatter actions."""
-    for kind, tgt_ref, a_ref, b_ref, rpos, cpos, sign in actions:
-        tgt = ctx.resolve(tgt_ref)
+    for kind, tgt_ref, a_ref, b_ref, flat, sign in actions:
         if kind == "syrk":
-            tgt[np.ix_(rpos, cpos)] += sign * kd.syrk_lower(ctx.resolve(a_ref))
+            prod = kd.syrk_lower(ctx.resolve(a_ref))
         else:
-            tgt[np.ix_(rpos, cpos)] += sign * kd.gemm_nt(
-                ctx.resolve(a_ref), ctx.resolve(b_ref))
+            prod = kd.gemm_nt(ctx.resolve(a_ref), ctx.resolve(b_ref))
+        _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
 
 
 def _op_apply_panel(ctx, t, agg_ref) -> None:
@@ -189,25 +230,27 @@ def _op_frontal(ctx, s, kids) -> None:
     w = lc - fc + 1
     struct = part.structs[s]
     m = struct.size
+    # front_vars is strictly increasing (supernode columns, then the
+    # sorted struct rows below them), so searchsorted replaces the
+    # historical per-entry position dict.
     front_vars = np.concatenate([np.arange(fc, lc + 1), struct])
     a = analysis.a_perm.lower
-    indptr, indices, data = a.indptr, a.indices, a.data
+    indptr = a.indptr
 
     front = np.zeros((w + m, w + m))
-    # Assemble original entries of A (lower triangle).
-    pos = {int(v): i for i, v in enumerate(front_vars)}
-    for c in range(w):
-        j = fc + c
-        for p in range(indptr[j], indptr[j + 1]):
-            front[pos[int(indices[p])], c] = data[p]
+    # Assemble original entries of A (lower triangle), all columns at once.
+    p0, p1 = indptr[fc], indptr[lc + 1]
+    rows = a.indices[p0:p1]
+    cols = np.repeat(np.arange(w), np.diff(indptr[fc:lc + 2]))
+    front[np.searchsorted(front_vars, rows), cols] = a.data[p0:p1]
     # Extend-add the children's contribution blocks.
     for child in kids:
         c_rows, c_block = ctx.transient.pop(("contrib", child))
-        idx = np.asarray([pos[int(r)] for r in c_rows])
+        idx = np.searchsorted(front_vars, c_rows)
         front[np.ix_(idx, idx)] += c_block
     # Partial factorization of the first w variables.
     l11 = kd.potrf(front[:w, :w])
-    front[:w, :w] = np.tril(l11)
+    front[:w, :w] = l11
     if m:
         l21 = kd.trsm_right_lower_trans(front[w:, :w], l11)
         front[w:, :w] = l21
@@ -265,63 +308,131 @@ KERNEL_OPS = {
     "gemv_bwd": _op_gemv_bwd,
 }
 
+# Solve-graph kernels read and write overlapping slices of the one shared
+# rhs buffer; the per-buffer ordering argument the wave path relies on
+# does not hold there, so graphs containing them always flush serially.
+_RHS_OPS = frozenset({"trsv", "gemv_fwd", "gemv_bwd"})
+# In-place kernels that rewrite whole factor buffers (run as pool jobs).
+_WHOLE_OPS = frozenset({"potrf_diag", "trsm_block", "panel_factor",
+                        "frontal"})
+# Aggregate applies: pure subtractions deferred into the scatter queues.
+_DEFERRED_OPS = frozenset({"apply_panel", "axpy_sub"})
+
 
 # --------------------------------------------------------- batch handlers
 #
 # A batch handler executes a run of consecutive same-op calls at once.
 # Products are order-independent; the scatter-adds are applied in the
 # original submission order, so results match the one-at-a-time path.
+# Each returns the number of calls that actually went through a stacked
+# product (same-shape groups of more than one call).
+#
+# Stacking a product group costs an ``np.stack`` copy of every operand,
+# which only pays off when the group amortises it (enough members) and
+# the per-call BLAS overhead dominates the flops (small blocks).  Groups
+# outside that regime run as plain per-call products — same results,
+# since stacked and single products are bitwise identical per item.
+
+_STACK_MIN_GROUP = 4      # fewer members: copies cost more than they save
+_STACK_MAX_ELTS = 1024    # larger operands: BLAS flops dominate overhead
 
 
-def _batch_gemm_sub(ctx, calls) -> None:
+def _stack_worthwhile(n_members: int, elts: int) -> bool:
+    return n_members >= _STACK_MIN_GROUP and elts <= _STACK_MAX_ELTS
+
+
+def _batch_gemm_sub(ctx, calls) -> int:
     resolved = []
     groups: dict[tuple, list[int]] = {}
     for i, call in enumerate(calls):
-        tgt_ref, a_ref, b_ref, rpos, cpos, sign = call.args
+        tgt_ref, a_ref, b_ref, flat, sign = call.args
         a = ctx.resolve(a_ref)
         b = ctx.resolve(b_ref)
-        resolved.append((ctx.resolve(tgt_ref), a, b, rpos, cpos, sign))
+        resolved.append((ctx.resolve(tgt_ref), a, b, flat, sign))
         groups.setdefault((a.shape, b.shape), []).append(i)
     products: list = [None] * len(calls)
+    stacked = 0
     for idxs in groups.values():
-        if len(idxs) > 1:
+        if _stack_worthwhile(len(idxs), resolved[idxs[0]][1].size):
+            stacked += len(idxs)
             a_stack = np.stack([resolved[i][1] for i in idxs])
             b_stack = np.stack([resolved[i][2] for i in idxs])
             prod = np.matmul(a_stack, b_stack.transpose(0, 2, 1))
             for k, i in enumerate(idxs):
                 products[i] = prod[k]
         else:
-            i = idxs[0]
-            products[i] = kd.gemm_nt(resolved[i][1], resolved[i][2])
-    for (tgt, _a, _b, rpos, cpos, sign), prod in zip(resolved, products):
-        tgt[np.ix_(rpos, cpos)] += sign * prod
+            for i in idxs:
+                products[i] = kd.gemm_nt(resolved[i][1], resolved[i][2])
+    for (tgt, _a, _b, flat, sign), prod in zip(resolved, products):
+        _flat_view(tgt)[flat] += (sign * prod).reshape(-1)
+    return stacked
 
 
-def _batch_syrk_sub(ctx, calls) -> None:
+def _batch_syrk_sub(ctx, calls) -> int:
     resolved = []
     groups: dict[tuple, list[int]] = {}
     for i, call in enumerate(calls):
-        tgt_ref, a_ref, rpos, cpos, sign = call.args
+        tgt_ref, a_ref, flat, sign = call.args
         a = ctx.resolve(a_ref)
-        resolved.append((ctx.resolve(tgt_ref), a, rpos, cpos, sign))
+        resolved.append((ctx.resolve(tgt_ref), a, flat, sign))
         groups.setdefault(a.shape, []).append(i)
     products: list = [None] * len(calls)
+    stacked = 0
     for idxs in groups.values():
-        if len(idxs) > 1:
+        if _stack_worthwhile(len(idxs), resolved[idxs[0]][1].size):
+            stacked += len(idxs)
             a_stack = np.stack([resolved[i][1] for i in idxs])
             prod = np.matmul(a_stack, a_stack.transpose(0, 2, 1))
             for k, i in enumerate(idxs):
                 products[i] = prod[k]
         else:
-            i = idxs[0]
-            products[i] = kd.syrk_lower(resolved[i][1])
-    for (tgt, _a, rpos, cpos, sign), prod in zip(resolved, products):
-        tgt[np.ix_(rpos, cpos)] += sign * prod
+            for i in idxs:
+                products[i] = kd.syrk_lower(resolved[i][1])
+    for (tgt, _a, flat, sign), prod in zip(resolved, products):
+        _flat_view(tgt)[flat] += (sign * prod).reshape(-1)
+    return stacked
+
+
+def _potrf_group(pool: np.ndarray, pos: list[int]) -> None:
+    """Factor the diag-pool blocks at ``pos`` through the Cholesky gufunc.
+
+    The blocks are distinct (each supernode is factored exactly once per
+    run), so the batched factorization is order-independent, and the
+    gufunc produces bitwise the same factor for a ``(k, w, w)`` batch as
+    for ``k`` single calls.  When the group covers the whole pool the
+    batch runs straight off the contiguous pool — no gather, and a single
+    bulk write-back.
+    """
+    if len(pos) == 1:
+        d = pool[pos[0]]
+        d[:, :] = kd.potrf(d)
+    elif len(pos) == pool.shape[0]:
+        pool[:, :, :] = kd.potrf(pool)
+    else:
+        idx = np.asarray(pos, dtype=np.intp)
+        pool[idx] = kd.potrf(pool[idx])
+
+
+def _batch_potrf_diag(ctx, calls) -> int:
+    """Factor a run of diagonal blocks batched by pool width."""
+    storage = ctx.storage
+    by_width: dict[int, list[int]] = {}
+    pos_of = storage.diag_pos
+    for call in calls:
+        w, i = pos_of[call.args[0]]
+        by_width.setdefault(w, []).append(i)
+    stacked = 0
+    for w, pos in by_width.items():
+        if len(pos) > 1:
+            stacked += len(pos)
+        _potrf_group(storage.diag_pool[w], pos)
+    return stacked
 
 
 _BATCH_OPS = {
     "gemm_sub": _batch_gemm_sub,
     "syrk_sub": _batch_syrk_sub,
+    "potrf_diag": _batch_potrf_diag,
 }
 
 
@@ -329,56 +440,460 @@ _BATCH_OPS = {
 class ExecutorStats:
     """Batching effectiveness counters of one :class:`KernelExecutor`."""
 
-    calls: int = 0       # kernel calls executed
-    batches: int = 0     # handler invocations (groups of consecutive ops)
-    stacked: int = 0     # calls executed through a stacked-product batch
+    calls: int = 0          # kernel calls executed
+    batches: int = 0        # handler/job invocations (groups of calls)
+    stacked: int = 0        # calls executed through a stacked-product batch
+    waves: int = 0          # dependency waves executed by the parallel path
+    flush_seconds: float = 0.0  # wall-clock spent inside flush()
 
 
 class KernelExecutor:
     """Ordered, batching executor of :class:`KernelCall` descriptors.
 
     The engine :meth:`submit`s each task's kernel at its simulated start
-    (recording per-op trace counters) and :meth:`flush`es once the run
-    completes: pending calls execute in submission order, with maximal
+    (recording per-op trace counters and the task's dependency wave) and
+    :meth:`flush`es once the run completes.
+
+    ``parallelism=1`` (default) executes in submission order with maximal
     runs of consecutive same-op calls handed to a batch handler.
+    ``parallelism>1`` executes wave by wave on a thread pool (see the
+    module docstring for the bit-identical ordering discipline).
+    ``batching=False`` disables batching entirely — the one-at-a-time
+    reference path used by the determinism property tests.
     """
 
-    def __init__(self, context: ExecContext | None = None, trace=None):
+    def __init__(self, context: ExecContext | None = None, trace=None,
+                 parallelism: int = 1, batching: bool = True,
+                 use_threads: bool | None = None):
         self.context = context if context is not None else ExecContext()
         self.trace = trace
+        self.parallelism = max(1, int(parallelism))
+        self.batching = batching
+        # None = auto: a real thread pool only helps when more than one
+        # CPU can actually run a job concurrently (BLAS releases the GIL);
+        # on a single usable core the wave path keeps its wave-wide
+        # batching but runs jobs inline.  Tests force True to exercise
+        # the threaded path regardless of the host.
+        if use_threads is None:
+            use_threads = min(self.parallelism, _usable_cpus()) > 1
+        self.use_threads = use_threads
         self.stats = ExecutorStats()
-        self._pending: list[KernelCall] = []
+        self._pending: list[tuple[KernelCall, int | None]] = []
 
-    def submit(self, task, rank: int, device: str) -> None:
-        """Queue a task's kernel; account its op/flops to the trace."""
+    def submit(self, task, rank: int, device: str,
+               wave: int | None = None) -> None:
+        """Queue a task's kernel; account its op/flops to the trace.
+
+        ``wave`` is the task's dependency depth in the DAG (0 for roots).
+        Submitters that do not track waves (tests, direct replays) leave
+        it ``None``, which routes the flush down the serial path.
+        """
         if self.trace is not None:
             self.trace.ops.record(rank, task.op, device, task.flops)
-        self._pending.append(task.kernel)
+        self._pending.append((task.kernel, wave))
 
     def flush(self) -> None:
-        """Execute all pending kernels in submission order, batched."""
+        """Execute all pending kernels; bit-identical for every mode."""
         pending, self._pending = self._pending, []
+        if not pending:
+            return
+        t0 = time.perf_counter()
+        try:
+            if (self.parallelism > 1 and self.batching
+                    and all(w is not None for _, w in pending)
+                    and not any(c.op in _RHS_OPS for c, _ in pending)):
+                self._flush_waves(pending)
+            else:
+                self._flush_serial([c for c, _ in pending])
+        finally:
+            self.stats.flush_seconds += time.perf_counter() - t0
+
+    def run_one(self, call: KernelCall) -> None:
+        """Execute a single call immediately (testing convenience)."""
+        KERNEL_OPS[call.op](self.context, *call.args)
+
+    # ------------------------------------------------------- serial path
+
+    def _flush_serial(self, pending: list[KernelCall]) -> None:
+        """Submission order, with consecutive same-op runs batched."""
         ctx = self.context
         n = len(pending)
         i = 0
         while i < n:
             op = pending[i].op
             j = i + 1
-            while j < n and pending[j].op == op:
-                j += 1
+            if self.batching:
+                while j < n and pending[j].op == op:
+                    j += 1
             batch = pending[i:j]
             self.stats.calls += len(batch)
             self.stats.batches += 1
-            handler = _BATCH_OPS.get(op)
+            handler = _BATCH_OPS.get(op) if self.batching else None
             if handler is not None and len(batch) > 1:
-                self.stats.stacked += len(batch)
-                handler(ctx, batch)
+                self.stats.stacked += handler(ctx, batch)
             else:
                 fn = KERNEL_OPS[op]
                 for call in batch:
                     fn(ctx, *call.args)
             i = j
 
-    def run_one(self, call: KernelCall) -> None:
-        """Execute a single call immediately (testing convenience)."""
-        KERNEL_OPS[call.op](self.context, *call.args)
+    # --------------------------------------------------- wave-parallel path
+    #
+    # Correctness sketch.  Waves are DAG depths, so calls sharing a wave
+    # are mutually independent: their products/whole-kernels may run
+    # concurrently and in any order.  Every scatter-add (and aggregate
+    # apply) is *deferred* into a queue keyed by its precise target
+    # buffer.  A buffer's queue is drained — entries applied in original
+    # submission-index order — at the start of the first wave containing
+    # a kernel that reads or rewrites that buffer.  In every factor graph
+    # all adds into a buffer precede its first reader in the DAG, so the
+    # whole queue is present at drain time and the per-buffer apply order
+    # equals the serial path's submission order exactly.  Panels and their
+    # block views alias, so draining a ("panel", s) or ("blk", s, _) key
+    # merges all queues of supernode s's panel memory before sorting.
+
+    def _flush_waves(self, pending: list[tuple[KernelCall, int]]) -> None:
+        ctx = self.context
+        stats = self.stats
+        n = len(pending)
+        stats.calls += n
+        buckets: dict[int, list[int]] = {}
+        for i, (_call, wave) in enumerate(pending):
+            buckets.setdefault(wave, []).append(i)
+
+        queues: dict[tuple, list[tuple]] = {}
+        panel_members: dict[int, set] = {}  # s -> blk keys with live queues
+
+        def enqueue(key: tuple, entry: tuple) -> None:
+            queues.setdefault(key, []).append(entry)
+            if key[0] == "blk":
+                panel_members.setdefault(key[1], set()).add(key)
+
+        def drain(keys) -> None:
+            if not queues:
+                return
+            merged: list[tuple] = []
+            seen: set = set()
+            stack = list(keys)
+            for key in stack:  # grows while iterating: overlap closure
+                if key in seen:
+                    continue
+                seen.add(key)
+                if key[0] == "panel":
+                    stack.extend(panel_members.get(key[1], ()))
+                elif key[0] == "blk":
+                    stack.append(("panel", key[1]))
+                q = queues.pop(key, None)
+                if q:
+                    merged.extend(q)
+            if not merged:
+                return
+            # Entries are (submission index, intra-call seq, ...) tuples
+            # whose first two fields are unique, so a plain tuple sort
+            # recovers the serial apply order without touching the rest.
+            merged.sort()
+            for _sub, _seq, tgt, kind, x in merged:
+                if kind == 0:    # scatter-add: x = (flat, signed product)
+                    _flat_view(tgt)[x[0]] += x[1]
+                else:            # deferred aggregate subtract: x = source
+                    tgt[:, :] -= x
+
+        pool_cls = (
+            (lambda: ThreadPoolExecutor(max_workers=self.parallelism))
+            if self.use_threads else _InlinePool)
+        with pool_cls() as pool:
+            for wave in sorted(buckets):
+                stats.waves += 1
+                self._run_wave(buckets[wave], pending, pool, enqueue, drain)
+        for key in list(queues):
+            drain((key,))
+
+    def _run_wave(self, chunk, pending, pool, enqueue, drain) -> None:
+        ctx = self.context
+        drain_keys: list[tuple] = []
+        syrk: list[int] = []
+        gemm: list[int] = []
+        multi: list[int] = []
+        potrf: list[int] = []
+        whole: list[int] = []
+        deferred: list[int] = []
+        for idx in chunk:
+            call = pending[idx][0]
+            op = call.op
+            if op == "noop":
+                self.stats.batches += 1
+                continue
+            if op == "potrf_diag":
+                drain_keys.append(("diag", call.args[0]))
+                potrf.append(idx)
+            elif op == "syrk_sub":
+                drain_keys.append(call.args[1])
+                syrk.append(idx)
+            elif op == "gemm_sub":
+                drain_keys.append(call.args[1])
+                drain_keys.append(call.args[2])
+                gemm.append(idx)
+            elif op == "multi_update":
+                for act in call.args[0]:
+                    drain_keys.append(act[2])
+                    if act[3] is not None:
+                        drain_keys.append(act[3])
+                multi.append(idx)
+            elif op in _DEFERRED_OPS:
+                drain_keys.append(call.args[1])
+                deferred.append(idx)
+            elif op in _WHOLE_OPS:
+                drain_keys.extend(_whole_buffers(call))
+                whole.append(idx)
+            else:
+                raise KeyError(f"op {op!r} not supported by the wave path")
+        drain(drain_keys)
+
+        # Aggregate applies carry no product work: enqueue the deferred
+        # subtraction directly (the aggregate is final — its own queue was
+        # just drained and nothing writes it in later waves).
+        for idx in deferred:
+            call = pending[idx][0]
+            if call.op == "axpy_sub":
+                tgt_ref, agg_ref = call.args
+                enqueue(tgt_ref, (idx, 0, ctx.resolve(tgt_ref), 1,
+                                  ctx.resolve(agg_ref)))
+            else:  # apply_panel
+                t, agg_ref = call.args
+                agg = ctx.resolve(agg_ref)
+                diag = ctx.storage.diag_block(t)
+                w = diag.shape[0]
+                enqueue(("diag", t), (idx, 0, diag, 1, agg[:w]))
+                panel = ctx.storage.panels[t]
+                if panel.shape[0]:
+                    enqueue(("panel", t), (idx, 1, panel, 1, agg[w:]))
+
+        futures = []
+        par = self.parallelism
+        futures += self._spawn_potrf(pool, pending, potrf)
+        futures += self._spawn_syrk(pool, pending, syrk)
+        futures += self._spawn_gemm(pool, pending, gemm)
+        for idxs in _split_chunks(multi, par):
+            self.stats.batches += 1
+            futures.append(pool.submit(
+                self._job_multi, ctx,
+                [(idx, pending[idx][0].args[0]) for idx in idxs]))
+        for idxs in _split_chunks(whole, par):
+            self.stats.batches += 1
+            futures.append(pool.submit(
+                self._job_whole, ctx, [pending[idx][0] for idx in idxs]))
+
+        for fut in futures:
+            for key, entry in fut.result():
+                enqueue(key, entry)
+
+    def _spawn_potrf(self, pool, pending, idxs):
+        """Wave-wide batched diagonal factorizations (Cholesky gufunc).
+
+        A wave's ``potrf_diag`` calls target distinct diag buffers that
+        nothing else in the wave touches (they'd be dependent otherwise),
+        so the in-place write-back may happen inside the pool job.
+        """
+        if not idxs:
+            return []
+        storage = self.context.storage
+        pos_of = storage.diag_pos
+        by_width: dict[int, list[int]] = {}
+        for idx in idxs:
+            w, i = pos_of[pending[idx][0].args[0]]
+            by_width.setdefault(w, []).append(i)
+        futures = []
+        for w, pos in by_width.items():
+            self.stats.batches += 1
+            if len(pos) > 1:
+                self.stats.stacked += len(pos)
+            futures.append(pool.submit(
+                self._job_potrf_group, storage.diag_pool[w], pos))
+        return futures
+
+    def _spawn_syrk(self, pool, pending, idxs):
+        if not idxs:
+            return []
+        ctx = self.context
+        groups: dict[tuple, list] = {}
+        singles = []
+        for idx in idxs:
+            tgt_ref, a_ref, flat, sign = pending[idx][0].args
+            a = ctx.resolve(a_ref)
+            item = (idx, ctx.resolve(tgt_ref), tgt_ref, flat, a)
+            groups.setdefault((a.shape, sign), []).append(item)
+        futures = []
+        for (_shape, sign), items in groups.items():
+            if _stack_worthwhile(len(items), items[0][4].size):
+                self.stats.stacked += len(items)
+                self.stats.batches += 1
+                futures.append(pool.submit(self._job_syrk_stack, items, sign))
+            else:
+                singles.extend((it, sign) for it in items)
+        for pairs in _split_chunks(singles, self.parallelism):
+            self.stats.batches += 1
+            futures.append(pool.submit(self._job_syrk_single, pairs))
+        return futures
+
+    def _spawn_gemm(self, pool, pending, idxs):
+        if not idxs:
+            return []
+        ctx = self.context
+        groups: dict[tuple, list] = {}
+        singles = []
+        for idx in idxs:
+            tgt_ref, a_ref, b_ref, flat, sign = pending[idx][0].args
+            a = ctx.resolve(a_ref)
+            b = ctx.resolve(b_ref)
+            item = (idx, ctx.resolve(tgt_ref), tgt_ref, flat, a, b)
+            groups.setdefault((a.shape, b.shape, sign), []).append(item)
+        futures = []
+        for (_sa, _sb, sign), items in groups.items():
+            if _stack_worthwhile(len(items), items[0][4].size):
+                self.stats.stacked += len(items)
+                self.stats.batches += 1
+                futures.append(pool.submit(self._job_gemm_stack, items, sign))
+            else:
+                singles.extend((it, sign) for it in items)
+        for pairs in _split_chunks(singles, self.parallelism):
+            self.stats.batches += 1
+            futures.append(pool.submit(self._job_gemm_single, pairs))
+        return futures
+
+    # Pool jobs compute products only; every mutation of shared factor
+    # state flows back through the coordinator's queues (except _WHOLE_OPS
+    # kernels, whose in-place writes are wave-disjoint by construction).
+    # The sign multiply and the ravel are applied to the whole stack in
+    # one numpy call each; per-item rows of the 2-D result are views, so
+    # per-call numpy overhead stays O(1) per stacked group.
+
+    @staticmethod
+    def _job_potrf_group(pool, pos):
+        _potrf_group(pool, pos)
+        return ()
+
+    @staticmethod
+    def _job_syrk_stack(items, sign):
+        a_stack = np.stack([it[4] for it in items])
+        prods = np.matmul(a_stack, a_stack.transpose(0, 2, 1))
+        if sign != 1.0:
+            prods *= sign
+        rows = prods.reshape(len(items), -1)
+        return [(it[2], (it[0], 0, it[1], 0, (it[3], rows[k])))
+                for k, it in enumerate(items)]
+
+    @staticmethod
+    def _job_syrk_single(pairs):
+        out = []
+        for it, sign in pairs:
+            prod = kd.syrk_lower(it[4])
+            if sign != 1.0:
+                prod *= sign
+            out.append((it[2], (it[0], 0, it[1], 0,
+                                (it[3], prod.reshape(-1)))))
+        return out
+
+    @staticmethod
+    def _job_gemm_stack(items, sign):
+        a_stack = np.stack([it[4] for it in items])
+        b_stack = np.stack([it[5] for it in items])
+        prods = np.matmul(a_stack, b_stack.transpose(0, 2, 1))
+        if sign != 1.0:
+            prods *= sign
+        rows = prods.reshape(len(items), -1)
+        return [(it[2], (it[0], 0, it[1], 0, (it[3], rows[k])))
+                for k, it in enumerate(items)]
+
+    @staticmethod
+    def _job_gemm_single(pairs):
+        out = []
+        for it, sign in pairs:
+            prod = kd.gemm_nt(it[4], it[5])
+            if sign != 1.0:
+                prod *= sign
+            out.append((it[2], (it[0], 0, it[1], 0,
+                                (it[3], prod.reshape(-1)))))
+        return out
+
+    @staticmethod
+    def _job_multi(ctx, calls):
+        out = []
+        for idx, actions in calls:
+            for seq, (kind, tgt_ref, a_ref, b_ref, flat, sign) in enumerate(
+                    actions):
+                if kind == "syrk":
+                    prod = kd.syrk_lower(ctx.resolve(a_ref))
+                else:
+                    prod = kd.gemm_nt(ctx.resolve(a_ref), ctx.resolve(b_ref))
+                out.append((tgt_ref, (idx, seq, ctx.resolve(tgt_ref), 0,
+                                      (flat, (sign * prod).reshape(-1)))))
+        return out
+
+    @staticmethod
+    def _job_whole(ctx, calls):
+        for call in calls:
+            KERNEL_OPS[call.op](ctx, *call.args)
+        return ()
+
+
+def _whole_buffers(call: KernelCall) -> list[tuple]:
+    """Factor buffers a whole-kernel reads or rewrites (drain triggers)."""
+    op = call.op
+    if op == "potrf_diag":
+        return [("diag", call.args[0])]
+    if op == "trsm_block":
+        s, bi = call.args
+        return [("diag", s), ("blk", s, bi)]
+    if op == "panel_factor":
+        s = call.args[0]
+        return [("diag", s), ("panel", s)]
+    # frontal: assembles from A + transient contribs (never queued) and
+    # rewrites its own diag/panel wholesale.
+    s = call.args[0]
+    return [("diag", s), ("panel", s)]
+
+
+class _InlinePool:
+    """Drop-in for ``ThreadPoolExecutor`` that runs jobs at submit time.
+
+    Used when only one CPU is usable: thread hand-offs cannot overlap any
+    compute there, so the wave path keeps its wave-wide batching (the part
+    that pays) and skips the pool round-trips (the part that doesn't).
+    Job order is submission order; results are identical either way
+    because scatter entries are re-sorted at drain time and whole-kernel
+    writes are wave-disjoint.
+    """
+
+    class _Done:
+        __slots__ = ("_value",)
+
+        def __init__(self, value):
+            self._value = value
+
+        def result(self):
+            return self._value
+
+    def submit(self, fn, *args):
+        return self._Done(fn(*args))
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without affinity masks
+        return os.cpu_count() or 1
+
+
+def _split_chunks(items: list, k: int) -> list[list]:
+    """Split ``items`` into at most ``k`` similarly-sized job chunks."""
+    if not items:
+        return []
+    k = max(1, min(k, len(items)))
+    size = -(-len(items) // k)
+    return [items[i:i + size] for i in range(0, len(items), size)]

@@ -19,35 +19,13 @@ from .etree import elimination_tree, postorder
 __all__ = ["column_counts_gnp"]
 
 
-def _leaf(i: int, j: int, first: np.ndarray, maxfirst: np.ndarray,
-          prevleaf: np.ndarray, ancestor: np.ndarray) -> tuple[int, int]:
-    """Is ``j`` a leaf of row ``i``'s subtree?  (Davis, cs_leaf.)
-
-    Returns ``(jleaf, q)`` where ``jleaf`` is 0 (not a leaf), 1 (first
-    leaf) or 2 (subsequent leaf) and ``q`` is the least common ancestor of
-    ``j`` and the previous leaf when ``jleaf == 2``.
-    """
-    if i <= j or first[j] <= maxfirst[i]:
-        return 0, -1
-    maxfirst[i] = first[j]
-    jprev = prevleaf[i]
-    prevleaf[i] = j
-    if jprev == -1:
-        return 1, j
-    q = jprev
-    while q != ancestor[q]:
-        q = ancestor[q]
-    s = jprev
-    while s != q:
-        s_parent = ancestor[s]
-        ancestor[s] = q
-        s = s_parent
-    return 2, q
-
-
 def column_counts_gnp(lower: sp.csc_matrix,
                       parent: np.ndarray | None = None) -> np.ndarray:
     """Column counts of the Cholesky factor (diagonal included).
+
+    The whole computation runs on plain Python lists: every step is a
+    sequential dependent walk (leaf tests with LCA path compression), where
+    native-int list indexing beats numpy scalar boxing severalfold.
 
     Parameters
     ----------
@@ -60,41 +38,61 @@ def column_counts_gnp(lower: sp.csc_matrix,
     n = lower.shape[0]
     if parent is None:
         parent = elimination_tree(lower)
-    post = postorder(parent)
+    post_arr = postorder(parent)
+    post = post_arr.tolist()
+    par = np.asarray(parent).tolist()
 
-    delta = np.zeros(n, dtype=np.int64)
-    first = np.full(n, -1, dtype=np.int64)
+    delta = [0] * n
+    first = [-1] * n
     for k in range(n):
-        j = int(post[k])
+        j = post[k]
         delta[j] = 1 if first[j] == -1 else 0  # j is a leaf of its subtree
         node = j
         while node != -1 and first[node] == -1:
             first[node] = k
-            node = int(parent[node])
+            node = par[node]
 
-    maxfirst = np.full(n, -1, dtype=np.int64)
-    prevleaf = np.full(n, -1, dtype=np.int64)
-    ancestor = np.arange(n, dtype=np.int64)
-    indptr, indices = lower.indptr, lower.indices
+    maxfirst = [-1] * n
+    prevleaf = [-1] * n
+    ancestor = list(range(n))
+    indptr = lower.indptr.tolist()
+    indices = lower.indices.tolist()
 
-    for k in range(n):
-        j = int(post[k])
-        if parent[j] != -1:
-            delta[parent[j]] -= 1
+    for j in post:
+        pj = par[j]
+        if pj != -1:
+            delta[pj] -= 1
+        fj = first[j]
         # Strict-lower entries of column j: rows i > j with a_ij != 0,
         # i.e. the skeleton entries whose row subtrees j may be a leaf of.
+        # The body is Davis's cs_leaf inlined: is j a leaf of row i's
+        # subtree, and if a subsequent one, what is the LCA with the
+        # previous leaf?
         for p in range(indptr[j], indptr[j + 1]):
-            i = int(indices[p])
-            jleaf, q = _leaf(i, j, first, maxfirst, prevleaf, ancestor)
-            if jleaf >= 1:
-                delta[j] += 1
-            if jleaf == 2:
-                delta[q] -= 1
-        if parent[j] != -1:
-            ancestor[j] = int(parent[j])
+            i = indices[p]
+            if i <= j or fj <= maxfirst[i]:
+                continue  # not a leaf
+            maxfirst[i] = fj
+            jprev = prevleaf[i]
+            prevleaf[i] = j
+            delta[j] += 1
+            if jprev == -1:
+                continue  # first leaf of row i's subtree
+            q = jprev
+            while q != ancestor[q]:
+                q = ancestor[q]
+            s = jprev
+            while s != q:
+                s_parent = ancestor[s]
+                ancestor[s] = q
+                s = s_parent
+            delta[q] -= 1
+        if pj != -1:
+            ancestor[j] = pj
 
-    counts = delta.copy()
+    counts = delta
     for j in range(n):
-        if parent[j] != -1:
-            counts[parent[j]] += counts[j]
-    return counts
+        pj = par[j]
+        if pj != -1:
+            counts[pj] += counts[j]
+    return np.asarray(counts, dtype=np.int64)

@@ -23,13 +23,17 @@ def elimination_tree(lower: sp.csc_matrix) -> np.ndarray:
     """
     lower = sp.csc_matrix(lower)
     n = lower.shape[0]
-    parent = np.full(n, -1, dtype=np.int64)
-    ancestor = np.full(n, -1, dtype=np.int64)
+    # Plain Python lists: the walk is inherently sequential (each step
+    # depends on the previous path compression), and list indexing with
+    # native ints is several times faster than numpy scalar boxing.
+    parent = [-1] * n
+    ancestor = [-1] * n
     # Liu's algorithm must see nodes in increasing order, walking up from
     # every k < i with a_ik != 0.  Row-major access over the lower triangle
     # provides exactly that traversal order.
     rows = lower.tocsr()
-    indptr, indices = rows.indptr, rows.indices
+    indptr = rows.indptr.tolist()
+    indices = rows.indices.tolist()
     for i in range(n):
         for p in range(indptr[i], indptr[i + 1]):
             node = indices[p]
@@ -39,17 +43,28 @@ def elimination_tree(lower: sp.csc_matrix) -> np.ndarray:
                 if nxt == -1:
                     parent[node] = i
                 node = nxt
-    return parent
+    return np.asarray(parent, dtype=np.int64)
 
 
 def children_lists(parent: np.ndarray) -> list[list[int]]:
     """Children adjacency of the elimination tree (sorted ascending)."""
+    parent = np.asarray(parent)
     n = parent.size
     kids: list[list[int]] = [[] for _ in range(n)]
-    for v in range(n):
-        p = parent[v]
-        if p >= 0:
-            kids[p].append(v)
+    child = np.flatnonzero(parent >= 0)
+    if child.size:
+        # Stable sort by parent keeps children in ascending index order
+        # within each group; one pass of list slicing replaces the
+        # per-node append loop.
+        pa = parent[child]
+        order = np.argsort(pa, kind="stable")
+        grouped = child[order].tolist()
+        counts = np.bincount(pa, minlength=n)
+        ends = np.cumsum(counts)
+        starts = (ends - counts).tolist()
+        ends = ends.tolist()
+        for v in np.flatnonzero(counts).tolist():
+            kids[v] = grouped[starts[v]:ends[v]]
     return kids
 
 
@@ -59,41 +74,67 @@ def postorder(parent: np.ndarray) -> np.ndarray:
     Deterministic: children are visited in ascending index order, roots in
     ascending index order.
     """
+    parent = np.asarray(parent)
     n = parent.size
-    kids = children_lists(parent)
-    order = np.empty(n, dtype=np.int64)
-    pos = 0
+    plist = parent.tolist()
+    # First-child / next-sibling links (Davis, cs_post).  Building head in
+    # descending node order leaves each child list sorted ascending.
+    head = [-1] * n
+    sibling = [0] * n
+    for v in range(n - 1, -1, -1):
+        p = plist[v]
+        if p >= 0:
+            sibling[v] = head[p]
+            head[p] = v
+    order: list[int] = []
+    append = order.append
+    stack: list[int] = []
+    push = stack.append
     for root in range(n):
-        if parent[root] != -1:
+        if plist[root] != -1:
             continue
-        stack = [(root, 0)]
+        push(root)
         while stack:
-            node, child_idx = stack.pop()
-            if child_idx < len(kids[node]):
-                stack.append((node, child_idx + 1))
-                stack.append((kids[node][child_idx], 0))
+            node = stack[-1]
+            child = head[node]
+            if child == -1:
+                append(node)
+                stack.pop()
             else:
-                order[pos] = node
-                pos += 1
-    if pos != n:
+                head[node] = sibling[child]  # consume the child link
+                push(child)
+    if len(order) != n:
         raise ValueError("parent array is not a forest (cycle detected)")
-    return order
+    return np.asarray(order, dtype=np.int64)
 
 
 def tree_levels(parent: np.ndarray) -> np.ndarray:
     """Depth of each node (roots at level 0)."""
+    parent = np.asarray(parent)
     n = parent.size
-    level = np.full(n, -1, dtype=np.int64)
-    for v in range(n):
-        path = []
-        node = v
-        while node != -1 and level[node] < 0:
-            path.append(node)
-            node = parent[node]
-        base = 0 if node == -1 else level[node] + 1
-        for d, u in enumerate(reversed(path)):
-            level[u] = base + d
-    return level
+    plist = parent.tolist()
+    if n and bool(np.any((parent >= 0) & (parent <= np.arange(n)))):
+        # Not an elimination tree (parents may precede children): fall
+        # back to memoised path-walking.
+        level = [-1] * n
+        for v in range(n):
+            path = []
+            node = v
+            while node != -1 and level[node] < 0:
+                path.append(node)
+                node = plist[node]
+            base = 0 if node == -1 else level[node] + 1
+            for d, u in enumerate(reversed(path)):
+                level[u] = base + d
+        return np.asarray(level, dtype=np.int64)
+    # Elimination trees satisfy parent[v] > v, so a single descending
+    # sweep sees every parent's level before its children need it.
+    level = [0] * n
+    for v in range(n - 1, -1, -1):
+        p = plist[v]
+        if p >= 0:
+            level[v] = level[p] + 1
+    return np.asarray(level, dtype=np.int64)
 
 
 def first_descendants(parent: np.ndarray, post: np.ndarray) -> np.ndarray:
@@ -101,22 +142,23 @@ def first_descendants(parent: np.ndarray, post: np.ndarray) -> np.ndarray:
     n = parent.size
     rank = np.empty(n, dtype=np.int64)
     rank[post] = np.arange(n)
-    first = rank.copy()
-    for k in range(n):
-        j = post[k]
-        p = parent[j]
-        if p >= 0:
-            first[p] = min(first[p], first[j])
-    return first
+    first = rank.tolist()
+    plist = np.asarray(parent).tolist()
+    for j in post.tolist():
+        p = plist[j]
+        if p >= 0 and first[j] < first[p]:
+            first[p] = first[j]
+    return np.asarray(first, dtype=np.int64)
 
 
 def is_valid_etree(parent: np.ndarray) -> bool:
     """Structural sanity: parents are later columns and the graph is a forest."""
+    parent = np.asarray(parent)
     n = parent.size
-    for v in range(n):
-        p = parent[v]
-        if p != -1 and not (v < p < n):
-            return False
+    v = np.arange(n)
+    nonroot = parent != -1
+    if bool(np.any(nonroot & ~((v < parent) & (parent < n)))):
+        return False
     try:
         postorder(parent)
     except ValueError:

@@ -29,7 +29,7 @@ from ..core.offload import CPU_ONLY, OffloadPolicy
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall
+from ..kernels.dispatch import ExecContext, KernelCall, flat_index
 from ..sparse.csc import SymmetricCSC
 
 __all__ = ["FanBothOptions", "FanBothSolver"]
@@ -134,6 +134,7 @@ class FanBothSolver(SolverBase):
             for bj, col_blk in enumerate(blist):
                 t = col_blk.tgt
                 fc_t = part.first_col(t)
+                w_t = part.width(t)
                 col_pos = col_blk.rows - fc_t
                 for bi in range(bj, len(blist)):
                     row_blk = blist[bi]
@@ -167,13 +168,14 @@ class FanBothSolver(SolverBase):
                         tgt_ref = ("scratch", ("agg", compute_rank, t, tb))
                         sign = 1.0
 
+                    flat = flat_index(rpos, col_pos, w_t)
                     if tb < 0:
                         kernel = KernelCall(
-                            "syrk_sub", (tgt_ref, a_cols, rpos, col_pos, sign))
+                            "syrk_sub", (tgt_ref, a_cols, flat, sign))
                     else:
                         kernel = KernelCall(
                             "gemm_sub",
-                            (tgt_ref, a_rows, a_cols, rpos, col_pos, sign))
+                            (tgt_ref, a_rows, a_cols, flat, sign))
 
                     ut = graph.new_task(
                         kind=TaskKind.UPDATE, rank=compute_rank,

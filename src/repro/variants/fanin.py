@@ -33,7 +33,7 @@ from ..core.offload import CPU_ONLY, OffloadPolicy
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall
+from ..kernels.dispatch import ExecContext, KernelCall, flat_index
 
 __all__ = ["FanInOptions", "FanInSolver"]
 
@@ -130,10 +130,12 @@ class FanInSolver(SolverBase):
                         flops += kf.syrk_flops(col_blk.nrows, w)
                         if remote:
                             actions.append(("syrk", agg_ref, a_cols, None,
-                                            rpos, col_pos, 1.0))
+                                            flat_index(rpos, col_pos, w_t),
+                                            1.0))
                         else:
                             actions.append(("syrk", ("diag", t), a_cols, None,
-                                            rpos, col_pos, -1.0))
+                                            flat_index(rpos, col_pos, w_t),
+                                            -1.0))
                     else:
                         tb = block_index[t].get(j)
                         if tb is None:
@@ -146,10 +148,13 @@ class FanInSolver(SolverBase):
                         if remote:
                             off = w_t + tgt_blk.offset
                             actions.append(("gemm", agg_ref, a_rows, a_cols,
-                                            off + rpos, col_pos, 1.0))
+                                            flat_index(off + rpos, col_pos,
+                                                       w_t), 1.0))
                         else:
                             actions.append(("gemm", ("blk", t, tb), a_rows,
-                                            a_cols, rpos, col_pos, -1.0))
+                                            a_cols,
+                                            flat_index(rpos, col_pos, w_t),
+                                            -1.0))
                     max_buf = max(max_buf, row_blk.nrows * w,
                                   col_blk.nrows * w)
 

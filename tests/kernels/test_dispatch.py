@@ -11,6 +11,7 @@ from repro.kernels.dispatch import (
     ExecContext,
     KernelCall,
     KernelExecutor,
+    flat_index,
 )
 from repro.sparse import random_spd
 from repro.symbolic import analyze
@@ -67,8 +68,7 @@ def _sub_calls(seed=0, n_targets=3, calls_per=4, shape=(4, 4)):
     rng = np.random.default_rng(seed)
     ctx = ExecContext()
     calls = []
-    rpos = list(range(shape[0]))
-    cpos = list(range(shape[1]))
+    flat = flat_index(np.arange(shape[0]), np.arange(shape[1]), shape[1])
     for t in range(n_targets):
         ctx.scratch_array(("tgt", t), shape)
         for c in range(calls_per):
@@ -78,7 +78,7 @@ def _sub_calls(seed=0, n_targets=3, calls_per=4, shape=(4, 4)):
             b[:] = rng.standard_normal(shape)
             calls.append(KernelCall("gemm_sub", (
                 ("scratch", ("tgt", t)), ("scratch", ("a", t, c)),
-                ("scratch", ("b", t, c)), rpos, cpos, -1.0)))
+                ("scratch", ("b", t, c)), flat, -1.0)))
     return ctx, calls
 
 

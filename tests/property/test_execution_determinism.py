@@ -1,0 +1,156 @@
+"""Bit-identity of the three flush execution modes, across all families.
+
+The deferred executor promises that its three modes — serial one-at-a-time
+(``batching=False``), batched submission-order (the default), and
+wave-parallel (``parallelism > 1``) — produce **bit-identical** factors
+and solutions (``np.array_equal``, not ``allclose``).  These tests pin
+that promise for every solver family, plus the threaded wave path (which
+auto-downgrades to inline execution on single-core hosts and must still
+match when forced on).
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.baselines.pastix_like import PastixLikeSolver, PastixOptions
+from repro.core.solver import SolverOptions, SymPackSolver
+from repro.kernels.dispatch import ExecContext, KernelExecutor
+from repro.sparse import SymmetricCSC, grid_laplacian_2d, random_spd
+from repro.variants import (
+    FanBothOptions,
+    FanBothSolver,
+    FanInOptions,
+    FanInSolver,
+    MultifrontalOptions,
+    MultifrontalSolver,
+)
+
+FAMILIES = [
+    (SymPackSolver, SolverOptions),
+    (FanInSolver, FanInOptions),
+    (FanBothSolver, FanBothOptions),
+    (MultifrontalSolver, MultifrontalOptions),
+    (PastixLikeSolver, PastixOptions),
+]
+
+
+def _coalesced_batch(sizes, seed=0):
+    """Block-diagonal union of small dense SPD tenants (service pattern)."""
+    rng = np.random.default_rng(seed)
+    blocks = []
+    for n in sizes:
+        m = rng.standard_normal((n, n)) * 0.1
+        blocks.append(m @ m.T + n * np.eye(n))
+    return SymmetricCSC.from_any(sp.block_diag(blocks, format="csc"))
+
+
+MATRICES = {
+    "sparse": lambda: random_spd(60, density=0.15, seed=3),
+    "grid": lambda: grid_laplacian_2d(9, 9),
+    "coalesced": lambda: _coalesced_batch([6, 8, 8, 10, 12]),
+}
+
+
+def _run(solver_cls, options_cls, a, *, parallelism, batching, nranks):
+    solver = solver_cls(a, options_cls(nranks=nranks, parallelism=parallelism,
+                                       batching=batching))
+    solver.factorize()
+    factor = solver.storage.to_sparse_factor().toarray()
+    rhs = np.linspace(-1.0, 1.0, a.n * 2).reshape(a.n, 2)
+    x, _ = solver.solve(rhs)
+    return factor, x
+
+
+@pytest.mark.parametrize("matrix_key", sorted(MATRICES))
+@pytest.mark.parametrize("solver_cls,options_cls", FAMILIES,
+                         ids=lambda v: getattr(v, "__name__", None))
+def test_three_modes_bit_identical(solver_cls, options_cls, matrix_key):
+    """serial == batched == wave-parallel, to the last bit, per family."""
+    a = MATRICES[matrix_key]()
+    nranks = 2 if matrix_key == "sparse" else 1
+    f_serial, x_serial = _run(solver_cls, options_cls, a,
+                              parallelism=1, batching=False, nranks=nranks)
+    f_batched, x_batched = _run(solver_cls, options_cls, a,
+                                parallelism=1, batching=True, nranks=nranks)
+    f_waves, x_waves = _run(solver_cls, options_cls, a,
+                            parallelism=4, batching=True, nranks=nranks)
+    assert np.array_equal(f_serial, f_batched)
+    assert np.array_equal(x_serial, x_batched)
+    assert np.array_equal(f_serial, f_waves)
+    assert np.array_equal(x_serial, x_waves)
+
+
+def test_wave_path_threaded_matches_inline():
+    """Forcing real worker threads changes nothing, bit for bit."""
+    a = _coalesced_batch([8, 8, 12, 12, 16, 16], seed=5)
+
+    # Run the captured kernel stream through both pool flavours directly.
+    solver = SymPackSolver(a, SolverOptions(nranks=1, parallelism=4))
+    captured = []
+    orig = KernelExecutor.flush
+
+    def capture(self):
+        if self._pending and not captured:
+            captured.append((list(self._pending), self))
+        orig(self)
+
+    KernelExecutor.flush = capture
+    try:
+        solver.factorize()
+    finally:
+        KernelExecutor.flush = orig
+    pending, ex = captured[0]
+    storage = ex.context.storage
+
+    results = {}
+    for use_threads in (False, True):
+        storage.reset()
+        ex.context.fresh_run()
+        runner = KernelExecutor(ex.context, parallelism=4,
+                                use_threads=use_threads)
+        runner._flush_waves(pending)
+        results[use_threads] = storage.to_sparse_factor().toarray()
+    assert np.array_equal(results[False], results[True])
+
+
+def test_run_one_matches_flush_modes():
+    """One-at-a-time run_one over the stream equals every flush mode."""
+    a = _coalesced_batch([8, 10, 12], seed=11)
+    solver = SymPackSolver(a, SolverOptions(nranks=1, parallelism=4))
+    captured = []
+    orig = KernelExecutor.flush
+
+    def capture(self):
+        if self._pending and not captured:
+            captured.append((list(self._pending), self))
+        orig(self)
+
+    KernelExecutor.flush = capture
+    try:
+        solver.factorize()
+    finally:
+        KernelExecutor.flush = orig
+    pending, ex = captured[0]
+    storage = ex.context.storage
+
+    storage.reset()
+    ex.context.fresh_run()
+    runner = KernelExecutor(ex.context)
+    for call, _wave in pending:
+        runner.run_one(call)
+    one_at_a_time = storage.to_sparse_factor().toarray()
+
+    storage.reset()
+    ex.context.fresh_run()
+    KernelExecutor(ex.context, parallelism=4)._flush_waves(pending)
+    waves = storage.to_sparse_factor().toarray()
+    assert np.array_equal(one_at_a_time, waves)
+
+
+def test_scratch_array_shape_mismatch_raises():
+    """Aliased aggregate buffers with conflicting shapes fail loudly."""
+    ctx = ExecContext()
+    ctx.scratch_array(("agg", 1), (3, 4))
+    with pytest.raises(ValueError, match="shape"):
+        ctx.scratch_array(("agg", 1), (4, 4))
