@@ -1,0 +1,7 @@
+"""``python -m repro.analysis`` — run the analysis suite CLI."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,222 @@
+"""Vector-clock happens-before checker for the simulated PGAS runtime.
+
+A :class:`PgasTracer` attaches to a :class:`~repro.pgas.runtime.World`
+(``World(..., tracer=...)`` — sessions do this under ``check_races``) and
+observes every runtime event that can order memory accesses:
+
+* buffer registration (the owning rank *producing* remote-visible data),
+* RPC send and RPC execution-at-``progress()`` (the only inter-rank
+  ordering edge the paper's communication paradigm provides — Section
+  3.4, Fig. 4),
+* one-sided ``rma_get`` / ``rma_put``.
+
+Each rank carries a vector clock; an RPC send snapshots the sender's
+clock into the in-flight RPC and the target joins it when ``progress()``
+executes the RPC.  With those edges, the checker flags exactly the
+accesses the fence/notification discipline does not order:
+
+* ``HB001`` **unfenced rget** — a rank pulls a buffer whose producing
+  write is not happens-before the get (the reader never received the
+  owner's signal, directly or transitively).
+* ``HB002`` **signal-before-put** — an RPC payload carries a
+  :class:`~repro.pgas.global_ptr.GlobalPtr` to a buffer with no write
+  ordered before the send: the notification can arrive and be acted on
+  before the data it advertises exists.
+* ``HB003`` **unfenced rput** — a one-sided put into a buffer whose
+  previous write or outstanding reads are not ordered before the put
+  (write-write or read-write race on the target).
+* ``HB004`` **progress-loop starvation** — a rank finishes the run with
+  RPCs still sitting in its inbox: delivered notifications that no
+  ``progress()`` call ever executed.
+
+Buffers the tracer never saw registered (e.g. device-segment
+bookkeeping allocations that bypass ``World.register``) are ignored
+rather than guessed at — the checker reports only provable missing
+edges, so a clean engine run yields zero findings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from ..pgas.global_ptr import GlobalPtr
+from .report import Finding
+
+__all__ = ["PgasTracer", "RpcToken"]
+
+_BufKey = tuple[int, int]  # (owning rank, buffer id)
+
+
+class RpcToken:
+    """Sender-side snapshot carried by one in-flight RPC."""
+
+    __slots__ = ("src", "dst", "clock", "send_time")
+
+    def __init__(self, src: int, dst: int, clock: list[int],
+                 send_time: float) -> None:
+        self.src = src
+        self.dst = dst
+        self.clock = clock
+        self.send_time = send_time
+
+
+def _leq(a: list[int], b: list[int]) -> bool:
+    """``a`` happens-before-or-equals ``b`` (component-wise ≤)."""
+    return all(x <= y for x, y in zip(a, b))
+
+
+def _iter_global_ptrs(payload: Any, depth: int = 0) -> Iterator[GlobalPtr]:
+    """Every :class:`GlobalPtr` reachable inside an RPC payload."""
+    if depth > 4:
+        return
+    if isinstance(payload, GlobalPtr):
+        yield payload
+    elif isinstance(payload, (tuple, list, set, frozenset)):
+        for item in payload:
+            yield from _iter_global_ptrs(item, depth + 1)
+    elif isinstance(payload, dict):
+        for item in payload.values():
+            yield from _iter_global_ptrs(item, depth + 1)
+
+
+class PgasTracer:
+    """Happens-before observer of one world; accumulates findings.
+
+    The runtime calls the ``on_*`` hooks (duck-typed — ``repro.pgas``
+    never imports this package); findings collect in :attr:`findings`
+    and :meth:`finalize` appends the end-of-run starvation checks.
+    """
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.findings: list[Finding] = []
+        self._clocks: list[list[int]] = [[0] * nranks for _ in range(nranks)]
+        # Per buffer: vector clock of the last write, and the join of all
+        # reads since (the "read ceiling" a new write must dominate).
+        self._write_clock: dict[_BufKey, list[int]] = {}
+        self._write_rank: dict[_BufKey, int] = {}
+        self._read_clock: dict[_BufKey, list[int]] = {}
+        # Network-leg counters (diagnostic detail for starvation reports).
+        self.legs = 0
+        self.leg_bytes = 0
+
+    # ------------------------------------------------------------- clocks
+
+    def _tick(self, rank: int) -> list[int]:
+        clock = self._clocks[rank]
+        clock[rank] += 1
+        return clock
+
+    def _join(self, rank: int, other: list[int]) -> None:
+        clock = self._clocks[rank]
+        for i, value in enumerate(other):
+            if value > clock[i]:
+                clock[i] = value
+
+    # -------------------------------------------------------------- hooks
+
+    def on_register(self, rank: int, ptr: GlobalPtr) -> None:
+        """Buffer registration = the owner's producing write."""
+        clock = self._tick(rank)
+        key = (ptr.rank, ptr.buffer_id)
+        self._write_clock[key] = list(clock)
+        self._write_rank[key] = rank
+        self._read_clock.pop(key, None)
+
+    def on_rpc_send(self, src: int, dst: int, payload: Any,
+                    t: float) -> RpcToken:
+        """RPC issue: snapshot the sender; audit advertised pointers."""
+        clock = self._tick(src)
+        for ptr in _iter_global_ptrs(payload):
+            key = (ptr.rank, ptr.buffer_id)
+            write = self._write_clock.get(key)
+            if write is None or not _leq(write, clock):
+                self.findings.append(Finding(
+                    rule="HB002",
+                    where=f"rank {src} -> rank {dst} rpc @t={t:.3e}",
+                    message=(
+                        "signal-before-put: payload references buffer "
+                        f"{ptr.buffer_id} on rank {ptr.rank} "
+                        f"({ptr.nbytes} bytes) with no write ordered "
+                        "before the send"),
+                    details={"src": src, "dst": dst, "buffer": key,
+                             "nbytes": ptr.nbytes, "time": t}))
+        return RpcToken(src=src, dst=dst, clock=list(clock), send_time=t)
+
+    def on_rpc_execute(self, rank: int, token: RpcToken | None) -> None:
+        """RPC body runs inside the target's ``progress()``: join + tick."""
+        if token is not None:
+            self._join(rank, token.clock)
+        self._tick(rank)
+
+    def on_rget(self, reader: int, ptr: GlobalPtr, t: float) -> None:
+        clock = self._tick(reader)
+        key = (ptr.rank, ptr.buffer_id)
+        write = self._write_clock.get(key)
+        if write is not None and not _leq(write, clock):
+            self.findings.append(Finding(
+                rule="HB001",
+                where=f"rank {reader} rget @t={t:.3e}",
+                message=(
+                    f"unfenced rget: rank {reader} pulls buffer "
+                    f"{ptr.buffer_id} on rank {ptr.rank} ({ptr.nbytes} "
+                    f"bytes) but the write by rank "
+                    f"{self._write_rank.get(key)} is not ordered before "
+                    "the get (no signal received)"),
+                details={"reader": reader, "buffer": key,
+                         "writer": self._write_rank.get(key),
+                         "nbytes": ptr.nbytes, "time": t}))
+        read = self._read_clock.get(key)
+        if read is None:
+            self._read_clock[key] = list(clock)
+        else:
+            for i, value in enumerate(clock):
+                if value > read[i]:
+                    read[i] = value
+
+    def on_rput(self, src: int, ptr: GlobalPtr, t: float) -> None:
+        clock = self._tick(src)
+        key = (ptr.rank, ptr.buffer_id)
+        write = self._write_clock.get(key)
+        race_with: str | None = None
+        if write is not None and not _leq(write, clock):
+            race_with = f"the previous write by rank {self._write_rank.get(key)}"
+        else:
+            read = self._read_clock.get(key)
+            if read is not None and not _leq(read, clock):
+                race_with = "an outstanding read of the target"
+        if race_with is not None:
+            self.findings.append(Finding(
+                rule="HB003",
+                where=f"rank {src} rput @t={t:.3e}",
+                message=(
+                    f"unfenced rput: rank {src} writes buffer "
+                    f"{ptr.buffer_id} on rank {ptr.rank} ({ptr.nbytes} "
+                    f"bytes) with no ordering edge to {race_with}"),
+                details={"writer": src, "buffer": key,
+                         "nbytes": ptr.nbytes, "time": t}))
+        self._write_clock[key] = list(clock)
+        self._write_rank[key] = src
+        self._read_clock.pop(key, None)
+
+    def on_network_leg(self, nbytes: int, src: int, dst: int) -> None:
+        self.legs += 1
+        self.leg_bytes += int(nbytes)
+
+    # ----------------------------------------------------------- finalize
+
+    def finalize(self, world: Any = None) -> list[Finding]:
+        """End-of-run checks; returns the full accumulated finding list."""
+        if world is not None:
+            for state in world.ranks:
+                stuck = state.inbox.pending()
+                if stuck:
+                    self.findings.append(Finding(
+                        rule="HB004",
+                        where=f"rank {state.rank} inbox",
+                        message=(
+                            f"progress-loop starvation: {stuck} delivered "
+                            "RPC(s) never executed — the rank stopped "
+                            "polling before draining its inbox"),
+                        details={"rank": state.rank, "pending": stuck}))
+        return self.findings

@@ -89,7 +89,8 @@ def _best_sympack(a: SymmetricCSC, b: np.ndarray, nodes: int,
         )
         if best is None or point.factor_seconds < best.factor_seconds:
             best = point
-    assert best is not None
+    if best is None:
+        raise ValueError("ppn_sweep must contain at least one rank count")
     return best
 
 
@@ -111,7 +112,8 @@ def _best_pastix(a: SymmetricCSC, b: np.ndarray, nodes: int,
         )
         if best is None or point.factor_seconds < best.factor_seconds:
             best = point
-    assert best is not None
+    if best is None:
+        raise ValueError("ppn_sweep must contain at least one rank count")
     return best
 
 

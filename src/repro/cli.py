@@ -56,7 +56,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     solver = SymPackSolver(a, SolverOptions(
         nranks=args.nranks, ranks_per_node=args.ranks_per_node,
         ordering=args.ordering, machine=_machine(args.machine),
-        offload=offload, parallelism=args.parallelism))
+        offload=offload, parallelism=args.parallelism,
+        check_waves=args.check_waves, check_races=args.check_races))
     info = solver.factorize()
     rng = np.random.default_rng(args.seed)
     b = rng.standard_normal((a.n, args.nrhs))
@@ -70,11 +71,20 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"relative residual: {res:.3e}")
     print(f"communication    : {info.comm.rpcs_sent} RPCs, "
           f"{info.comm.bytes_get} bytes pulled")
+    findings = (list(solver.session.wave_findings)
+                + list(solver.session.race_findings))
+    if args.check_waves or args.check_races:
+        checks = [name for name, on in (("waves", args.check_waves),
+                                        ("races", args.check_races)) if on]
+        print(f"checks ({'+'.join(checks)})   : "
+              f"{len(findings)} finding(s)")
+        for f in findings:
+            print(f"  {f}")
     if args.save_factor:
         from .core.serialization import save_factor
         save_factor(solver, args.save_factor)
         print(f"factor saved     : {args.save_factor}")
-    return 0 if res < 1e-8 else 1
+    return 0 if res < 1e-8 and not findings else 1
 
 
 def _cmd_resolve(args: argparse.Namespace) -> int:
@@ -270,6 +280,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical to serial; see docs/performance.md)")
     p.add_argument("--save-factor", default=None, metavar="PATH",
                    help="persist the factor (.npz) for later `resolve` runs")
+    p.add_argument("--check-waves", action="store_true",
+                   help="verify every kernel flush for same-wave write "
+                        "conflicts and wave-order inversions (exit 1 on "
+                        "findings; see docs/correctness.md)")
+    p.add_argument("--check-races", action="store_true",
+                   help="attach the vector-clock happens-before checker to "
+                        "the PGAS runtime (flags unfenced rget/rput, "
+                        "signal-before-put, unpolled inboxes)")
     add_run_args(p)
     p.set_defaults(func=_cmd_solve)
 

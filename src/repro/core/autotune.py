@@ -157,6 +157,8 @@ def autotune_thresholds(
     """
     from .solver import SymPackSolver  # local import: avoids cycle
 
+    if not scales:
+        raise ValueError("autotune needs at least one threshold scale")
     base = OffloadPolicy().thresholds
     sweep: list[tuple[float, float]] = []
     best: tuple[float, float, OffloadPolicy] | None = None
@@ -168,6 +170,5 @@ def autotune_thresholds(
         sweep.append((scale, info.simulated_seconds))
         if best is None or info.simulated_seconds < best[1]:
             best = (scale, info.simulated_seconds, policy)
-    assert best is not None
     return AutotuneResult(best_policy=best[2], best_scale=best[0],
                           best_time=best[1], sweep=sweep)

@@ -88,6 +88,15 @@ class CommonOptions:
         executes one at a time in submission order.  This is the serial
         reference mode the performance benchmarks and determinism tests
         compare against; results are bit-identical in all three modes.
+    check_waves:
+        Run the wave conflict verifier (:mod:`repro.analysis.waves`) on
+        every kernel flush; findings accumulate on the session's
+        ``wave_findings`` (CLI ``--check-waves``).
+    check_races:
+        Attach the PGAS happens-before checker
+        (:mod:`repro.analysis.hb`) to every simulated world; findings
+        accumulate on the session's ``race_findings`` (CLI
+        ``--check-races``).
     """
 
     nranks: int = 1
@@ -103,6 +112,8 @@ class CommonOptions:
     keep_timeline: bool = False
     parallelism: int = 1
     batching: bool = True
+    check_waves: bool = False
+    check_races: bool = False
 
     def __post_init__(self) -> None:
         Scheduling(self.scheduling)  # raises ValueError on unknown policy

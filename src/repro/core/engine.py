@@ -105,6 +105,9 @@ class FanOutEngine:
     batching:
         ``False`` disables flush batching entirely — the one-at-a-time
         reference execution mode (forwarded to the default executor).
+    flush_hook:
+        Optional flush observer forwarded to the default-constructed
+        executor (see :class:`~repro.kernels.dispatch.KernelExecutor`).
     """
 
     def __init__(
@@ -117,6 +120,7 @@ class FanOutEngine:
         executor: KernelExecutor | None = None,
         parallelism: int = 1,
         batching: bool = True,
+        flush_hook=None,
     ) -> None:
         graph.validate()
         self.world = world
@@ -127,7 +131,8 @@ class FanOutEngine:
         self.executor = (executor if executor is not None
                          else KernelExecutor(graph.context, trace=self.trace,
                                              parallelism=parallelism,
-                                             batching=batching))
+                                             batching=batching,
+                                             flush_hook=flush_hook))
         if self.executor.trace is None:
             self.executor.trace = self.trace
 

@@ -88,7 +88,10 @@ def selected_inversion(solver) -> SelectedInverse:
         lo, hi = indptr[j], indptr[j + 1]
         rows = indices[lo:hi]
         vals = ldata[lo:hi]
-        assert rows[0] == j, "factor missing diagonal entry"
+        if rows.size == 0 or rows[0] != j:
+            raise ValueError(
+                f"factor missing diagonal entry in column {j}; selected "
+                "inversion requires a Cholesky factor with a full diagonal")
         l_jj = vals[0]
         s_rows = rows[1:]
         s_vals = vals[1:]

@@ -16,7 +16,6 @@ solve share one counter set.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass
 
 from ..kernels.dispatch import ExecutorStats
@@ -27,7 +26,7 @@ from ..pgas.runtime import CommStats, World
 from .engine import FanOutEngine, Scheduling
 from .offload import OffloadPolicy
 from .tasks import TaskGraph
-from .tracing import ExecutionTrace
+from .tracing import ExecutionTrace, mutex
 
 __all__ = ["RunResult", "ExecutionSession"]
 
@@ -74,6 +73,8 @@ class ExecutionSession:
         trace: ExecutionTrace | None = None,
         parallelism: int = 1,
         batching: bool = True,
+        check_waves: bool = False,
+        check_races: bool = False,
     ) -> None:
         self.nranks = nranks
         self.machine = machine
@@ -92,7 +93,25 @@ class ExecutionSession:
                       else ExecutionTrace(keep_timeline=keep_timeline))
         self.comm = CommStats()  # accumulated across all runs
         self.runs = 0
-        self._stats_lock = threading.Lock()
+        self._stats_lock = mutex()
+        # Concurrency-correctness checking (repro.analysis).  Findings
+        # accumulate across runs; an empty list after a checked run is a
+        # machine-verified pass.  ``_flush_hook`` is overridable (the
+        # mutation self-tests install their own observers).
+        self.check_waves = check_waves
+        self.check_races = check_races
+        self.wave_findings: list = []
+        self.race_findings: list = []
+        self._flush_hook = self._verify_flush if check_waves else None
+
+    def _verify_flush(self, executor, pending) -> None:
+        """Default ``check_waves`` observer: verify every flush's stream."""
+        from ..analysis.waves import verify_flush
+
+        self.wave_findings.extend(verify_flush(
+            pending, executor.context,
+            parallelism=executor.parallelism,
+            batching=executor.batching))
 
     @classmethod
     def from_options(cls, options, machine: MachineModel | None = None,
@@ -118,11 +137,13 @@ class ExecutionSession:
             trace=trace,
             parallelism=options.parallelism,
             batching=options.batching,
+            check_waves=getattr(options, "check_waves", False),
+            check_races=getattr(options, "check_races", False),
         )
 
     # ----------------------------------------------------------- execution
 
-    def _new_world(self) -> World:
+    def _new_world(self, tracer=None) -> World:
         """Fresh simulated PGAS job for one graph execution.
 
         This is the single world-construction point of the code base; the
@@ -135,16 +156,25 @@ class ExecutionSession:
             mode=self.memory_kinds,
             device_capacity=self.device_capacity,
             device_kind=self.device_kind,
+            tracer=tracer,
         )
 
     def run(self, graph: TaskGraph) -> RunResult:
         """Execute one task graph on a fresh world; accumulate stats."""
-        world = self._new_world()
+        tracer = None
+        if self.check_races:
+            from ..analysis.hb import PgasTracer
+
+            tracer = PgasTracer(self.nranks)
+        world = self._new_world(tracer=tracer)
         engine = FanOutEngine(world, graph, self.offload,
                               scheduling=self.scheduling, trace=self.trace,
                               parallelism=self.parallelism,
-                              batching=self.batching)
+                              batching=self.batching,
+                              flush_hook=self._flush_hook)
         result = engine.run()
+        if tracer is not None:
+            self.race_findings.extend(tracer.finalize(world))
         with self._stats_lock:
             self.comm += world.stats
             self.runs += 1

@@ -219,7 +219,10 @@ def build_factor_graph(
                 dst_rank=dst_rank, nbytes=nbytes, consumers=consumers,
                 gpu_block=gpu_block, key=_diag_key(s),
             ))
-    for (s, bi), per_rank in f_consumers.items():
+    # Sorted for deterministic message order (and the REP104 lint rule):
+    # insertion order here is task-creation order, which scheduling tweaks
+    # could silently reshuffle.
+    for (s, bi), per_rank in sorted(f_consumers.items()):
         blk = blocks.blocks[s][bi]
         nbytes = blk.nrows * part.width(s) * _F64
         for dst_rank, consumers in sorted(per_rank.items()):

@@ -22,7 +22,20 @@ import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
-__all__ = ["OpCounters", "ExecutionTrace", "ServiceEvent"]
+__all__ = ["OpCounters", "ExecutionTrace", "ServiceEvent", "mutex"]
+
+
+def mutex() -> threading.Lock:
+    """The repo's sanctioned lock factory.
+
+    Thread-coordination primitives are confined to the executor
+    (``kernels/dispatch.py``), the service layer and this module — a lint
+    rule (``REP102``) enforces it.  Code elsewhere that needs a lock for
+    its accumulators takes one from here instead of importing
+    ``threading`` directly, keeping the set of modules that can create
+    concurrency auditable.
+    """
+    return threading.Lock()
 
 
 @dataclass
@@ -89,6 +102,12 @@ class ServiceEvent:
     coalesced_width:
         Number of right-hand sides stacked into the triangular solve this
         request rode in (1 = not coalesced).
+    error:
+        Exception class name for a failed request (tier ``failed``),
+        empty for successes.
+    error_summary:
+        One-line traceback summary (innermost frame + message) so
+        failures are diagnosable from telemetry alone.
     """
 
     request_id: int
@@ -96,6 +115,8 @@ class ServiceEvent:
     queue_wait: float
     makespan: float
     coalesced_width: int = 1
+    error: str = ""
+    error_summary: str = ""
 
 
 @dataclass

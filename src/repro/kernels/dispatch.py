@@ -50,8 +50,10 @@ from __future__ import annotations
 
 import os
 import time
+from collections.abc import Callable, Iterable, Sequence
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 import scipy.linalg as la
@@ -62,7 +64,7 @@ __all__ = ["KernelCall", "ExecContext", "KernelExecutor", "KERNEL_OPS",
            "flat_index"]
 
 
-def flat_index(rpos, cpos, ncols: int) -> np.ndarray:
+def flat_index(rpos: Any, cpos: Any, ncols: int) -> np.ndarray:
     """Raveled C-order indices of the ``rpos × cpos`` scatter rectangle.
 
     Precomputed at graph-build time so the numeric scatter is a single
@@ -114,13 +116,15 @@ class ExecContext:
         contribution blocks); cleared by :meth:`fresh_run`.
     """
 
-    def __init__(self, storage=None, rhs: np.ndarray | None = None):
+    def __init__(self, storage: Any = None,
+                 rhs: np.ndarray | None = None) -> None:
         self.storage = storage
         self.rhs = rhs
         self.scratch: dict = {}
         self.transient: dict = {}
 
-    def scratch_array(self, key, shape) -> np.ndarray:
+    def scratch_array(self, key: tuple,
+                      shape: Sequence[int]) -> np.ndarray:
         """Get-or-create the named zero-initialised accumulator.
 
         A cache hit with a different ``shape`` is a graph-build bug (two
@@ -165,21 +169,21 @@ class ExecContext:
 # multifrontal, PaStiX-like) plus the shared triangular-solve graphs.
 
 
-def _op_noop(ctx) -> None:
+def _op_noop(ctx: ExecContext) -> None:
     pass
 
 
-def _op_potrf_diag(ctx, s) -> None:
+def _op_potrf_diag(ctx: ExecContext, s: int) -> None:
     diag = ctx.storage.diag_block(s)
     diag[:, :] = kd.potrf(diag)
 
 
-def _op_trsm_block(ctx, s, bi) -> None:
+def _op_trsm_block(ctx: ExecContext, s: int, bi: int) -> None:
     view = ctx.storage.off_block(s, bi)
     view[:, :] = kd.trsm_right_lower_trans(view, ctx.storage.diag_block(s))
 
 
-def _op_panel_factor(ctx, s) -> None:
+def _op_panel_factor(ctx: ExecContext, s: int) -> None:
     diag = ctx.storage.diag_block(s)
     panel = ctx.storage.panels[s]
     diag[:, :] = kd.potrf(diag)
@@ -187,17 +191,19 @@ def _op_panel_factor(ctx, s) -> None:
         panel[:, :] = kd.trsm_right_lower_trans(panel, diag)
 
 
-def _op_syrk_sub(ctx, tgt_ref, a_ref, flat, sign) -> None:
+def _op_syrk_sub(ctx: ExecContext, tgt_ref: tuple, a_ref: tuple,
+                 flat: np.ndarray, sign: float) -> None:
     prod = kd.syrk_lower(ctx.resolve(a_ref))
     _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
 
 
-def _op_gemm_sub(ctx, tgt_ref, a_ref, b_ref, flat, sign) -> None:
+def _op_gemm_sub(ctx: ExecContext, tgt_ref: tuple, a_ref: tuple,
+                 b_ref: tuple, flat: np.ndarray, sign: float) -> None:
     prod = kd.gemm_nt(ctx.resolve(a_ref), ctx.resolve(b_ref))
     _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
 
 
-def _op_multi_update(ctx, actions) -> None:
+def _op_multi_update(ctx: ExecContext, actions: Sequence[tuple]) -> None:
     """Aggregated update: a sequence of syrk/gemm scatter actions."""
     for kind, tgt_ref, a_ref, b_ref, flat, sign in actions:
         if kind == "syrk":
@@ -207,7 +213,7 @@ def _op_multi_update(ctx, actions) -> None:
         _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
 
 
-def _op_apply_panel(ctx, t, agg_ref) -> None:
+def _op_apply_panel(ctx: ExecContext, t: int, agg_ref: tuple) -> None:
     """Fan-in apply: subtract a full-panel aggregate from supernode ``t``."""
     agg = ctx.resolve(agg_ref)
     w = ctx.storage.diag_block(t).shape[0]
@@ -216,12 +222,12 @@ def _op_apply_panel(ctx, t, agg_ref) -> None:
         ctx.storage.panels[t][:, :] -= agg[w:, :]
 
 
-def _op_axpy_sub(ctx, tgt_ref, agg_ref) -> None:
+def _op_axpy_sub(ctx: ExecContext, tgt_ref: tuple, agg_ref: tuple) -> None:
     """Fan-both apply: subtract a per-block aggregate from its target."""
     ctx.resolve(tgt_ref)[:, :] -= ctx.resolve(agg_ref)
 
 
-def _op_frontal(ctx, s, kids) -> None:
+def _op_frontal(ctx: ExecContext, s: int, kids: Sequence[int]) -> None:
     """Multifrontal front: assemble, extend-add, partially factor, scatter."""
     storage = ctx.storage
     analysis = storage.analysis
@@ -270,7 +276,8 @@ def _op_frontal(ctx, s, kids) -> None:
 # with different rounding).
 
 
-def _op_trsv(ctx, s, fc, lc, lower) -> None:
+def _op_trsv(ctx: ExecContext, s: int, fc: int, lc: int,
+             lower: bool) -> None:
     """Per-supernode dense triangular solve of the rhs slice."""
     diag = ctx.storage.diag_block(s)
     mat = diag if lower else diag.T
@@ -280,13 +287,15 @@ def _op_trsv(ctx, s, fc, lc, lower) -> None:
             mat, sl[:, c], lower=lower, check_finite=False)
 
 
-def _op_gemv_fwd(ctx, s, bi, rows, fc, lc) -> None:
+def _op_gemv_fwd(ctx: ExecContext, s: int, bi: int, rows: np.ndarray,
+                 fc: int, lc: int) -> None:
     view = ctx.storage.off_block(s, bi)
     for c in range(ctx.rhs.shape[1]):
         ctx.rhs[rows, c] -= view @ ctx.rhs[fc : lc + 1, c]
 
 
-def _op_gemv_bwd(ctx, s, bi, rows, fc, lc) -> None:
+def _op_gemv_bwd(ctx: ExecContext, s: int, bi: int, rows: np.ndarray,
+                 fc: int, lc: int) -> None:
     view = ctx.storage.off_block(s, bi)
     for c in range(ctx.rhs.shape[1]):
         ctx.rhs[fc : lc + 1, c] -= view.T @ ctx.rhs[rows, c]
@@ -341,7 +350,7 @@ def _stack_worthwhile(n_members: int, elts: int) -> bool:
     return n_members >= _STACK_MIN_GROUP and elts <= _STACK_MAX_ELTS
 
 
-def _batch_gemm_sub(ctx, calls) -> int:
+def _batch_gemm_sub(ctx: ExecContext, calls: Sequence[KernelCall]) -> int:
     resolved = []
     groups: dict[tuple, list[int]] = {}
     for i, call in enumerate(calls):
@@ -368,7 +377,7 @@ def _batch_gemm_sub(ctx, calls) -> int:
     return stacked
 
 
-def _batch_syrk_sub(ctx, calls) -> int:
+def _batch_syrk_sub(ctx: ExecContext, calls: Sequence[KernelCall]) -> int:
     resolved = []
     groups: dict[tuple, list[int]] = {}
     for i, call in enumerate(calls):
@@ -413,7 +422,7 @@ def _potrf_group(pool: np.ndarray, pos: list[int]) -> None:
         pool[idx] = kd.potrf(pool[idx])
 
 
-def _batch_potrf_diag(ctx, calls) -> int:
+def _batch_potrf_diag(ctx: ExecContext, calls: Sequence[KernelCall]) -> int:
     """Factor a run of diagonal blocks batched by pool width."""
     storage = ctx.storage
     by_width: dict[int, list[int]] = {}
@@ -462,13 +471,22 @@ class KernelExecutor:
     reference path used by the determinism property tests.
     """
 
-    def __init__(self, context: ExecContext | None = None, trace=None,
+    def __init__(self, context: ExecContext | None = None,
+                 trace: Any = None,
                  parallelism: int = 1, batching: bool = True,
-                 use_threads: bool | None = None):
+                 use_threads: bool | None = None,
+                 flush_hook: Callable[
+                     ["KernelExecutor",
+                      list[tuple[KernelCall, int | None]]],
+                     None] | None = None) -> None:
         self.context = context if context is not None else ExecContext()
         self.trace = trace
         self.parallelism = max(1, int(parallelism))
         self.batching = batching
+        # Observer of every flush: called with (executor, pending) before
+        # execution, where pending is the raw (call, wave) stream.  The
+        # wave conflict verifier attaches here (session ``check_waves``).
+        self.flush_hook = flush_hook
         # None = auto: a real thread pool only helps when more than one
         # CPU can actually run a job concurrently (BLAS releases the GIL);
         # on a single usable core the wave path keeps its wave-wide
@@ -480,7 +498,7 @@ class KernelExecutor:
         self.stats = ExecutorStats()
         self._pending: list[tuple[KernelCall, int | None]] = []
 
-    def submit(self, task, rank: int, device: str,
+    def submit(self, task: Any, rank: int, device: str,
                wave: int | None = None) -> None:
         """Queue a task's kernel; account its op/flops to the trace.
 
@@ -497,6 +515,8 @@ class KernelExecutor:
         pending, self._pending = self._pending, []
         if not pending:
             return
+        if self.flush_hook is not None:
+            self.flush_hook(self, pending)
         t0 = time.perf_counter()
         try:
             if (self.parallelism > 1 and self.batching
@@ -569,7 +589,7 @@ class KernelExecutor:
             if key[0] == "blk":
                 panel_members.setdefault(key[1], set()).add(key)
 
-        def drain(keys) -> None:
+        def drain(keys: Iterable[tuple]) -> None:
             if not queues:
                 return
             merged: list[tuple] = []
@@ -608,7 +628,10 @@ class KernelExecutor:
         for key in list(queues):
             drain((key,))
 
-    def _run_wave(self, chunk, pending, pool, enqueue, drain) -> None:
+    def _run_wave(self, chunk: list[int],
+                  pending: list[tuple[KernelCall, int]], pool: Any,
+                  enqueue: Callable[[tuple, tuple], None],
+                  drain: Callable[[Iterable[tuple]], None]) -> None:
         ctx = self.context
         drain_keys: list[tuple] = []
         syrk: list[int] = []
@@ -687,7 +710,9 @@ class KernelExecutor:
             for key, entry in fut.result():
                 enqueue(key, entry)
 
-    def _spawn_potrf(self, pool, pending, idxs):
+    def _spawn_potrf(self, pool: Any,
+                     pending: list[tuple[KernelCall, int]],
+                     idxs: list[int]) -> list[Any]:
         """Wave-wide batched diagonal factorizations (Cholesky gufunc).
 
         A wave's ``potrf_diag`` calls target distinct diag buffers that
@@ -711,7 +736,9 @@ class KernelExecutor:
                 self._job_potrf_group, storage.diag_pool[w], pos))
         return futures
 
-    def _spawn_syrk(self, pool, pending, idxs):
+    def _spawn_syrk(self, pool: Any,
+                    pending: list[tuple[KernelCall, int]],
+                    idxs: list[int]) -> list[Any]:
         if not idxs:
             return []
         ctx = self.context
@@ -735,7 +762,9 @@ class KernelExecutor:
             futures.append(pool.submit(self._job_syrk_single, pairs))
         return futures
 
-    def _spawn_gemm(self, pool, pending, idxs):
+    def _spawn_gemm(self, pool: Any,
+                    pending: list[tuple[KernelCall, int]],
+                    idxs: list[int]) -> list[Any]:
         if not idxs:
             return []
         ctx = self.context
@@ -768,12 +797,12 @@ class KernelExecutor:
     # per-call numpy overhead stays O(1) per stacked group.
 
     @staticmethod
-    def _job_potrf_group(pool, pos):
+    def _job_potrf_group(pool: np.ndarray, pos: list[int]) -> tuple:
         _potrf_group(pool, pos)
         return ()
 
     @staticmethod
-    def _job_syrk_stack(items, sign):
+    def _job_syrk_stack(items: list[tuple], sign: float) -> list[tuple]:
         a_stack = np.stack([it[4] for it in items])
         prods = np.matmul(a_stack, a_stack.transpose(0, 2, 1))
         if sign != 1.0:
@@ -783,7 +812,7 @@ class KernelExecutor:
                 for k, it in enumerate(items)]
 
     @staticmethod
-    def _job_syrk_single(pairs):
+    def _job_syrk_single(pairs: list[tuple]) -> list[tuple]:
         out = []
         for it, sign in pairs:
             prod = kd.syrk_lower(it[4])
@@ -794,7 +823,7 @@ class KernelExecutor:
         return out
 
     @staticmethod
-    def _job_gemm_stack(items, sign):
+    def _job_gemm_stack(items: list[tuple], sign: float) -> list[tuple]:
         a_stack = np.stack([it[4] for it in items])
         b_stack = np.stack([it[5] for it in items])
         prods = np.matmul(a_stack, b_stack.transpose(0, 2, 1))
@@ -805,7 +834,7 @@ class KernelExecutor:
                 for k, it in enumerate(items)]
 
     @staticmethod
-    def _job_gemm_single(pairs):
+    def _job_gemm_single(pairs: list[tuple]) -> list[tuple]:
         out = []
         for it, sign in pairs:
             prod = kd.gemm_nt(it[4], it[5])
@@ -816,7 +845,7 @@ class KernelExecutor:
         return out
 
     @staticmethod
-    def _job_multi(ctx, calls):
+    def _job_multi(ctx: ExecContext, calls: list[tuple]) -> list[tuple]:
         out = []
         for idx, actions in calls:
             for seq, (kind, tgt_ref, a_ref, b_ref, flat, sign) in enumerate(
@@ -830,7 +859,7 @@ class KernelExecutor:
         return out
 
     @staticmethod
-    def _job_whole(ctx, calls):
+    def _job_whole(ctx: ExecContext, calls: list[KernelCall]) -> tuple:
         for call in calls:
             KERNEL_OPS[call.op](ctx, *call.args)
         return ()
@@ -867,19 +896,19 @@ class _InlinePool:
     class _Done:
         __slots__ = ("_value",)
 
-        def __init__(self, value):
+        def __init__(self, value: Any) -> None:
             self._value = value
 
-        def result(self):
+        def result(self) -> Any:
             return self._value
 
-    def submit(self, fn, *args):
+    def submit(self, fn: Callable, *args: Any) -> "_InlinePool._Done":
         return self._Done(fn(*args))
 
-    def __enter__(self):
+    def __enter__(self) -> "_InlinePool":
         return self
 
-    def __exit__(self, *exc):
+    def __exit__(self, *exc: object) -> bool:
         return False
 
 

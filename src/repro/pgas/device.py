@@ -57,7 +57,8 @@ class DeviceAllocator:
     failed_allocs: int = 0
     _sizes: dict[int, int] = field(default_factory=dict)
 
-    def allocate(self, shape: tuple[int, ...], dtype=np.float64) -> GlobalPtr:
+    def allocate(self, shape: tuple[int, ...],
+                 dtype: np.dtype | type = np.float64) -> GlobalPtr:
         """Allocate a device buffer; raises :class:`DeviceOutOfMemory` if full."""
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
         if self.used + nbytes > self.capacity:

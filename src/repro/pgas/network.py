@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Callable
 
 from ..machine.model import MachineModel
 
@@ -59,6 +60,9 @@ class NetworkModel:
     # small pool of host bounce buffers, capping how many gets can overlap;
     # native GDR transfers pipeline freely in the NIC.
     ref_pipeline_depth: int = 8
+    # Optional observer of every priced transfer leg ``(nbytes, src, dst)``
+    # — attached by a world's happens-before tracer for diagnostics.
+    trace_hook: Callable[[int, int, int], None] | None = None
 
     def node_of(self, rank: int) -> int:
         """Node hosting ``rank``."""
@@ -84,6 +88,8 @@ class NetworkModel:
         """
         m = self.machine
         device_endpoint = MemorySpace.DEVICE in (src_space, dst_space)
+        if self.trace_hook is not None:
+            self.trace_hook(int(nbytes), src_rank, dst_rank)
 
         if self.same_node(src_rank, dst_rank):
             if src_rank == dst_rank and not device_endpoint:

@@ -28,22 +28,33 @@ class PendingRpc:
         Opaque arguments, passed through to ``fn``.
     src_rank:
         Issuing rank (for tracing).
+    token:
+        Opaque happens-before token minted by an attached tracer at send
+        time (``None`` when the world runs untraced).
     """
 
     arrival_time: float
     fn: Callable[[Any], None]
     payload: Any
     src_rank: int
+    token: Any = None
 
 
 @dataclass
 class RpcInbox:
-    """Arrival-ordered RPC queue of one rank."""
+    """Arrival-ordered RPC queue of one rank.
+
+    ``tracer`` (when set by the owning world) observes every execution:
+    the target joins the sender's vector clock exactly when the RPC body
+    runs inside ``progress()`` — the only inter-rank ordering edge the
+    communication paradigm provides.
+    """
 
     rank: int
     _queue: list[PendingRpc] = field(default_factory=list)
     delivered: int = 0
     executed: int = 0
+    tracer: Any = None
 
     def deliver(self, rpc: PendingRpc) -> None:
         """Enqueue an RPC (called by the network at arrival time)."""
@@ -61,6 +72,8 @@ class RpcInbox:
             return 0
         self._queue = [r for r in self._queue if r.arrival_time > now + 1e-15]
         for rpc in ready:
+            if self.tracer is not None:
+                self.tracer.on_rpc_execute(self.rank, rpc.token)
             rpc.fn(rpc.payload)
             self.executed += 1
         return len(ready)

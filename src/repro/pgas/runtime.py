@@ -93,6 +93,11 @@ class World:
         (CPU-only run).  Processes bind to device ``rank % gpus_per_node``
         within their node and share its capacity equally, the recommended
         cyclic binding of paper Section 4.2.
+    tracer:
+        Optional happens-before observer (duck-typed; see
+        :class:`repro.analysis.hb.PgasTracer`).  When set, every
+        registration, RPC send/execute and RMA get/put is reported to it,
+        and the network model reports transfer legs.
     """
 
     def __init__(
@@ -103,14 +108,18 @@ class World:
         mode: MemoryKindsMode = MemoryKindsMode.NATIVE,
         device_capacity: int | None = None,
         device_kind: DeviceKind = DeviceKind.CUDA,
+        tracer: Any = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("world needs at least one rank")
         self.nranks = nranks
         self.machine = machine
         self.device_kind = device_kind
+        self.tracer = tracer
         self.network = NetworkModel(machine=machine, ranks_per_node=ranks_per_node,
                                     mode=mode)
+        if tracer is not None and hasattr(tracer, "on_network_leg"):
+            self.network.trace_hook = tracer.on_network_leg
         self.events = EventQueue()
         self.stats = CommStats()
         self.ranks: list[RankState] = []
@@ -124,8 +133,9 @@ class World:
                                          capacity=device_capacity,
                                          registry=registry,
                                          kind=device_kind)
-            self.ranks.append(RankState(rank=r, registry=registry,
-                                        inbox=RpcInbox(rank=r), device=device))
+            self.ranks.append(RankState(
+                rank=r, registry=registry,
+                inbox=RpcInbox(rank=r, tracer=tracer), device=device))
 
     # ------------------------------------------------------------------ RPC
 
@@ -141,10 +151,12 @@ class World:
         arrival = self.network.rpc_arrival_time(src, dst, t)
         self.stats.rpcs_sent += 1
         inbox = self.ranks[dst].inbox
+        token = (self.tracer.on_rpc_send(src, dst, payload, t)
+                 if self.tracer is not None else None)
 
         def deliver(now: float) -> None:
             inbox.deliver(PendingRpc(arrival_time=now, fn=fn, payload=payload,
-                                     src_rank=src))
+                                     src_rank=src, token=token))
             if on_delivered is not None:
                 on_delivered(now)
 
@@ -171,6 +183,8 @@ class World:
         networks this is RDMA-offloaded: the *owner* rank is not involved
         and its clock is untouched.
         """
+        if self.tracer is not None:
+            self.tracer.on_rget(dst, ptr, t)
         data = self.ranks[ptr.rank].registry.resolve(ptr)
         dt = self.network.transfer_time(ptr.nbytes, src_rank=ptr.rank,
                                         dst_rank=dst, src_space=ptr.space,
@@ -204,6 +218,8 @@ class World:
     def rma_put(self, src: int, data: np.ndarray, dst_ptr: GlobalPtr,
                 t: float) -> float:
         """One-sided put; returns completion time (used by the baseline)."""
+        if self.tracer is not None:
+            self.tracer.on_rput(src, dst_ptr, t)
         target = self.ranks[dst_ptr.rank].registry.resolve(dst_ptr)
         np.copyto(target, data)
         dt = self.network.transfer_time(int(data.nbytes), src_rank=src,
@@ -218,7 +234,10 @@ class World:
     def register(self, rank: int, array: np.ndarray,
                  space: MemorySpace = MemorySpace.HOST) -> GlobalPtr:
         """Register a buffer on ``rank`` and return its global pointer."""
-        return self.ranks[rank].registry.register(array, space)
+        ptr = self.ranks[rank].registry.register(array, space)
+        if self.tracer is not None:
+            self.tracer.on_register(rank, ptr)
+        return ptr
 
     def register_bytes(self, rank: int, nbytes: int,
                        space: MemorySpace = MemorySpace.HOST) -> GlobalPtr:
@@ -227,9 +246,12 @@ class World:
         The solver's blocks are shared in simulation memory; messages only
         need a pointer with the correct byte count for the network model.
         """
-        return self.ranks[rank].registry.register(
+        ptr = self.ranks[rank].registry.register(
             np.empty(0), space=space, nbytes=nbytes
         )
+        if self.tracer is not None:
+            self.tracer.on_register(rank, ptr)
+        return ptr
 
     def run(self, max_events: int | None = None) -> float:
         """Drain the event queue; returns final simulated time."""

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import threading
 import time
+import traceback
 from concurrent.futures import Future
 from dataclasses import dataclass, field
 
@@ -50,6 +51,23 @@ from .keys import matrix_keys
 from .requests import RequestQueue, ServiceOverloaded, ServiceStats, SolveRequest
 
 __all__ = ["ServiceConfig", "ServiceCounters", "SolveService"]
+
+# Failures a request can legitimately produce: bad numerics (non-SPD
+# values), malformed inputs, and symbolic inconsistencies.  Programming
+# errors (AttributeError, TypeError, ...) are NOT caught — they should
+# surface loudly through the future/thread, not be recorded as a
+# "failed request".
+REQUEST_ERRORS = (ValueError, KeyError, RuntimeError, np.linalg.LinAlgError)
+
+
+def error_summary(exc: BaseException) -> str:
+    """One-line innermost-frame summary of ``exc`` for telemetry."""
+    frames = traceback.extract_tb(exc.__traceback__)
+    if not frames:
+        return str(exc)
+    last = frames[-1]
+    name = last.filename.rsplit("/", 1)[-1]
+    return f"{name}:{last.lineno} in {last.name}: {exc}"
 
 
 @dataclass(frozen=True)
@@ -117,8 +135,12 @@ class ServiceCounters:
     comm: CommStats = field(default_factory=CommStats)
 
     def hit_rate(self) -> float:
-        """Fraction of completed requests that skipped the symbolic phase."""
-        total = sum(self.tiers.values())
+        """Fraction of completed requests that skipped the symbolic phase.
+
+        Failed requests (tier ``failed``) are excluded: they say nothing
+        about cache effectiveness.
+        """
+        total = sum(n for tier, n in self.tiers.items() if tier != "failed")
         if total == 0:
             return 0.0
         return 1.0 - self.tiers.get("cold", 0) / total
@@ -280,11 +302,10 @@ class SolveService:
                 continue
             try:
                 self._process(req)
-            except Exception as exc:  # materialization / solve failure
+            except REQUEST_ERRORS as exc:  # materialization / solve failure
                 if not req.future.done():
                     req.future.set_exception(exc)
-                with self._lock:
-                    self._counts.requests_failed += 1
+                self._record_failure([req], exc)
 
     def _process(self, req: SolveRequest) -> None:
         picked_up = time.monotonic()
@@ -344,6 +365,19 @@ class SolveService:
             self.comm += info.comm
         return tier, entry, info.simulated_seconds
 
+    def _record_failure(self, batch: list[SolveRequest],
+                        exc: BaseException) -> None:
+        """Count and trace failed requests (tier ``failed``)."""
+        now = time.monotonic()
+        summary = error_summary(exc)
+        for r in batch:
+            self.trace.record_request(ServiceEvent(
+                request_id=r.request_id, tier="failed",
+                queue_wait=now - r.submit_time, makespan=0.0,
+                error=type(exc).__name__, error_summary=summary))
+        with self._lock:
+            self._counts.requests_failed += len(batch)
+
     def _run_solve(self, entry: FactorEntry, batch: list[SolveRequest],
                    waits: list[float], tier: str,
                    factor_seconds: float) -> None:
@@ -354,11 +388,10 @@ class SolveService:
         width = stacked.shape[1]
         try:
             x, sinfo = solver.solve(stacked)
-        except Exception as exc:
+        except REQUEST_ERRORS as exc:
             for r in batch:
                 r.future.set_exception(exc)
-            with self._lock:
-                self._counts.requests_failed += len(batch)
+            self._record_failure(batch, exc)
             return
         x = x.reshape(solver.a.n, -1)
         with self._lock:

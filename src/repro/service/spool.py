@@ -30,8 +30,15 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.tracing import ServiceEvent
 from ..sparse import read_matrix_auto
-from .service import SolveService
+from .service import REQUEST_ERRORS, SolveService, error_summary
+
+# Everything a malformed spool request can raise on top of the solver's
+# own REQUEST_ERRORS: unreadable/missing files (OSError covers
+# FileNotFoundError and PermissionError) and bad JSON (JSONDecodeError
+# is a ValueError subclass, listed for explicitness).
+SPOOL_ERRORS = REQUEST_ERRORS + (OSError, json.JSONDecodeError)
 
 __all__ = ["submit_request", "wait_result", "SpoolServer"]
 
@@ -104,6 +111,7 @@ class SpoolServer:
 
     def _handle(self, req_path: Path) -> None:
         rid = req_path.stem
+        result: dict | None = None
         try:
             req = json.loads(req_path.read_text())
             rid = req.get("id", rid)
@@ -113,19 +121,33 @@ class SpoolServer:
             else:
                 rng = np.random.default_rng(int(req.get("seed", 0)))
                 b = rng.standard_normal((a.n, int(req.get("nrhs", 1))))
-            x, stats = self.service.solve(a, b)
-            x_file = self.done / f"{rid}.npy"
-            np.save(x_file, x)
-            result = {
-                "id": rid, "ok": True, "tier": stats.tier,
-                "queue_wait": stats.queue_wait,
-                "simulated_seconds": stats.makespan,
-                "coalesced_width": stats.coalesced_width,
-                "residual": stats.residual,
-                "x_file": str(x_file),
-            }
-        except Exception as exc:
-            result = {"id": rid, "ok": False, "error": str(exc)}
+        except SPOOL_ERRORS as exc:
+            # Spool-local failure (bad JSON, missing/unreadable file):
+            # the service never saw this request, so give telemetry a
+            # synthetic event (request_id -1 = no service id assigned).
+            result = {"id": rid, "ok": False, "error": str(exc),
+                      "error_type": type(exc).__name__}
+            self.service.trace.record_request(ServiceEvent(
+                request_id=-1, tier="failed", queue_wait=0.0,
+                makespan=0.0, error=type(exc).__name__,
+                error_summary=error_summary(exc)))
+        if result is None:
+            try:
+                x, stats = self.service.solve(a, b)
+                x_file = self.done / f"{rid}.npy"
+                np.save(x_file, x)
+                result = {
+                    "id": rid, "ok": True, "tier": stats.tier,
+                    "queue_wait": stats.queue_wait,
+                    "simulated_seconds": stats.makespan,
+                    "coalesced_width": stats.coalesced_width,
+                    "residual": stats.residual,
+                    "x_file": str(x_file),
+                }
+            except REQUEST_ERRORS as exc:
+                # Solver-side failure: already traced by the service.
+                result = {"id": rid, "ok": False, "error": str(exc),
+                          "error_type": type(exc).__name__}
         tmp = self.done / f".{rid}.json.tmp"
         tmp.write_text(json.dumps(result))
         os.replace(tmp, self.done / f"{rid}.json")

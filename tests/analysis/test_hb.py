@@ -1,0 +1,122 @@
+"""Unit tests of the vector-clock happens-before checker."""
+
+import numpy as np
+
+from repro.analysis.hb import PgasTracer
+from repro.machine import perlmutter
+from repro.pgas import MemorySpace, World
+from repro.pgas.global_ptr import GlobalPtr
+
+LATE = 1e9  # progress "now" comfortably past any arrival time
+
+
+def traced_world(nranks=2, **kw):
+    tracer = PgasTracer(nranks)
+    world = World(nranks=nranks, machine=perlmutter(), tracer=tracer, **kw)
+    return world, tracer
+
+
+class TestCleanProtocols:
+    def test_signal_then_get_is_clean(self):
+        """The engine's fan-out protocol: write, signal, progress, pull."""
+        world, tracer = traced_world()
+        ptr = world.register(0, np.arange(4.0))
+        world.rpc(0, 1, lambda payload: None, ("blk", ptr), t=0.0)
+        world.run()
+        assert world.progress(1, LATE) == 1
+        world.rma_get(1, ptr, t=LATE)
+        assert tracer.finalize(world) == []
+
+    def test_transitive_signal_is_clean(self):
+        """Rank 0 signals 1; rank 1 signals 2; rank 2 may pull 0's data."""
+        world, tracer = traced_world(nranks=3)
+        ptr = world.register(0, np.ones(2))
+        world.rpc(0, 1, lambda payload: None, (ptr,), t=0.0)
+        world.run()
+        world.progress(1, LATE)
+        world.rpc(1, 2, lambda payload: None, (ptr,), t=LATE)
+        world.run()
+        world.progress(2, 2 * LATE)
+        world.rma_get(2, ptr, t=2 * LATE)
+        assert tracer.finalize(world) == []
+
+    def test_local_access_is_clean(self):
+        world, tracer = traced_world()
+        ptr = world.register(0, np.ones(2))
+        world.rma_get(0, ptr, t=0.0)  # owner reads its own buffer
+        assert tracer.finalize(world) == []
+
+
+class TestRaces:
+    def test_unfenced_rget_is_hb001(self):
+        world, tracer = traced_world()
+        ptr = world.register(0, np.ones(4))
+        world.rma_get(1, ptr, t=0.0)  # no signal ever reached rank 1
+        findings = tracer.finalize(world)
+        assert [f.rule for f in findings] == ["HB001"]
+        assert findings[0].details["reader"] == 1
+        assert findings[0].details["writer"] == 0
+
+    def test_signal_before_put_is_hb002(self):
+        world, tracer = traced_world()
+        ghost = GlobalPtr(rank=0, space=MemorySpace.HOST,
+                          buffer_id=4242, nbytes=64)
+        world.rpc(1, 0, lambda payload: None, {"data": ghost}, t=0.0)
+        findings = [f for f in tracer.findings]
+        assert [f.rule for f in findings] == ["HB002"]
+        assert findings[0].details["buffer"] == (0, 4242)
+
+    def test_unfenced_rput_is_hb003(self):
+        world, tracer = traced_world()
+        ptr = world.register(0, np.zeros(4))
+        world.rma_put(1, np.ones(4), ptr, t=0.0)
+        findings = tracer.finalize(world)
+        assert [f.rule for f in findings] == ["HB003"]
+
+    def test_put_racing_outstanding_read_is_hb003(self):
+        world, tracer = traced_world()
+        ptr = world.register(0, np.zeros(4))
+        world.rpc(0, 1, lambda payload: None, (ptr,), t=0.0)
+        world.run()
+        world.progress(1, LATE)
+        world.rma_get(1, ptr, t=LATE)        # ordered read: clean
+        world.rma_put(0, np.ones(4), ptr, t=LATE)  # blind overwrite
+        findings = tracer.finalize(world)
+        assert [f.rule for f in findings] == ["HB003"]
+        assert "outstanding read" in findings[0].message
+
+    def test_starved_inbox_is_hb004(self):
+        world, tracer = traced_world()
+        world.rpc(0, 1, lambda payload: None, (), t=0.0)
+        world.run()  # delivered ...
+        findings = tracer.finalize(world)  # ... but never progressed
+        assert [f.rule for f in findings] == ["HB004"]
+        assert findings[0].details == {"rank": 1, "pending": 1}
+
+
+class TestTracerPlumbing:
+    def test_unregistered_buffers_ignored(self):
+        """Buffers the tracer never saw registered produce no findings."""
+        tracer = PgasTracer(2)
+        ghost = GlobalPtr(rank=0, space=MemorySpace.HOST,
+                          buffer_id=7, nbytes=8)
+        tracer.on_rget(1, ghost, 0.0)
+        assert tracer.finalize() == []
+
+    def test_network_legs_counted(self):
+        world, tracer = traced_world()
+        ptr = world.register(0, np.ones(8))
+        world.rma_get(0, ptr, t=0.0)
+        assert tracer.legs >= 1
+        assert tracer.leg_bytes >= 64
+
+    def test_checked_factorization_is_race_free(self):
+        from repro.core.solver import SolverOptions, SymPackSolver
+        from repro.sparse import random_spd
+
+        a = random_spd(40, density=0.2, seed=1)
+        solver = SymPackSolver(a, SolverOptions(nranks=3, check_races=True))
+        solver.factorize()
+        x, _ = solver.solve(np.ones(a.n))
+        assert solver.session.race_findings == []
+        assert solver.residual_norm(x, np.ones(a.n)) < 1e-10

@@ -1,0 +1,134 @@
+"""Unit tests of the repo-invariant AST lint pass."""
+
+from pathlib import Path
+
+from repro.analysis.lint import lint_source, lint_tree
+
+
+def rules(text, rel="core/somefile.py"):
+    return [f.rule for f in lint_source(text, f"src/repro/{rel}", rel=rel)]
+
+
+class TestRandomRule:
+    def test_legacy_sampler_flagged(self):
+        assert rules("import numpy as np\nx = np.random.rand(3)\n") == \
+            ["REP101"]
+
+    def test_legacy_seed_flagged(self):
+        assert rules("import numpy as np\nnp.random.seed(0)\n") == ["REP101"]
+
+    def test_unseeded_default_rng_flagged(self):
+        assert rules("import numpy as np\nr = np.random.default_rng()\n") \
+            == ["REP101"]
+
+    def test_seeded_default_rng_clean(self):
+        assert rules("import numpy as np\n"
+                     "r = np.random.default_rng(42)\n") == []
+
+    def test_unrelated_attribute_clean(self):
+        assert rules("x = rng.normal(size=3)\n") == []
+
+
+class TestThreadingRule:
+    def test_import_outside_allowlist_flagged(self):
+        assert rules("import threading\n") == ["REP102"]
+        assert rules("from concurrent.futures import Future\n") == ["REP102"]
+        assert rules("import multiprocessing\n") == ["REP102"]
+
+    def test_allowlisted_files_clean(self):
+        for rel in ("kernels/dispatch.py", "core/tracing.py",
+                    "service/service.py", "service/spool.py"):
+            findings = lint_source("import threading\n",
+                                   f"src/repro/{rel}", rel=rel)
+            assert [f.rule for f in findings] == [], rel
+
+    def test_unrelated_import_clean(self):
+        assert rules("import itertools\nimport numpy as np\n") == []
+
+
+class TestAssertRule:
+    def test_assert_flagged(self):
+        assert rules("def f(x):\n    assert x > 0\n    return x\n") == \
+            ["REP103"]
+
+    def test_raise_clean(self):
+        assert rules("def f(x):\n"
+                     "    if x <= 0:\n"
+                     "        raise ValueError('x')\n"
+                     "    return x\n") == []
+
+
+class TestDictOrderRule:
+    REL = "core/taskgraph.py"
+
+    def test_bare_items_iteration_flagged(self):
+        text = "for k, v in d.items():\n    pass\n"
+        assert rules(text, rel=self.REL) == ["REP104"]
+
+    def test_comprehension_over_values_flagged(self):
+        text = "xs = [v for v in d.values()]\n"
+        assert rules(text, rel=self.REL) == ["REP104"]
+
+    def test_sorted_iteration_clean(self):
+        text = "for k, v in sorted(d.items()):\n    pass\n"
+        assert rules(text, rel=self.REL) == []
+
+    def test_rule_scoped_to_taskgraph(self):
+        text = "for k, v in d.items():\n    pass\n"
+        assert rules(text, rel="core/engine.py") == []
+
+
+class TestHandlerRule:
+    REL = "kernels/dispatch.py"
+
+    def handler(self, body):
+        text = ("HANDLER = 1\n"
+                "def _op_syrk_sub(ctx, tgt_ref, a_ref, flat, sign):\n"
+                + "".join(f"    {line}\n" for line in body))
+        return [f for f in lint_source(text, "dispatch.py", rel=self.REL)]
+
+    def test_declared_target_write_clean(self):
+        assert self.handler([
+            "prod = a_ref",
+            "ctx.resolve(tgt_ref)[flat] += prod",
+        ]) == []
+
+    def test_read_only_operand_write_flagged(self):
+        findings = self.handler(["ctx.resolve(a_ref)[0, 0] = 0.0"])
+        assert [f.rule for f in findings] == ["REP105"]
+        assert "ctx.resolve(a_ref)" in findings[0].message
+
+    def test_alias_through_local_tracked(self):
+        findings = self.handler([
+            "view = ctx.resolve(a_ref)",
+            "view[0] = 1.0",
+        ])
+        assert [f.rule for f in findings] == ["REP105"]
+
+    def test_mutating_method_on_accessor_flagged(self):
+        text = ("def _op_potrf_diag(ctx, s):\n"
+                "    ctx.scratch.clear()\n")
+        findings = lint_source(text, "dispatch.py", rel=self.REL)
+        assert [f.rule for f in findings] == ["REP105"]
+
+    def test_unknown_handler_needs_spec(self):
+        text = "def _op_hyperdrive(ctx, s):\n    pass\n"
+        findings = lint_source(text, "dispatch.py", rel=self.REL)
+        assert [f.rule for f in findings] == ["REP105"]
+        assert "HANDLER_WRITE_SPEC" in findings[0].message
+
+
+class TestTreeInvariant:
+    def test_working_tree_is_clean(self):
+        assert lint_tree() == []
+
+    def test_syntax_error_is_rep100(self):
+        findings = lint_source("def f(:\n", "broken.py", rel="core/x.py")
+        assert [f.rule for f in findings] == ["REP100"]
+
+    def test_real_dispatch_file_clean(self):
+        path = (Path(__file__).resolve().parents[2]
+                / "src" / "repro" / "kernels" / "dispatch.py")
+        findings = lint_source(path.read_text(), str(path),
+                               rel="kernels/dispatch.py")
+        assert findings == []

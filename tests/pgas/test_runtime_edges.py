@@ -1,0 +1,180 @@
+"""Edge-case tests of the simulated PGAS runtime.
+
+Complements ``test_runtime.py`` with the corner behaviours the
+happens-before checker leans on: RPC execution order relative to
+``progress()``, completion futures for one-sided transfers, device-kind
+copy paths, and empty-queue no-ops.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import perlmutter
+from repro.pgas import MemoryKindsMode, MemorySpace, World
+from repro.pgas.device_kinds import DeviceKind, vendor_libraries
+from repro.pgas.rpc import PendingRpc, RpcInbox
+
+
+def make_world(nranks=2, **kw):
+    return World(nranks=nranks, machine=perlmutter(), **kw)
+
+
+class TestRpcOrdering:
+    def test_progress_executes_in_arrival_order(self):
+        inbox = RpcInbox(rank=0)
+        log = []
+        for t, tag in [(1.0, "a"), (2.0, "b"), (3.0, "c")]:
+            inbox.deliver(PendingRpc(arrival_time=t, fn=log.append,
+                                     payload=tag, src_rank=1))
+        assert inbox.progress(10.0) == 3
+        assert log == ["a", "b", "c"]
+
+    def test_partial_progress_by_time(self):
+        inbox = RpcInbox(rank=0)
+        log = []
+        for t in (1.0, 2.0, 3.0):
+            inbox.deliver(PendingRpc(arrival_time=t, fn=log.append,
+                                     payload=t, src_rank=1))
+        assert inbox.progress(2.0) == 2
+        assert log == [1.0, 2.0]
+        assert inbox.pending() == 1
+        assert inbox.next_arrival() == 3.0
+        assert inbox.progress(3.0) == 1
+        assert inbox.pending() == 0
+
+    def test_arrival_exactly_at_now_executes(self):
+        """The 1e-15 tolerance admits arrivals at exactly ``now``."""
+        inbox = RpcInbox(rank=0)
+        ran = []
+        inbox.deliver(PendingRpc(arrival_time=5.0, fn=ran.append,
+                                 payload=None, src_rank=1))
+        assert inbox.progress(5.0) == 1 and ran == [None]
+
+    def test_two_sends_same_target_keep_issue_order(self):
+        """Network FIFO per pair: earlier send never overtakes later."""
+        w = make_world()
+        log = []
+        w.rpc(0, 1, log.append, "first", t=0.0)
+        w.rpc(0, 1, log.append, "second", t=0.5)
+        w.run()
+        w.progress(1, 1e9)
+        assert log == ["first", "second"]
+
+    def test_counters_track_delivery_vs_execution(self):
+        w = make_world()
+        w.rpc(0, 1, lambda p: None, None, t=0.0)
+        w.run()
+        inbox = w.ranks[1].inbox
+        assert (inbox.delivered, inbox.executed) == (1, 0)
+        w.progress(1, 1e9)
+        assert (inbox.delivered, inbox.executed) == (1, 1)
+
+
+class TestEmptyQueueProgress:
+    def test_progress_on_empty_inbox_is_noop(self):
+        w = make_world()
+        inbox = w.ranks[0].inbox
+        assert w.progress(0, 100.0) == 0
+        assert (inbox.delivered, inbox.executed) == (0, 0)
+        assert inbox.next_arrival() is None
+
+    def test_progress_before_arrival_leaves_queue_intact(self):
+        w = make_world()
+        w.rpc(0, 1, lambda p: None, None, t=0.0)
+        w.run()
+        inbox = w.ranks[1].inbox
+        arrival = inbox.next_arrival()
+        assert w.progress(1, arrival - 1e-6) == 0
+        assert inbox.pending() == 1
+        assert inbox.next_arrival() == arrival
+
+    def test_repeated_empty_progress_stays_zero(self):
+        w = make_world()
+        for t in (0.0, 1.0, 2.0):
+            assert w.progress(1, t) == 0
+
+
+class TestCompletionFutures:
+    def test_rget_callback_time_matches_return(self):
+        w = make_world()
+        data = np.arange(16.0)
+        ptr = w.register(0, data)
+        done_cb = []
+        done = w.rma_get(1, ptr, t=3.0,
+                         on_complete=lambda t, d: done_cb.append((t, d)))
+        w.run()
+        assert done_cb and done_cb[0][0] == pytest.approx(done)
+        assert done_cb[0][1] is data
+        assert done > 3.0
+
+    def test_rget_without_callback_schedules_nothing(self):
+        w = make_world()
+        ptr = w.register(0, np.ones(4))
+        w.rma_get(1, ptr, t=0.0)
+        assert w.run() == 0.0  # event queue stays empty
+
+    def test_rput_completion_after_issue_time(self):
+        w = make_world()
+        target = np.zeros(8)
+        ptr = w.register(1, target)
+        done = w.rma_put(0, np.full(8, 2.0), ptr, t=4.0)
+        assert done > 4.0
+        assert np.allclose(target, 2.0)
+        assert w.stats.bytes_put == 64
+
+    def test_copy_is_rget_shaped(self):
+        """``copy()`` delegates to the get path: same counters, callback."""
+        w = make_world()
+        data = np.arange(8.0)
+        ptr = w.register(0, data)
+        got = []
+        done = w.copy(ptr, 1, t=0.0,
+                      on_complete=lambda t, d: got.append(d))
+        w.run()
+        assert got == [data]
+        assert w.stats.gets_issued == 1 and done > 0.0
+
+
+class TestDeviceKindCopyPaths:
+    def test_device_source_counts_like_device_dest(self):
+        """A get *from* a device buffer is a device-endpoint transfer."""
+        w = make_world(mode=MemoryKindsMode.NATIVE)
+        ptr = w.register(0, np.ones(256), MemorySpace.DEVICE)
+        w.rma_get(1, ptr, t=0.0)  # host destination
+        assert w.stats.bytes_device_direct == 2048
+        assert w.stats.bytes_staged == 0
+
+    def test_host_to_host_copy_counts_neither_path(self):
+        w = make_world(mode=MemoryKindsMode.REFERENCE)
+        ptr = w.register(0, np.ones(256))
+        w.copy(ptr, 1, t=0.0)
+        assert w.stats.bytes_device_direct == 0
+        assert w.stats.bytes_staged == 0
+        assert w.stats.bytes_get == 2048
+
+    def test_copy_into_device_respects_mode(self):
+        for mode, direct, staged in (
+            (MemoryKindsMode.NATIVE, 2048, 0),
+            (MemoryKindsMode.REFERENCE, 0, 2048),
+        ):
+            w = make_world(mode=mode)
+            ptr = w.register(0, np.ones(256))
+            w.copy(ptr, 1, t=0.0, dst_space=MemorySpace.DEVICE)
+            assert w.stats.bytes_device_direct == direct, mode
+            assert w.stats.bytes_staged == staged, mode
+
+    def test_world_carries_device_kind(self):
+        for kind in (DeviceKind.CUDA, DeviceKind.HIP, DeviceKind.ZE):
+            w = make_world(device_capacity=1 << 20, device_kind=kind)
+            assert w.ranks[0].device.kind is kind
+
+    def test_wildcard_kind_resolves_to_cuda_stack(self):
+        libs = vendor_libraries(DeviceKind.ANY)
+        assert libs.kind is DeviceKind.CUDA
+        assert libs.blas == "cuBLAS" and libs.launch_factor == 1.0
+
+    def test_vendor_launch_factors_ordered(self):
+        cuda = vendor_libraries(DeviceKind.CUDA)
+        hip = vendor_libraries(DeviceKind.HIP)
+        ze = vendor_libraries(DeviceKind.ZE)
+        assert cuda.launch_factor < hip.launch_factor < ze.launch_factor
