@@ -1,0 +1,112 @@
+"""Memory-footprint benchmark: peak ledger bytes and allocation counts.
+
+Every byte the solvers allocate is charged to the session's
+:class:`~repro.memory.MemoryLedger`, so peak host/device bytes and
+allocation counts are exact and bit-deterministic per scenario — they
+change only when the allocation behaviour of the code changes.  This
+benchmark records them to ``benchmarks/perf/BENCH_memory.json`` (a CI
+artifact) and, in quick mode, gates on the committed
+``memory_baseline.json``: an allocation-count regression of more than
+10% on any scenario fails the run (a pool-bypass or scratch leak shows
+up here as a count explosion long before it shows up as wall time).
+
+Set ``REPRO_BENCH_QUICK=1`` for the CI-sized run (the baseline applies
+to quick mode only; full-size runs just report).
+"""
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.offload import DEFAULT_THRESHOLDS, OffloadPolicy
+from repro.core.solver import SolverOptions, SymPackSolver
+from repro.sparse import grid_laplacian_2d, random_spd
+from repro.variants.fanin import FanInOptions, FanInSolver
+from repro.variants.multifrontal import MultifrontalOptions, MultifrontalSolver
+
+QUICK = bool(os.environ.get("REPRO_BENCH_QUICK"))
+RESULTS_PATH = Path(__file__).parent / "BENCH_memory.json"
+BASELINE_PATH = Path(__file__).parent / "memory_baseline.json"
+
+GRID = 8 if QUICK else 24
+N_RANDOM = 60 if QUICK else 200
+REGRESSION_TOLERANCE = 1.10
+
+
+def _scenarios():
+    gpu_hungry = OffloadPolicy(
+        thresholds={op: 1 for op in DEFAULT_THRESHOLDS})
+    return [
+        ("fanout_grid", SymPackSolver,
+         SolverOptions(nranks=2), grid_laplacian_2d(GRID, GRID)),
+        ("fanin_random", FanInSolver,
+         FanInOptions(nranks=2), random_spd(N_RANDOM, density=0.15, seed=3)),
+        ("multifrontal_grid", MultifrontalSolver,
+         MultifrontalOptions(nranks=2), grid_laplacian_2d(GRID, GRID)),
+        ("fanout_gpu_hungry", SymPackSolver,
+         SolverOptions(nranks=2, offload=gpu_hungry),
+         grid_laplacian_2d(GRID, GRID)),
+    ]
+
+
+def _measure(solver_cls, options, a):
+    solver = solver_cls(a, options)
+    solver.factorize()
+    rhs = np.linspace(-1.0, 1.0, a.n).reshape(a.n, 1)
+    solver.solve(rhs)
+    # Refactorize once so free-list reuse (not just first-run allocation)
+    # is part of the measured count.
+    solver.factorize()
+    snap = solver.session.ledger.snapshot()
+    stats = {
+        "peak_host_bytes": snap.peak("host"),
+        "peak_device_bytes": snap.peak("device"),
+        "allocs_host": snap.allocs("host"),
+        "allocs_device": snap.allocs("device"),
+        "pool_takes": solver.session.pool.takes,
+        "pool_reuses": solver.session.pool.reuses,
+    }
+    solver.close()
+    leaked = solver.session.ledger.live()
+    if leaked:
+        raise AssertionError(
+            f"{solver_cls.__name__}: {leaked} live bytes after close()")
+    return stats
+
+
+def test_memory_footprint():
+    record = {
+        "benchmark": "memory ledger footprint (peak bytes, alloc counts)",
+        "quick_mode": QUICK,
+        "grid": GRID,
+        "n_random": N_RANDOM,
+        "scenarios": {},
+    }
+    for name, solver_cls, options, a in _scenarios():
+        record["scenarios"][name] = _measure(solver_cls, options, a)
+    RESULTS_PATH.write_text(json.dumps(record, indent=2) + "\n")
+
+    if not QUICK:
+        return
+
+    # ------------------------------------------- allocation-count gate
+    baseline = json.loads(BASELINE_PATH.read_text())["scenarios"]
+    failures = []
+    for name, stats in record["scenarios"].items():
+        base = baseline.get(name)
+        if base is None:
+            continue  # new scenario: no baseline yet
+        for key in ("allocs_host", "allocs_device"):
+            if base[key] == 0:
+                continue
+            ratio = stats[key] / base[key]
+            if ratio > REGRESSION_TOLERANCE:
+                failures.append(
+                    f"{name}.{key}: {base[key]} -> {stats[key]} "
+                    f"({ratio:.2f}x > {REGRESSION_TOLERANCE:.2f}x)")
+    if failures:
+        raise AssertionError(
+            "allocation-count regression vs memory_baseline.json:\n  "
+            + "\n  ".join(failures))

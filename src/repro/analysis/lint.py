@@ -23,6 +23,14 @@ Run as ``python -m repro.analysis.lint`` (or through the combined
     :data:`~repro.analysis.effects.HANDLER_WRITE_SPEC` declares writable.
     The wave conflict verifier *trusts* that spec; an undeclared mutation
     would silently invalidate its proofs.
+``REP106`` **pooled hot-path allocation** — ``core/storage.py``,
+    ``variants/*`` and ``kernels/*`` must not call raw ``np.zeros`` /
+    ``np.empty``: hot-path buffers come from the
+    :class:`~repro.memory.BufferPool` API (``pool.take`` /
+    ``ctx.scratch_array`` / ``ctx.take_buffer``) so every byte is charged
+    to the :class:`~repro.memory.MemoryLedger` and replays reuse memory.
+    Build-time symbolic helpers may be allowlisted in
+    :data:`RAW_ALLOC_ALLOWLIST` (keyed by file and enclosing function).
 
 The checker works on source text (:func:`lint_source`), which is what
 lets the mutation self-test lint a defect-injected copy of
@@ -65,6 +73,20 @@ DICT_VIEW_METHODS = frozenset({"items", "keys", "values"})
 MUTATING_METHODS = frozenset({
     "pop", "clear", "update", "setdefault", "append", "extend", "fill",
     "sort", "resize", "popitem",
+})
+
+# REP106: allocator calls that bypass the ledgered BufferPool.
+POOL_BYPASS = frozenset({"np.zeros", "np.empty", "numpy.zeros",
+                         "numpy.empty"})
+# Hot-path modules (relative to src/repro) whose dense buffers must come
+# from the pool API.
+HOT_PATH_FILES = ("core/storage.py",)
+HOT_PATH_DIRS = ("variants/", "kernels/")
+# (rel path, innermost enclosing function) pairs allowed to allocate raw
+# arrays: build-time symbolic work (index/owner maps), not numeric
+# buffers.
+RAW_ALLOC_ALLOWLIST = frozenset({
+    ("variants/multifrontal.py", "proportional_supernode_mapping"),
 })
 
 
@@ -155,6 +177,34 @@ def _check_dict_order(tree: ast.AST, path: str) -> Iterator[Finding]:
                                ast.GeneratorExp)):
             for gen in node.generators:
                 yield from flag(gen.iter)
+
+
+def _hot_path(rel: str) -> bool:
+    return (rel in HOT_PATH_FILES
+            or any(rel.startswith(d) for d in HOT_PATH_DIRS))
+
+
+def _check_pool_alloc(tree: ast.AST, path: str, rel: str
+                      ) -> Iterator[Finding]:
+    def visit(node: ast.AST, func: str) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            func = node.name
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if (name in POOL_BYPASS
+                    and (rel, func) not in RAW_ALLOC_ALLOWLIST):
+                yield Finding(
+                    rule="REP106", where=f"{path}:{node.lineno}",
+                    message=f"raw {name}() in hot-path module {rel}; "
+                            "allocate through the BufferPool API "
+                            "(pool.take / ctx.scratch_array / "
+                            "ctx.take_buffer) so the MemoryLedger sees "
+                            "it, or allowlist the enclosing function in "
+                            "RAW_ALLOC_ALLOWLIST")
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, func)
+
+    yield from visit(tree, "<module>")
 
 
 # -------------------------------------------------- kernel-handler rule
@@ -332,6 +382,8 @@ def lint_source(text: str, path: str, rel: str | None = None
         findings.extend(_check_dict_order(tree, path))
     if rel == "kernels/dispatch.py":
         findings.extend(_check_handlers(tree, path))
+    if _hot_path(rel):
+        findings.extend(_check_pool_alloc(tree, path, rel))
     return findings
 
 
@@ -355,7 +407,7 @@ def lint_tree(root: Path = SRC_ROOT) -> list[Finding]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-invariant lint pass (rules REP101-REP105).")
+        description="Repo-invariant lint pass (rules REP101-REP106).")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files to lint (default: all of src/repro)")
     args = parser.parse_args(argv)

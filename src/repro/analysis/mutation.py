@@ -7,7 +7,7 @@ the checker on the real tree (must be clean), inject a known defect into
 a copy of the input, and require the checker to flag it with a precise
 report.
 
-The three injections mirror the three layers:
+The injections mirror the analysis layers:
 
 * **waves** — a real factorization's flush stream is captured, verified
   clean, then mutated: a ``trsm_block`` call is duplicated *into its own
@@ -23,6 +23,9 @@ The three injections mirror the three layers:
   findings; a copy with ``ctx.resolve(a_ref)[0, 0] = 0.0`` injected into
   ``_op_syrk_sub`` (a kernel mutating its declared-read-only operand)
   must be flagged.
+* **pool lint** — the real ``core/storage.py`` must carry zero ``REP106``
+  findings; a copy with a helper calling raw ``np.zeros`` appended (an
+  allocation that bypasses the ledgered ``BufferPool``) must be flagged.
 
 ``python -m repro.analysis selftest`` (and the CI ``static-analysis``
 job) fail unless every layer passes both halves.
@@ -39,7 +42,8 @@ from .report import Finding
 from .waves import verify_flush
 
 __all__ = ["MutationReport", "selftest_waves", "selftest_races",
-           "selftest_lint", "run_selftest", "format_reports"]
+           "selftest_lint", "selftest_pool_lint", "run_selftest",
+           "format_reports"]
 
 
 @dataclass
@@ -185,9 +189,33 @@ def selftest_lint() -> MutationReport:
     )
 
 
+_REP106_MUTANT = ("\n\ndef _rep106_probe(shape):\n"
+                  "    return np.zeros(shape)\n")
+
+
+def selftest_pool_lint() -> MutationReport:
+    """Pool lint: real storage.py clean; raw-allocation mutant flagged."""
+    from .lint import lint_source
+
+    path = Path(__file__).resolve().parents[1] / "core" / "storage.py"
+    source = path.read_text()
+    clean = lint_source(source, str(path), rel="core/storage.py")
+    mutant = source + _REP106_MUTANT
+    injected = lint_source(mutant, str(path), rel="core/storage.py")
+    return MutationReport(
+        layer="pool-lint",
+        clean_findings=clean,
+        injected_findings=injected,
+        expect_rules=("REP106",),
+        notes="mutant: helper in core/storage.py allocates with raw "
+              "np.zeros (bypasses the ledgered BufferPool)",
+    )
+
+
 def run_selftest() -> list[MutationReport]:
-    """All three layers' mutation self-tests."""
-    return [selftest_waves(), selftest_races(), selftest_lint()]
+    """All layers' mutation self-tests."""
+    return [selftest_waves(), selftest_races(), selftest_lint(),
+            selftest_pool_lint()]
 
 
 def format_reports(reports: list[MutationReport]) -> str:

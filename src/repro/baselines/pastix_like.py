@@ -31,7 +31,7 @@ from ..core.base import CommonOptions, SolverBase
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall, flat_index
+from ..kernels.dispatch import KernelCall, flat_index
 from ..machine.model import MachineModel
 from ..pgas.network import MemoryKindsMode
 
@@ -96,7 +96,7 @@ class PastixLikeSolver(SolverBase):
         part = analysis.supernodes
         blocks = analysis.blocks
         storage = self.storage
-        graph = TaskGraph(context=ExecContext(storage=storage))
+        graph = TaskGraph(context=self._exec_context())
 
         panel_task: list[SimTask] = [None] * part.nsup  # type: ignore
         for s in range(part.nsup):
@@ -208,7 +208,7 @@ class PastixLikeSolver(SolverBase):
         part = self.analysis.supernodes
         blocks = self.analysis.blocks
         nrhs = rhs.shape[1]
-        graph = TaskGraph(context=ExecContext(storage=self.storage, rhs=rhs))
+        graph = TaskGraph(context=self._exec_context(rhs=rhs))
         solve_task: list[SimTask] = [None] * part.nsup  # type: ignore
 
         for s in range(part.nsup):

@@ -84,6 +84,14 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         from .core.serialization import save_factor
         save_factor(solver, args.save_factor)
         print(f"factor saved     : {args.save_factor}")
+    if args.mem_report:
+        print(solver.session.ledger.snapshot().format_report())
+        solver.close()
+        live_after = solver.session.ledger.live()
+        print(f"live after close : {live_after:,d} bytes"
+              + ("" if live_after == 0 else "  (LEAK)"))
+        if live_after != 0:
+            return 1
     return 0 if res < 1e-8 and not findings else 1
 
 
@@ -135,6 +143,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"hit rate         : {counters.hit_rate():.2%}")
     print(f"factor cache     : {counters.factor_entries} entries, "
           f"{counters.factor_bytes} bytes, {counters.evictions} evictions")
+    print(f"memory ledger    : {counters.bytes_live:,d} live / "
+          f"{counters.bytes_peak:,d} peak bytes "
+          f"(cache-vs-ledger delta {counters.factor_bytes_delta:+,d})")
     return 0
 
 
@@ -288,6 +299,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="attach the vector-clock happens-before checker to "
                         "the PGAS runtime (flags unfenced rget/rput, "
                         "signal-before-put, unpolled inboxes)")
+    p.add_argument("--mem-report", action="store_true",
+                   help="print the memory-ledger report (per-rank/space "
+                        "live and peak bytes, allocation counts) and "
+                        "verify live bytes return to zero after the "
+                        "solver closes (see docs/memory.md)")
     add_run_args(p)
     p.set_defaults(func=_cmd_solve)
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..kernels.dispatch import ExecContext, ExecutorStats
 from ..machine.model import MachineModel
+from ..memory import BufferPool, MemoryLedger, MemorySnapshot
 from ..machine.perlmutter import perlmutter
 from ..pgas.device_kinds import DeviceKind
 from ..pgas.network import MemoryKindsMode
@@ -146,6 +147,9 @@ class FactorizeInfo:
     tasks: int
     rank_busy: list[float]
     exec_stats: "ExecutorStats | None" = None  # flush counters of this run
+    # In-run memory-ledger snapshot (peak host/device bytes of this
+    # factorization; see EngineResult.mem).
+    mem: MemorySnapshot = field(default_factory=MemorySnapshot)
 
 
 @dataclass
@@ -178,7 +182,9 @@ class SolverBase:
 
     def __init__(self, a: SymmetricCSC, options: CommonOptions | None = None,
                  *, analysis: SymbolicAnalysis | None = None,
-                 trace: ExecutionTrace | None = None):
+                 trace: ExecutionTrace | None = None,
+                 ledger: MemoryLedger | None = None,
+                 pool: BufferPool | None = None):
         self.options = options if options is not None else self.options_cls()
         check_finite(a)
         if not probable_spd(a):
@@ -201,8 +207,10 @@ class SolverBase:
                 amalgamation=self.options.amalgamation,
             )
         self.session = ExecutionSession.from_options(
-            self.options, machine=self._session_machine(), trace=trace)
+            self.options, machine=self._session_machine(), trace=trace,
+            ledger=ledger, pool=pool)
         self.storage: FactorStorage | None = None
+        self._closed = False
         self._factor_graph: TaskGraph | None = None
         # Solve graphs cached per right-hand-side count:
         # nrhs -> (forward graph, backward graph, rhs buffer).
@@ -214,6 +222,17 @@ class SolverBase:
     def _session_machine(self) -> MachineModel:
         """Machine model the session runs on (baselines may tune it)."""
         return self.options.machine
+
+    def _exec_context(self, rhs: np.ndarray | None = None) -> ExecContext:
+        """Execution context wired to the session's ledgered buffer pool.
+
+        Graph builders that register scratch at build time (fan-in /
+        fan-both aggregates, multifrontal transients) must create their
+        context through this helper so that scratch charges the session
+        ledger instead of a private pool.
+        """
+        return ExecContext(storage=self.storage, rhs=rhs,
+                           pool=self.session.pool)
 
     def _build_factor_graph(self) -> TaskGraph:
         """Build the family's factorization DAG over ``self.storage``."""
@@ -250,12 +269,20 @@ class SolverBase:
         identical graph (the repeated-factorization pattern of
         PEXSI-style applications).
         """
+        if self._closed:
+            raise RuntimeError("solver is closed; its buffers were released")
         if self._factor_graph is None:
-            self.storage = FactorStorage(self.analysis)
+            self.storage = FactorStorage(self.analysis,
+                                         pool=self.session.pool)
             self._prepare_storage()
             self._factor_graph = self._build_factor_graph()
-            if self._factor_graph.context is None:
-                self._factor_graph.context = ExecContext(storage=self.storage)
+            ctx = self._factor_graph.context
+            if ctx is None:
+                self._factor_graph.context = self._exec_context()
+            elif ctx.pool is None:
+                # Builders that construct a bare context (no build-time
+                # scratch) get the session pool patched in post-build.
+                ctx.pool = self.session.pool
         else:
             self.storage.reset()
             self._prepare_storage()
@@ -269,6 +296,7 @@ class SolverBase:
             tasks=run.tasks_total,
             rank_busy=run.rank_busy,
             exec_stats=run.exec_stats,
+            mem=run.mem,
         )
 
     def update_values(self, a: SymmetricCSC) -> None:
@@ -309,6 +337,8 @@ class SolverBase:
         """
         if not self._factorized or self.storage is None:
             raise RuntimeError("call factorize() before solve()")
+        if self._closed:
+            raise RuntimeError("solver is closed; its buffers were released")
         b = np.asarray(b, dtype=np.float64)
         squeeze = b.ndim == 1
         vals = b.reshape(self.a.n, -1)
@@ -316,11 +346,14 @@ class SolverBase:
 
         cached = self._solve_graphs.get(nrhs)
         if cached is None:
-            rhs = np.empty((self.a.n, nrhs))
+            rhs = self.session.pool.take((self.a.n, nrhs), label="rhs",
+                                         zero=False)
             fwd, bwd = self._build_solve_graphs(rhs)
             for g in (fwd, bwd):
                 if g.context is None:
-                    g.context = ExecContext(storage=self.storage, rhs=rhs)
+                    g.context = self._exec_context(rhs=rhs)
+                elif g.context.pool is None:
+                    g.context.pool = self.session.pool
             cached = self._solve_graphs[nrhs] = (fwd, bwd, rhs)
         fwd, bwd, rhs = cached
         rhs[:, :] = vals[self.analysis.perm.perm]
@@ -341,6 +374,39 @@ class SolverBase:
         info = SolveInfo(simulated_seconds=total_time, trace=self.trace,
                          comm=comm, tasks=total_tasks)
         return x, info
+
+    # ----------------------------------------------------------- lifetime
+
+    def close(self) -> None:
+        """Release every pooled buffer this solver holds (idempotent).
+
+        Cached right-hand sides, graph-context scratch and the factor
+        storage all go back to the session pool, so the shared ledger's
+        live bytes return to what the pool's *other* owners hold — zero
+        for a solver with a private session.  The solver must not be
+        used afterwards (the service calls this when evicting a cached
+        factor).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for fwd, bwd, rhs in self._solve_graphs.values():
+            for g in (fwd, bwd):
+                if g.context is not None:
+                    g.context.close()
+            self.session.pool.give(rhs)
+        self._solve_graphs.clear()
+        if (self._factor_graph is not None
+                and self._factor_graph.context is not None):
+            self._factor_graph.context.close()
+        if self.storage is not None:
+            self.storage.release()
+        self._factorized = False
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has released this solver's buffers."""
+        return self._closed
 
     # ------------------------------------------------------------ queries
 

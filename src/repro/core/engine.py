@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from ..kernels.dispatch import ExecutorStats, KernelExecutor
+from ..memory import MemorySnapshot
 from ..pgas.device import DeviceOutOfMemory, OomFallback
 from ..pgas.device_kinds import vendor_libraries
 from ..pgas.network import MemoryKindsMode, MemorySpace
@@ -66,6 +67,10 @@ class EngineResult:
     tasks_total: int
     rank_busy: list[float] = field(default_factory=list)
     exec_stats: ExecutorStats | None = None
+    # Ledger snapshot taken right after the numeric flush, *before* the
+    # session reclaims device segments and run scratch — i.e. the run's
+    # in-flight memory footprint (peaks are the interesting part).
+    mem: MemorySnapshot = field(default_factory=MemorySnapshot)
 
     @property
     def load_imbalance(self) -> float:
@@ -389,4 +394,5 @@ class FanOutEngine:
             tasks_total=len(self.graph.tasks),
             rank_busy=busy,
             exec_stats=self.executor.stats,
+            mem=self.world.ledger.snapshot(),
         )

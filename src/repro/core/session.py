@@ -16,10 +16,11 @@ solve share one counter set.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..kernels.dispatch import ExecutorStats
 from ..machine.model import MachineModel
+from ..memory import BufferPool, MemoryLedger, MemorySnapshot
 from ..pgas.device_kinds import DeviceKind
 from ..pgas.network import MemoryKindsMode
 from ..pgas.runtime import CommStats, World
@@ -41,6 +42,10 @@ class RunResult:
     comm: CommStats          # this run's communication counters
     trace: ExecutionTrace    # the session-accumulated trace
     exec_stats: ExecutorStats | None = None  # this run's flush counters
+    # Ledger snapshot after end-of-run reclamation (device segments freed,
+    # run scratch returned to the pool): live bytes are what *survives* the
+    # run, peaks are the run's high-water marks.
+    mem: MemorySnapshot = field(default_factory=MemorySnapshot)
 
     @property
     def load_imbalance(self) -> float:
@@ -75,6 +80,8 @@ class ExecutionSession:
         batching: bool = True,
         check_waves: bool = False,
         check_races: bool = False,
+        ledger: MemoryLedger | None = None,
+        pool: BufferPool | None = None,
     ) -> None:
         self.nranks = nranks
         self.machine = machine
@@ -91,6 +98,14 @@ class ExecutionSession:
         # thread-safe, and the session guards its own accumulators below.
         self.trace = (trace if trace is not None
                       else ExecutionTrace(keep_timeline=keep_timeline))
+        # One ledger is the session's single source of byte truth: factor
+        # storage, kernel scratch, rhs buffers and device segments all
+        # charge it.  A shared pool/ledger (the solve service) makes every
+        # tenant's sessions report into one account set.
+        if ledger is None:
+            ledger = pool.ledger if pool is not None else MemoryLedger()
+        self.ledger = ledger
+        self.pool = pool if pool is not None else BufferPool(ledger=ledger)
         self.comm = CommStats()  # accumulated across all runs
         self.runs = 0
         self._stats_lock = mutex()
@@ -115,14 +130,17 @@ class ExecutionSession:
 
     @classmethod
     def from_options(cls, options, machine: MachineModel | None = None,
-                     trace: ExecutionTrace | None = None
+                     trace: ExecutionTrace | None = None,
+                     ledger: MemoryLedger | None = None,
+                     pool: BufferPool | None = None,
                      ) -> "ExecutionSession":
         """Build a session from a :class:`~repro.core.base.CommonOptions`.
 
         ``machine`` overrides the options' machine model (used by the
         PaStiX-like baseline to apply StarPU/MPI-style overheads);
         ``trace`` substitutes a shared (possibly service-wide) trace for
-        the session-private one.
+        the session-private one; ``ledger``/``pool`` substitute shared
+        memory accounting (the solve service gives all tenants one).
         """
         return cls(
             nranks=options.nranks,
@@ -139,6 +157,8 @@ class ExecutionSession:
             batching=options.batching,
             check_waves=getattr(options, "check_waves", False),
             check_races=getattr(options, "check_races", False),
+            ledger=ledger,
+            pool=pool,
         )
 
     # ----------------------------------------------------------- execution
@@ -157,6 +177,7 @@ class ExecutionSession:
             device_capacity=self.device_capacity,
             device_kind=self.device_kind,
             tracer=tracer,
+            ledger=self.ledger,
         )
 
     def run(self, graph: TaskGraph) -> RunResult:
@@ -175,6 +196,17 @@ class ExecutionSession:
         result = engine.run()
         if tracer is not None:
             self.race_findings.extend(tracer.finalize(world))
+        # End-of-run reclamation: the world is discarded here, so free its
+        # device segments (per-task staging buffers) and return the run's
+        # kernel scratch to the pool.  ``result.mem`` already captured the
+        # in-run peaks; the post-reclamation snapshot goes on the trace so
+        # every layer reports from the same watermark history.
+        for state in world.ranks:
+            if state.device is not None:
+                state.device.release_all()
+        if graph.context is not None:
+            graph.context.end_run()
+        self.trace.update_memory(self.ledger.snapshot())
         with self._stats_lock:
             self.comm += world.stats
             self.runs += 1
@@ -185,4 +217,5 @@ class ExecutionSession:
             comm=world.stats,
             trace=self.trace,
             exec_stats=result.exec_stats,
+            mem=result.mem,
         )

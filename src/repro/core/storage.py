@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..memory import BufferPool
 from ..symbolic.analysis import SymbolicAnalysis
 
 __all__ = ["FactorStorage"]
@@ -21,10 +22,18 @@ class FactorStorage:
 
     Initialised with the entries of the permuted matrix ``A``; factor tasks
     overwrite it in place so that, after the numeric phase, it holds ``L``.
+
+    All backing arrays come from a :class:`~repro.memory.BufferPool`
+    (label ``"factor"``), so factor memory is charged to the session's
+    :class:`~repro.memory.MemoryLedger` and :meth:`release` returns it to
+    the pool's free lists for reuse (the service's factor-cache churn).
     """
 
-    def __init__(self, analysis: SymbolicAnalysis, dtype=np.float64):
+    def __init__(self, analysis: SymbolicAnalysis, dtype=np.float64,
+                 pool: BufferPool | None = None):
         self.analysis = analysis
+        self.pool = pool if pool is not None else BufferPool()
+        self._released = False
         part = analysis.supernodes
         self.diag: list[np.ndarray] = []
         self.panels: list[np.ndarray] = []
@@ -42,8 +51,9 @@ class FactorStorage:
         self.diag_pool: dict[int, np.ndarray] = {}
         self.diag_pos: dict[int, tuple[int, int]] = {}
         for w, sups in by_width.items():
-            pool = np.zeros((len(sups), w, w), dtype=dtype)
-            self.diag_pool[w] = pool
+            group = self.pool.take((len(sups), w, w), dtype=dtype,
+                                   label="factor")
+            self.diag_pool[w] = group
             for i, s in enumerate(sups):
                 self.diag_pos[s] = (w, i)
 
@@ -51,7 +61,8 @@ class FactorStorage:
             fc, lc = part.first_col(s), part.last_col(s)
             w = widths[s]
             struct = part.structs[s]
-            panel = np.zeros((struct.size, w), dtype=dtype)
+            panel = self.pool.take((struct.size, w), dtype=dtype,
+                                   label="factor")
             pw, pi = self.diag_pos[s]
             self.diag.append(self.diag_pool[pw][pi])
             self.panels.append(panel)
@@ -60,6 +71,20 @@ class FactorStorage:
                 views.append(panel[b.offset : b.offset + b.nrows, :])
             self.block_views.append(views)
         self.reset()
+
+    def release(self) -> None:
+        """Give every backing array back to the pool (idempotent).
+
+        The storage must not be used afterwards: ``diag`` and
+        ``block_views`` are views into returned memory.
+        """
+        if self._released:
+            return
+        self._released = True
+        for group in self.diag_pool.values():
+            self.pool.give(group)
+        for panel in self.panels:
+            self.pool.give(panel)
 
     def reset(self) -> None:
         """Re-initialise the blocks with the entries of the permuted ``A``.

@@ -108,6 +108,11 @@ class ServiceEvent:
     error_summary:
         One-line traceback summary (innermost frame + message) so
         failures are diagnosable from telemetry alone.
+    bytes_live:
+        Ledger live bytes (all accounts) when the request completed —
+        the service's resident footprint at that moment.
+    bytes_peak:
+        Ledger peak bytes at completion (monotone high-water mark).
     """
 
     request_id: int
@@ -117,6 +122,8 @@ class ServiceEvent:
     coalesced_width: int = 1
     error: str = ""
     error_summary: str = ""
+    bytes_live: int = 0
+    bytes_peak: int = 0
 
 
 @dataclass
@@ -131,6 +138,11 @@ class ExecutionTrace:
     timeline: list[tuple[float, float, int, str]] = field(default_factory=list)
     keep_timeline: bool = False
     service_events: list[ServiceEvent] = field(default_factory=list)
+    # Memory-ledger watermarks, keyed ``(rank, space)``: ``mem_live`` is
+    # the latest reported live bytes, ``mem_peak`` the max ever reported
+    # (sessions report after every run via :meth:`update_memory`).
+    mem_live: dict[tuple[int, str], int] = field(default_factory=dict)
+    mem_peak: dict[tuple[int, str], int] = field(default_factory=dict)
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -155,6 +167,26 @@ class ExecutionTrace:
         """Count one device-OOM CPU fallback."""
         with self._lock:
             self.gpu_fallbacks += 1
+
+    def update_memory(self, snapshot) -> None:
+        """Fold a :class:`~repro.memory.MemorySnapshot` into the trace.
+
+        ``mem_live`` reflects the latest snapshot; ``mem_peak`` max-merges,
+        so a trace shared across many runs (or tenants) keeps the global
+        high-water mark per ``(rank, space)`` account.
+        """
+        with self._lock:
+            for acct in snapshot.accounts:
+                key = (acct.rank, acct.space)
+                self.mem_live[key] = acct.live
+                if acct.peak > self.mem_peak.get(key, 0):
+                    self.mem_peak[key] = acct.peak
+
+    def memory_watermarks(self) -> tuple[dict[tuple[int, str], int],
+                                         dict[tuple[int, str], int]]:
+        """Snapshot of ``(mem_live, mem_peak)`` under the lock."""
+        with self._lock:
+            return dict(self.mem_live), dict(self.mem_peak)
 
     def record_request(self, event: ServiceEvent) -> None:
         """Append one service request's telemetry."""

@@ -58,6 +58,7 @@ from typing import Any
 import numpy as np
 import scipy.linalg as la
 
+from ..memory import BufferPool
 from . import dense as kd
 
 __all__ = ["KernelCall", "ExecContext", "KernelExecutor", "KERNEL_OPS",
@@ -114,14 +115,32 @@ class ExecContext:
     transient:
         Run-lifetime payloads handed between kernels (multifrontal
         contribution blocks); cleared by :meth:`fresh_run`.
+    pool:
+        :class:`~repro.memory.BufferPool` backing scratch and kernel
+        buffers; a private pool is created lazily when the context is
+        used standalone (sessions inject their shared, ledgered pool).
     """
 
     def __init__(self, storage: Any = None,
-                 rhs: np.ndarray | None = None) -> None:
+                 rhs: np.ndarray | None = None,
+                 pool: BufferPool | None = None) -> None:
         self.storage = storage
         self.rhs = rhs
+        self.pool = pool
         self.scratch: dict = {}
         self.transient: dict = {}
+        self.epoch = 0  # bumped by end_run(): one epoch per graph run
+        # Registered scratch shapes survive end_run(), so a later
+        # fresh_run() can re-take released buffers from the pool.
+        self._scratch_shapes: dict[tuple, tuple[int, ...]] = {}
+        # id(array) -> array for buffers kernels hold mid-run (frontal
+        # fronts and contribution blocks); must be empty at end_run().
+        self._held: dict[int, np.ndarray] = {}
+
+    def _ensure_pool(self) -> BufferPool:
+        if self.pool is None:
+            self.pool = BufferPool()
+        return self.pool
 
     def scratch_array(self, key: tuple,
                       shape: Sequence[int]) -> np.ndarray:
@@ -133,18 +152,99 @@ class ExecContext:
         """
         arr = self.scratch.get(key)
         if arr is None:
-            arr = self.scratch[key] = np.zeros(shape)
+            known = self._scratch_shapes.get(key)
+            if known is not None and known != tuple(shape):
+                raise ValueError(
+                    f"scratch array {key!r} already registered with shape "
+                    f"{known}, requested {tuple(shape)}")
+            arr = self._ensure_pool().take(shape, label="scratch")
+            self.scratch[key] = arr
+            self._scratch_shapes[key] = tuple(shape)
         elif arr.shape != tuple(shape):
             raise ValueError(
                 f"scratch array {key!r} already registered with shape "
                 f"{arr.shape}, requested {tuple(shape)}")
         return arr
 
+    # ------------------------------------------------- kernel-held buffers
+
+    def take_buffer(self, shape: Sequence[int],
+                    label: str = "kernel",
+                    zero: bool = True) -> np.ndarray:
+        """Pool-backed run-lifetime buffer for a kernel handler.
+
+        Multifrontal fronts and contribution blocks live here; every
+        take must be balanced by :meth:`release_buffer` before the run
+        ends (``end_run`` reconciles).  Thread-safe: wave-parallel
+        frontal kernels call this from pool worker threads.
+        """
+        arr = self._ensure_pool().take(shape, label=label, zero=zero)
+        self._held[id(arr)] = arr
+        return arr
+
+    def release_buffer(self, arr: np.ndarray) -> None:
+        """Return a :meth:`take_buffer` buffer to the pool."""
+        held = self._held.pop(id(arr), None)
+        if held is None:
+            raise KeyError("release_buffer() of an array not held by this "
+                           "context")
+        self._ensure_pool().give(arr)
+
+    # --------------------------------------------------------- run lifetime
+
     def fresh_run(self) -> None:
-        """Reset run-scoped state so the owning graph can execute again."""
-        for arr in self.scratch.values():
-            arr[:] = 0.0
-        self.transient.clear()
+        """Reset run-scoped state so the owning graph can execute again.
+
+        Scratch buffers released by a previous :meth:`end_run` are
+        re-taken from the pool (zeroed — free-list reuse across graph
+        replays); surviving ones are zeroed in place, so graphs that keep
+        direct references stay valid.
+        """
+        for key, shape in self._scratch_shapes.items():
+            arr = self.scratch.get(key)
+            if arr is None:
+                self.scratch[key] = self._ensure_pool().take(
+                    shape, label="scratch")
+            else:
+                arr[:] = 0.0
+        self._drop_transient()
+
+    def end_run(self) -> None:
+        """Close out one graph execution: release scratch, reconcile.
+
+        Every scratch buffer goes back to the pool's free list (the next
+        ``fresh_run`` re-takes it), leftover transients are dropped, and
+        any kernel buffer still held is a leak — raised loudly so the
+        grow-only-scratch failure mode cannot silently return.
+        """
+        self._drop_transient()
+        pool = self.pool
+        if pool is not None:
+            for arr in self.scratch.values():
+                pool.give(arr)
+        self.scratch.clear()
+        if self._held:
+            shapes = [a.shape for a in self._held.values()]
+            self._held.clear()
+            raise RuntimeError(
+                f"kernel buffer leak: {len(shapes)} buffer(s) still held "
+                f"at end of run (shapes {shapes[:5]})")
+        self.epoch += 1
+
+    def close(self) -> None:
+        """Release everything and forget the scratch registry."""
+        self.end_run()
+        self._scratch_shapes.clear()
+
+    def _drop_transient(self) -> None:
+        """Clear transients, returning any pool-held payloads."""
+        if self.transient:
+            for val in list(self.transient.values()):
+                parts = val if isinstance(val, tuple) else (val,)
+                for obj in parts:
+                    if isinstance(obj, np.ndarray) and id(obj) in self._held:
+                        self.release_buffer(obj)
+            self.transient.clear()
 
     def resolve(self, ref: tuple) -> np.ndarray:
         """Resolve a symbolic operand reference to a live array."""
@@ -243,7 +343,10 @@ def _op_frontal(ctx: ExecContext, s: int, kids: Sequence[int]) -> None:
     a = analysis.a_perm.lower
     indptr = a.indptr
 
-    front = np.zeros((w + m, w + m))
+    # The front and the Schur update come from the context's pool (the
+    # multifrontal frontal/update stack); the update is handed to the
+    # parent through ``transient`` and released there after extend-add.
+    front = ctx.take_buffer((w + m, w + m), label="frontal")
     # Assemble original entries of A (lower triangle), all columns at once.
     p0, p1 = indptr[fc], indptr[lc + 1]
     rows = a.indices[p0:p1]
@@ -254,18 +357,21 @@ def _op_frontal(ctx: ExecContext, s: int, kids: Sequence[int]) -> None:
         c_rows, c_block = ctx.transient.pop(("contrib", child))
         idx = np.searchsorted(front_vars, c_rows)
         front[np.ix_(idx, idx)] += c_block
+        ctx.release_buffer(c_block)
     # Partial factorization of the first w variables.
     l11 = kd.potrf(front[:w, :w])
     front[:w, :w] = l11
     if m:
         l21 = kd.trsm_right_lower_trans(front[w:, :w], l11)
         front[w:, :w] = l21
-        update = front[w:, w:] - kd.syrk_lower(l21)
+        update = ctx.take_buffer((m, m), label="frontal", zero=False)
+        np.subtract(front[w:, w:], kd.syrk_lower(l21), out=update)
         ctx.transient[("contrib", s)] = (struct, update)
     # Scatter the eliminated columns into the shared factor.
     storage.diag_block(s)[:, :] = front[:w, :w]
     if m:
         storage.panels[s][:, :] = front[w:, :w]
+    ctx.release_buffer(front)
 
 
 # The three solve kernels sweep a multi-column rhs column by column so

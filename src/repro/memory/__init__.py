@@ -1,0 +1,20 @@
+"""Unified memory subsystem: pooled, ledgered, memory-kind-aware buffers.
+
+Two pieces (see ``docs/memory.md``):
+
+* :class:`~repro.memory.ledger.MemoryLedger` — per-rank, per-space byte
+  accounting (live/peak/allocation counts, optional budgets) shared by
+  every allocation layer, from factor storage to device segments to the
+  service factor cache;
+* :class:`~repro.memory.pool.BufferPool` — ledger-charged NumPy arena
+  with per-shape free lists, so graph replays reuse memory instead of
+  re-allocating while keeping results bit-identical to ``np.zeros``
+  allocation.
+"""
+
+from .ledger import (AccountSnapshot, MemoryBudgetExceeded, MemoryLedger,
+                     MemorySnapshot)
+from .pool import BufferPool
+
+__all__ = ["AccountSnapshot", "BufferPool", "MemoryBudgetExceeded",
+           "MemoryLedger", "MemorySnapshot"]

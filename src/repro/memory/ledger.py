@@ -1,0 +1,264 @@
+"""The memory ledger: per-(rank, space) byte accounting for every layer.
+
+The paper's GPU story (Section 4) hinges on *where bytes live* — per-op
+offload thresholds and UPC++ memory kinds move buffers host <-> device in
+one step — so the reproduction needs one answer to "what is peak memory
+per rank per space?".  :class:`MemoryLedger` is that answer: every
+allocation layer (factor storage, kernel scratch, frontal stacks, device
+segments, the service factor cache) charges and releases bytes against
+one set of ``(rank, MemorySpace)`` accounts with live/peak watermarks,
+allocation counts and optional hard budgets.
+
+Budgets make OOM *deterministically injectable*: a
+:class:`~repro.pgas.device.DeviceAllocator` expresses its segment
+capacity as a ledger budget, so a test can shrink the budget of one
+``(rank, device)`` account and drive the exact
+``DeviceOutOfMemory``/``OomFallback`` path the engine exercises on a real
+out-of-memory GPU.
+
+Thread safety: the service's worker pool shares one ledger across
+concurrent sessions, so every mutation happens under the repo's
+sanctioned :func:`~repro.core.tracing.mutex` (imported at construction
+time to keep the ``repro.memory`` <-> ``repro.core`` import graph
+acyclic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryBudgetExceeded", "AccountSnapshot", "MemorySnapshot",
+           "MemoryLedger"]
+
+
+class MemoryBudgetExceeded(MemoryError):
+    """A charge would push a (rank, space) account past its budget."""
+
+
+def _space_key(space: object) -> str:
+    """Normalise a ``MemorySpace`` enum (or plain string) to its name."""
+    return str(getattr(space, "value", space))
+
+
+@dataclass(frozen=True)
+class AccountSnapshot:
+    """Immutable state of one ``(rank, space)`` account."""
+
+    rank: int
+    space: str                    # "host" | "device"
+    live: int                     # bytes currently charged
+    peak: int                     # high-water mark of ``live``
+    allocs: int                   # charge() calls
+    frees: int                    # release() calls
+    budget: int | None            # byte ceiling, None = unbounded
+    by_label: tuple[tuple[str, int], ...]       # label -> live bytes
+    peak_by_label: tuple[tuple[str, int], ...]  # label -> peak bytes
+
+
+@dataclass(frozen=True)
+class MemorySnapshot:
+    """Point-in-time view of every account in a :class:`MemoryLedger`."""
+
+    accounts: tuple[AccountSnapshot, ...] = ()
+
+    def live(self, space: str | None = None) -> int:
+        """Total live bytes, optionally restricted to one space."""
+        return sum(a.live for a in self.accounts
+                   if space is None or a.space == _space_key(space))
+
+    def peak(self, space: str | None = None) -> int:
+        """Summed per-account peaks (a safe upper bound on true peak)."""
+        return sum(a.peak for a in self.accounts
+                   if space is None or a.space == _space_key(space))
+
+    def allocs(self, space: str | None = None) -> int:
+        """Total allocation count, optionally restricted to one space."""
+        return sum(a.allocs for a in self.accounts
+                   if space is None or a.space == _space_key(space))
+
+    def live_label(self, label: str) -> int:
+        """Live bytes carried under ``label`` across all accounts."""
+        return sum(n for a in self.accounts
+                   for lbl, n in a.by_label if lbl == label)
+
+    def format_report(self) -> str:
+        """Human-readable per-account table (the ``--mem-report`` body)."""
+        lines = ["memory ledger    : (rank, space)  live / peak bytes, allocs"]
+        for a in sorted(self.accounts, key=lambda a: (a.rank, a.space)):
+            budget = f" budget={a.budget:,d}" if a.budget is not None else ""
+            lines.append(
+                f"  rank {a.rank:<3d} {a.space:<6s}: "
+                f"{a.live:>12,d} / {a.peak:>12,d}  "
+                f"allocs={a.allocs}{budget}")
+            for label, peak in sorted(a.peak_by_label):
+                live = dict(a.by_label).get(label, 0)
+                lines.append(f"    {label:<12s}: {live:>12,d} / {peak:>12,d}")
+        if len(lines) == 1:
+            lines.append("  (no accounts charged)")
+        return "\n".join(lines)
+
+
+class _Account:
+    """Mutable per-(rank, space) counters (internal to the ledger)."""
+
+    __slots__ = ("live", "peak", "allocs", "frees", "budget",
+                 "by_label", "peak_by_label")
+
+    def __init__(self) -> None:
+        self.live = 0
+        self.peak = 0
+        self.allocs = 0
+        self.frees = 0
+        self.budget: int | None = None
+        self.by_label: dict[str, int] = {}
+        self.peak_by_label: dict[str, int] = {}
+
+
+class MemoryLedger:
+    """Per-rank, per-space byte accounting with budgets and watermarks.
+
+    One ledger is shared by everything a session (or the whole solve
+    service) allocates; see the module docstring.  All byte math is
+    integral and deterministic — the simulated runs never touch wall
+    clocks here — so snapshots are bit-reproducible across replays.
+    """
+
+    def __init__(self) -> None:
+        from ..core.tracing import mutex  # deferred: avoids import cycle
+
+        self._lock = mutex()
+        self._accounts: dict[tuple[int, str], _Account] = {}
+
+    # ------------------------------------------------------------ accounts
+
+    def _account(self, rank: int, space: object) -> _Account:
+        key = (int(rank), _space_key(space))
+        acct = self._accounts.get(key)
+        if acct is None:
+            acct = self._accounts[key] = _Account()
+        return acct
+
+    # ------------------------------------------------------------- budgets
+
+    def set_budget(self, rank: int, space: object,
+                   budget: int | None) -> None:
+        """Set (or clear, with ``None``) one account's byte ceiling."""
+        with self._lock:
+            self._account(rank, space).budget = budget
+
+    def ensure_budget(self, rank: int, space: object, budget: int) -> None:
+        """Install ``budget`` unless a *tighter* one is already set.
+
+        Sessions build a fresh simulated world per run, and each world's
+        device allocators re-declare their segment capacity; the
+        min-semantics here keep a smaller, test-injected budget in force
+        across those re-declarations.
+        """
+        with self._lock:
+            acct = self._account(rank, space)
+            if acct.budget is None or budget < acct.budget:
+                acct.budget = budget
+
+    def budget(self, rank: int, space: object) -> int | None:
+        """The account's byte ceiling (``None`` = unbounded)."""
+        with self._lock:
+            return self._account(rank, space).budget
+
+    def remaining(self, rank: int, space: object) -> int | None:
+        """Bytes left under the account's budget (``None`` = unbounded)."""
+        with self._lock:
+            acct = self._account(rank, space)
+            if acct.budget is None:
+                return None
+            return acct.budget - acct.live
+
+    # ----------------------------------------------------- charge / release
+
+    def charge(self, rank: int, space: object, nbytes: int,
+               label: str = "") -> None:
+        """Account ``nbytes`` of a new allocation.
+
+        Raises :class:`MemoryBudgetExceeded` — mutating *nothing* — when
+        the account's budget would be exceeded, so a failed charge leaves
+        the ledger exactly as it was.
+        """
+        if nbytes < 0:
+            raise ValueError(f"cannot charge negative bytes ({nbytes})")
+        with self._lock:
+            acct = self._account(rank, space)
+            if acct.budget is not None and acct.live + nbytes > acct.budget:
+                raise MemoryBudgetExceeded(
+                    f"rank {rank} {_space_key(space)}: charge of {nbytes} "
+                    f"bytes exceeds budget ({acct.live} live of "
+                    f"{acct.budget})")
+            acct.live += nbytes
+            acct.peak = max(acct.peak, acct.live)
+            acct.allocs += 1
+            if label:
+                lab = acct.by_label.get(label, 0) + nbytes
+                acct.by_label[label] = lab
+                acct.peak_by_label[label] = max(
+                    acct.peak_by_label.get(label, 0), lab)
+
+    def release(self, rank: int, space: object, nbytes: int,
+                label: str = "") -> None:
+        """Return ``nbytes`` previously charged to the account."""
+        if nbytes < 0:
+            raise ValueError(f"cannot release negative bytes ({nbytes})")
+        with self._lock:
+            acct = self._account(rank, space)
+            if nbytes > acct.live:
+                raise ValueError(
+                    f"rank {rank} {_space_key(space)}: release of {nbytes} "
+                    f"bytes exceeds {acct.live} live")
+            acct.live -= nbytes
+            acct.frees += 1
+            if label:
+                acct.by_label[label] = acct.by_label.get(label, 0) - nbytes
+
+    # ------------------------------------------------------------- queries
+
+    def live(self, rank: int | None = None,
+             space: object | None = None) -> int:
+        """Live bytes, optionally filtered by rank and/or space."""
+        with self._lock:
+            return sum(
+                acct.live for (r, s), acct in self._accounts.items()
+                if (rank is None or r == rank)
+                and (space is None or s == _space_key(space)))
+
+    def peak(self, rank: int | None = None,
+             space: object | None = None) -> int:
+        """Summed per-account peak bytes under the same filters."""
+        with self._lock:
+            return sum(
+                acct.peak for (r, s), acct in self._accounts.items()
+                if (rank is None or r == rank)
+                and (space is None or s == _space_key(space)))
+
+    def allocs(self, rank: int | None = None,
+               space: object | None = None) -> int:
+        """Charge count under the same filters."""
+        with self._lock:
+            return sum(
+                acct.allocs for (r, s), acct in self._accounts.items()
+                if (rank is None or r == rank)
+                and (space is None or s == _space_key(space)))
+
+    def live_label(self, label: str) -> int:
+        """Live bytes currently carried under ``label``, all accounts."""
+        with self._lock:
+            return sum(acct.by_label.get(label, 0)
+                       for acct in self._accounts.values())
+
+    def snapshot(self) -> MemorySnapshot:
+        """Consistent frozen view of every account."""
+        with self._lock:
+            accounts = tuple(
+                AccountSnapshot(
+                    rank=r, space=s, live=acct.live, peak=acct.peak,
+                    allocs=acct.allocs, frees=acct.frees, budget=acct.budget,
+                    by_label=tuple(sorted(acct.by_label.items())),
+                    peak_by_label=tuple(sorted(acct.peak_by_label.items())))
+                for (r, s), acct in sorted(self._accounts.items()))
+        return MemorySnapshot(accounts=accounts)

@@ -4,15 +4,21 @@ Mirrors ``upcxx::device_allocator`` / ``upcxx::make_gpu_allocator``: each
 process binds to a device and carves allocations out of a fixed-capacity
 segment.  Allocation failure behaviour is configurable exactly like the
 paper's fallback options (Section 4.2): fall back to the CPU or throw.
+
+The capacity check is a :class:`~repro.memory.MemoryLedger` budget on the
+owning rank's ``device`` account, so device OOM is *deterministically
+injectable*: shrink the budget on a shared ledger and every session built
+over it hits the same ``DeviceOutOfMemory`` → :class:`OomFallback` path
+the engine exercises on a real out-of-memory GPU.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from enum import Enum
 
 import numpy as np
 
+from ..memory import MemoryBudgetExceeded, MemoryLedger
 from .device_kinds import DeviceKind
 from .global_ptr import BufferRegistry, GlobalPtr
 from .network import MemorySpace
@@ -31,7 +37,6 @@ class OomFallback(Enum):
     RAISE = "raise"  # terminate the factorization with an exception
 
 
-@dataclass
 class DeviceAllocator:
     """Fixed-capacity device memory segment bound to one process.
 
@@ -41,47 +46,89 @@ class DeviceAllocator:
         Physical GPU index the owning process is bound to
         (``p mod gpus_per_node`` in the recommended cyclic binding).
     capacity:
-        Segment size in bytes.
+        Segment size in bytes, installed as the ledger budget of the
+        ``(rank, device)`` account (min-semantics: a tighter budget
+        already on a shared ledger stays in force).
     registry:
         Buffer registry of the owning rank (device buffers are registered
         there with ``MemorySpace.DEVICE`` so RMA can address them).
+    ledger:
+        Shared byte-accounting ledger; private when omitted.
+    rank:
+        Owning process rank (the ledger account key).
     """
 
-    device_id: int
-    capacity: int
-    registry: BufferRegistry
-    kind: DeviceKind = DeviceKind.CUDA
-    used: int = 0
-    peak: int = 0
-    alloc_count: int = 0
-    failed_allocs: int = 0
-    _sizes: dict[int, int] = field(default_factory=dict)
+    def __init__(self, device_id: int, capacity: int,
+                 registry: BufferRegistry,
+                 kind: DeviceKind = DeviceKind.CUDA,
+                 ledger: MemoryLedger | None = None,
+                 rank: int = 0) -> None:
+        self.device_id = device_id
+        self.capacity = capacity
+        self.registry = registry
+        self.kind = kind
+        self.ledger = ledger if ledger is not None else MemoryLedger()
+        self.rank = rank
+        self.ledger.ensure_budget(rank, MemorySpace.DEVICE, capacity)
+        self.alloc_count = 0
+        self.failed_allocs = 0
+        self._sizes: dict[int, int] = {}
+        self._ptrs: dict[int, GlobalPtr] = {}
 
     def allocate(self, shape: tuple[int, ...],
                  dtype: np.dtype | type = np.float64) -> GlobalPtr:
         """Allocate a device buffer; raises :class:`DeviceOutOfMemory` if full."""
         nbytes = int(np.prod(shape)) * np.dtype(dtype).itemsize
-        if self.used + nbytes > self.capacity:
+        try:
+            self.ledger.charge(self.rank, MemorySpace.DEVICE, nbytes,
+                               label="device")
+        except MemoryBudgetExceeded as exc:
             self.failed_allocs += 1
             raise DeviceOutOfMemory(
                 f"device {self.device_id}: requested {nbytes} bytes, "
-                f"{self.capacity - self.used} available"
-            )
+                f"{self.available} available"
+            ) from exc
         array = np.zeros(shape, dtype=dtype)
         ptr = self.registry.register(array, MemorySpace.DEVICE)
-        self.used += nbytes
-        self.peak = max(self.peak, self.used)
         self.alloc_count += 1
         self._sizes[ptr.buffer_id] = nbytes
+        self._ptrs[ptr.buffer_id] = ptr
         return ptr
 
     def free(self, ptr: GlobalPtr) -> None:
         """Release a device buffer."""
         nbytes = self._sizes.pop(ptr.buffer_id, 0)
-        self.used -= nbytes
+        self._ptrs.pop(ptr.buffer_id, None)
+        self.ledger.release(self.rank, MemorySpace.DEVICE, nbytes,
+                            label="device")
         self.registry.deregister(ptr)
+
+    def release_all(self) -> None:
+        """Free every outstanding allocation (end-of-run reclamation).
+
+        The simulated engine allocates per-task staging buffers and a
+        world lives for exactly one run, so the session calls this when
+        the run completes — returning the rank's device account to its
+        pre-run live bytes while the peak watermark survives in the
+        ledger.
+        """
+        for buffer_id in sorted(self._ptrs):
+            self.free(self._ptrs[buffer_id])
+
+    @property
+    def used(self) -> int:
+        """Live bytes in this rank's device account."""
+        return self.ledger.live(self.rank, MemorySpace.DEVICE)
+
+    @property
+    def peak(self) -> int:
+        """Peak live bytes of this rank's device account."""
+        return self.ledger.peak(self.rank, MemorySpace.DEVICE)
 
     @property
     def available(self) -> int:
-        """Bytes remaining in the segment."""
-        return self.capacity - self.used
+        """Bytes remaining under the segment's ledger budget."""
+        remaining = self.ledger.remaining(self.rank, MemorySpace.DEVICE)
+        if remaining is None:
+            return self.capacity - self.used
+        return remaining

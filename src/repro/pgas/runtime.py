@@ -21,6 +21,7 @@ from typing import Any, Callable
 import numpy as np
 
 from ..machine.model import MachineModel
+from ..memory import MemoryLedger
 from .device import DeviceAllocator
 from .device_kinds import DeviceKind
 from .events import EventQueue
@@ -109,6 +110,7 @@ class World:
         device_capacity: int | None = None,
         device_kind: DeviceKind = DeviceKind.CUDA,
         tracer: Any = None,
+        ledger: MemoryLedger | None = None,
     ) -> None:
         if nranks < 1:
             raise ValueError("world needs at least one rank")
@@ -116,6 +118,9 @@ class World:
         self.machine = machine
         self.device_kind = device_kind
         self.tracer = tracer
+        # Device allocators charge this ledger; worlds are per-run, so a
+        # session-owned ledger carries watermarks across runs.
+        self.ledger = ledger if ledger is not None else MemoryLedger()
         self.network = NetworkModel(machine=machine, ranks_per_node=ranks_per_node,
                                     mode=mode)
         if tracer is not None and hasattr(tracer, "on_network_leg"):
@@ -132,7 +137,9 @@ class World:
                 device = DeviceAllocator(device_id=device_id,
                                          capacity=device_capacity,
                                          registry=registry,
-                                         kind=device_kind)
+                                         kind=device_kind,
+                                         ledger=self.ledger,
+                                         rank=r)
             self.ranks.append(RankState(
                 rank=r, registry=registry,
                 inbox=RpcInbox(rank=r, tracer=tracer), device=device))

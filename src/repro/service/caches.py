@@ -21,6 +21,7 @@ import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
+from ..memory import MemoryLedger
 from ..symbolic.analysis import SymbolicAnalysis
 
 __all__ = ["SymbolicCache", "FactorCache", "FactorEntry"]
@@ -82,6 +83,10 @@ class FactorEntry:
     lock: threading.Lock = field(default_factory=threading.Lock,
                                  repr=False, compare=False)
     hits: int = 0
+    # Set (under ``lock``) when the service retires an evicted entry and
+    # releases its solver's pooled buffers; a worker that raced the
+    # eviction re-materializes instead of using the dead solver.
+    closed: bool = False
 
 
 class FactorCache:
@@ -95,12 +100,19 @@ class FactorCache:
         retained even if it alone exceeds the budget (otherwise a single
         large factor would make every request on it a miss); everything
         beyond that is evicted least-recently-used.
+    ledger:
+        Optional shared :class:`~repro.memory.MemoryLedger`: the factor
+        storages behind the entries charge it under label ``"factor"``,
+        making :meth:`reconcile` a cross-check of the cache's own byte
+        accounting against allocation-layer truth.
     """
 
-    def __init__(self, budget_bytes: int):
+    def __init__(self, budget_bytes: int,
+                 ledger: MemoryLedger | None = None):
         if budget_bytes <= 0:
             raise ValueError(f"budget_bytes must be > 0, got {budget_bytes}")
         self.budget_bytes = budget_bytes
+        self.ledger = ledger
         self._entries: OrderedDict[str, FactorEntry] = OrderedDict()
         self._lock = threading.Lock()
         self.current_bytes = 0
@@ -122,12 +134,19 @@ class FactorCache:
             return entry
 
     def put(self, entry: FactorEntry) -> list[FactorEntry]:
-        """Insert ``entry``; returns the entries evicted to fit the budget."""
+        """Insert ``entry``; returns the entries displaced by it.
+
+        The returned list holds budget evictions plus (first, if present)
+        a same-key entry ``entry`` replaced; the caller owns retiring
+        them — their solvers hold live pooled buffers until closed.
+        Same-key replacement is not counted in ``evictions``.
+        """
         evicted: list[FactorEntry] = []
         with self._lock:
             old = self._entries.pop(entry.pattern_key, None)
             if old is not None:
                 self.current_bytes -= old.nbytes
+                evicted.append(old)
             self._entries[entry.pattern_key] = entry
             self.current_bytes += entry.nbytes
             while self.current_bytes > self.budget_bytes and len(self._entries) > 1:
@@ -144,6 +163,42 @@ class FactorCache:
             if entry.pattern_key in self._entries:
                 self.current_bytes += nbytes - entry.nbytes
             entry.nbytes = nbytes
+
+    def pop_all(self) -> list[FactorEntry]:
+        """Remove and return every entry (service shutdown reclamation).
+
+        Not counted as evictions — nothing was displaced by pressure.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self.current_bytes = 0
+        return entries
+
+    def ledger_live(self) -> int | None:
+        """Live ``"factor"``-labelled bytes on the shared ledger.
+
+        ``None`` without a ledger.  Covers every un-released factor
+        storage charged to the ledger — cached entries plus any evicted
+        entry whose retire is still in flight.
+        """
+        if self.ledger is None:
+            return None
+        return self.ledger.live_label("factor")
+
+    def reconcile(self) -> int:
+        """``ledger_live() - current_bytes``: bytes the cache accounts
+        for that the allocation layer does not agree on.
+
+        Zero once all retired entries finished releasing; a persistent
+        non-zero value is a leak (an evicted solver never closed) or
+        double-release.  Returns 0 without a ledger.
+        """
+        live = self.ledger_live()
+        if live is None:
+            return 0
+        with self._lock:
+            return live - self.current_bytes
 
     def __len__(self) -> int:
         with self._lock:

@@ -57,6 +57,12 @@ class ServiceStats:
     residual:
         Relative residual of the returned solution, or ``None`` when the
         service was configured not to verify.
+    bytes_live:
+        Service memory-ledger live bytes (all ranks and spaces) when the
+        request completed.
+    bytes_peak:
+        Service memory-ledger peak bytes at completion — the high-water
+        mark over everything the service has run so far.
     """
 
     request_id: int
@@ -66,6 +72,8 @@ class ServiceStats:
     solve_seconds: float
     coalesced_width: int = 1
     residual: float | None = None
+    bytes_live: int = 0
+    bytes_peak: int = 0
 
     @property
     def makespan(self) -> float:

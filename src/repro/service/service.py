@@ -44,6 +44,7 @@ import numpy as np
 from ..core.base import CommonOptions, SolverBase
 from ..core.solver import SolverOptions, SymPackSolver
 from ..core.tracing import ExecutionTrace, ServiceEvent
+from ..memory import BufferPool, MemoryLedger
 from ..pgas.runtime import CommStats
 from ..sparse.csc import SymmetricCSC
 from .caches import FactorCache, FactorEntry, SymbolicCache
@@ -133,6 +134,15 @@ class ServiceCounters:
     evictions: int = 0
     bytes_evicted: int = 0
     comm: CommStats = field(default_factory=CommStats)
+    # Memory-ledger truth (one ledger for every tenant of the service):
+    # total live/peak bytes over all (rank, space) accounts, the live
+    # "factor"-labelled bytes the allocation layer sees, and the delta
+    # between that and the cache's own ``factor_bytes`` accounting
+    # (zero unless an evicted solver's release is still in flight).
+    bytes_live: int = 0
+    bytes_peak: int = 0
+    factor_bytes_ledger: int = 0
+    factor_bytes_delta: int = 0
 
     def hit_rate(self) -> float:
         """Fraction of completed requests that skipped the symbolic phase.
@@ -176,8 +186,15 @@ class SolveService:
         self.solver_cls = solver_cls
         self.trace = ExecutionTrace()
         self.comm = CommStats()
+        # One ledger + pool across every tenant: factor storages, kernel
+        # scratch, rhs buffers and device segments of all cached solvers
+        # charge the same accounts, so cache budgeting, OOM fallbacks and
+        # the counters below all read one source of byte truth.
+        self.ledger = MemoryLedger()
+        self.pool = BufferPool(ledger=self.ledger)
         self.symbolic_cache = SymbolicCache(self.config.symbolic_entries)
-        self.factor_cache = FactorCache(self.config.factor_budget_bytes)
+        self.factor_cache = FactorCache(self.config.factor_budget_bytes,
+                                        ledger=self.ledger)
         self._queue = RequestQueue(self.config.queue_depth)
         self._threads: list[threading.Thread] = []
         self._lock = threading.Lock()          # counters + comm + key locks
@@ -213,6 +230,19 @@ class SolveService:
         for t in self._threads:
             t.join()
         self._threads.clear()
+
+    def close(self) -> None:
+        """Stop, then release every cached factor's pooled buffers.
+
+        After ``close()`` the ledger's live bytes return to zero in every
+        ``(rank, space)`` account (the pool may retain free lists, but
+        nothing is charged as live); peaks survive for reporting.
+        ``stop()`` alone keeps the caches readable for post-mortem
+        inspection.
+        """
+        self.stop()
+        for entry in self.factor_cache.pop_all():
+            self._retire(entry)
 
     def __enter__(self) -> "SolveService":
         return self.start()
@@ -282,6 +312,10 @@ class SolveService:
         snap.factor_bytes = self.factor_cache.current_bytes
         snap.evictions = self.factor_cache.evictions
         snap.bytes_evicted = self.factor_cache.bytes_evicted
+        snap.bytes_live = self.ledger.live()
+        snap.bytes_peak = self.ledger.peak()
+        snap.factor_bytes_ledger = self.factor_cache.ledger_live() or 0
+        snap.factor_bytes_delta = self.factor_cache.reconcile()
         return snap
 
     # ---------------------------------------------------------- worker pool
@@ -310,18 +344,27 @@ class SolveService:
     def _process(self, req: SolveRequest) -> None:
         picked_up = time.monotonic()
         with self._key_lock(req.pattern_key):
-            tier, entry, factor_seconds = self._materialize(req)
-            with entry.lock:
-                batch = [req]
-                if self.config.coalesce:
-                    batch += self._queue.steal_matching(
-                        req.pattern_key, req.values_key,
-                        self.config.max_coalesce - req.ncols)
-                # Followers left the queue just now, not at leader pickup.
-                waits = [picked_up - req.submit_time]
-                steal_time = time.monotonic()
-                waits += [steal_time - r.submit_time for r in batch[1:]]
-                self._run_solve(entry, batch, waits, tier, factor_seconds)
+            while True:
+                tier, entry, factor_seconds = self._materialize(req)
+                with entry.lock:
+                    if entry.closed:
+                        # Another pattern's insert evicted this entry and
+                        # retired it while we waited on its lock; it is
+                        # gone from the cache, so re-materialize.
+                        continue
+                    batch = [req]
+                    if self.config.coalesce:
+                        batch += self._queue.steal_matching(
+                            req.pattern_key, req.values_key,
+                            self.config.max_coalesce - req.ncols)
+                    # Followers left the queue just now, not at leader
+                    # pickup.
+                    waits = [picked_up - req.submit_time]
+                    steal_time = time.monotonic()
+                    waits += [steal_time - r.submit_time for r in batch[1:]]
+                    self._run_solve(entry, batch, waits, tier,
+                                    factor_seconds)
+                    return
 
     def _materialize(self, req: SolveRequest
                      ) -> tuple[str, FactorEntry, float]:
@@ -332,26 +375,32 @@ class SolveService:
         """
         entry = self.factor_cache.get(req.pattern_key)
         if entry is not None:
-            if entry.values_key == req.values_key:
-                return "factor", entry, 0.0
-            # Numeric-only change: swap the values in place and replay
-            # the cached factorization graph.
-            entry.solver.update_values(req.a)
-            info = entry.solver.factorize()
-            entry.values_key = req.values_key
-            with self._lock:
-                self._counts.refactorizations += 1
-                self.comm += info.comm
-            return "refactor", entry, info.simulated_seconds
+            with entry.lock:
+                if not entry.closed:
+                    if entry.values_key == req.values_key:
+                        return "factor", entry, 0.0
+                    # Numeric-only change: swap the values in place and
+                    # replay the cached factorization graph.
+                    entry.solver.update_values(req.a)
+                    info = entry.solver.factorize()
+                    entry.values_key = req.values_key
+                    with self._lock:
+                        self._counts.refactorizations += 1
+                        self.comm += info.comm
+                    return "refactor", entry, info.simulated_seconds
+            # Raced an eviction: the entry was retired between get() and
+            # its lock; rebuild from the symbolic tier below.
 
         analysis = self.symbolic_cache.get(req.pattern_key)
         if analysis is not None:
             tier = "symbolic"
             solver = self.solver_cls(req.a, self.options,
-                                     analysis=analysis, trace=self.trace)
+                                     analysis=analysis, trace=self.trace,
+                                     ledger=self.ledger, pool=self.pool)
         else:
             tier = "cold"
-            solver = self.solver_cls(req.a, self.options, trace=self.trace)
+            solver = self.solver_cls(req.a, self.options, trace=self.trace,
+                                     ledger=self.ledger, pool=self.pool)
             self.symbolic_cache.put(req.pattern_key, solver.analysis)
             with self._lock:
                 self._counts.symbolic_builds += 1
@@ -359,11 +408,25 @@ class SolveService:
         entry = FactorEntry(pattern_key=req.pattern_key, solver=solver,
                             values_key=req.values_key,
                             nbytes=solver.storage.factor_bytes())
-        self.factor_cache.put(entry)
+        for victim in self.factor_cache.put(entry):
+            self._retire(victim)
         with self._lock:
             self._counts.numeric_factorizations += 1
             self.comm += info.comm
         return tier, entry, info.simulated_seconds
+
+    def _retire(self, victim: FactorEntry) -> None:
+        """Close an evicted entry's solver, releasing its pooled buffers.
+
+        Taking the victim's lock first means an in-flight solve on it
+        finishes before its storage returns to the pool; workers that
+        were waiting see ``closed`` and re-materialize.
+        """
+        with victim.lock:
+            if victim.closed:
+                return
+            victim.closed = True
+            victim.solver.close()
 
     def _record_failure(self, batch: list[SolveRequest],
                         exc: BaseException) -> None:
@@ -397,6 +460,10 @@ class SolveService:
         with self._lock:
             self._counts.solve_runs += 1
             self.comm += sinfo.comm
+        # Ledger truth at completion, stamped on every member's stats and
+        # telemetry event (live = resident bytes now, peak = high-water).
+        bytes_live = self.ledger.live()
+        bytes_peak = self.ledger.peak()
         col = 0
         for i, r in enumerate(batch):
             xs = x[:, col:col + r.ncols]
@@ -413,11 +480,14 @@ class SolveService:
                 solve_seconds=sinfo.simulated_seconds,
                 coalesced_width=width,
                 residual=residual,
+                bytes_live=bytes_live,
+                bytes_peak=bytes_peak,
             )
             self.trace.record_request(ServiceEvent(
                 request_id=r.request_id, tier=r_tier,
                 queue_wait=stats.queue_wait, makespan=stats.makespan,
-                coalesced_width=width))
+                coalesced_width=width,
+                bytes_live=bytes_live, bytes_peak=bytes_peak))
             with self._lock:
                 self._counts.requests_completed += 1
                 if width > r.ncols:

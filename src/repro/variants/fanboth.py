@@ -29,7 +29,7 @@ from ..core.offload import CPU_ONLY, OffloadPolicy
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall, flat_index
+from ..kernels.dispatch import KernelCall, flat_index
 from ..sparse.csc import SymmetricCSC
 
 __all__ = ["FanBothOptions", "FanBothSolver"]
@@ -68,7 +68,7 @@ class FanBothSolver(SolverBase):
         part = analysis.supernodes
         blocks = analysis.blocks
         pmap = self.pmap
-        ctx = ExecContext(storage=self.storage)
+        ctx = self._exec_context()
         graph = TaskGraph(context=ctx)
 
         block_index = [

@@ -33,7 +33,7 @@ from ..core.offload import CPU_ONLY, OffloadPolicy
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall, flat_index
+from ..kernels.dispatch import KernelCall, flat_index
 
 __all__ = ["FanInOptions", "FanInSolver"]
 
@@ -67,7 +67,7 @@ class FanInSolver(SolverBase):
         analysis = self.analysis
         part = analysis.supernodes
         blocks = analysis.blocks
-        ctx = ExecContext(storage=self.storage)
+        ctx = self._exec_context()
         graph = TaskGraph(context=ctx)
 
         block_index = [

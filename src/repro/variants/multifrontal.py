@@ -33,7 +33,7 @@ from ..core.offload import CPU_ONLY, OffloadPolicy
 from ..core.tasks import OutMessage, SimTask, TaskGraph, TaskKind
 from ..kernels import dense as kd
 from ..kernels import flops as kf
-from ..kernels.dispatch import ExecContext, KernelCall
+from ..kernels.dispatch import KernelCall
 from ..sparse.csc import SymmetricCSC
 from ..symbolic.analysis import SymbolicAnalysis
 
@@ -152,7 +152,7 @@ class MultifrontalSolver(SolverBase):
         the only messages (and travel via the context's transient store)."""
         analysis = self.analysis
         part = analysis.supernodes
-        graph = TaskGraph(context=ExecContext(storage=self.storage))
+        graph = TaskGraph(context=self._exec_context())
 
         front_task: list[SimTask] = [None] * part.nsup  # type: ignore
         children: list[list[int]] = [[] for _ in range(part.nsup)]

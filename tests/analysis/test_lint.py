@@ -118,6 +118,39 @@ class TestHandlerRule:
         assert "HANDLER_WRITE_SPEC" in findings[0].message
 
 
+class TestPoolAllocRule:
+    TEXT = "import numpy as np\ndef f(n):\n    return np.zeros(n)\n"
+
+    def test_raw_alloc_in_hot_modules_flagged(self):
+        for rel in ("core/storage.py", "variants/fanin.py",
+                    "kernels/dense.py"):
+            assert rules(self.TEXT, rel=rel) == ["REP106"], rel
+
+    def test_rule_scoped_to_hot_modules(self):
+        for rel in ("core/engine.py", "sparse/csc.py", "memory/pool.py"):
+            assert rules(self.TEXT, rel=rel) == [], rel
+
+    def test_np_empty_and_module_level_flagged(self):
+        assert rules("import numpy as np\nX = np.empty(3)\n",
+                     rel="kernels/dense.py") == ["REP106"]
+
+    def test_allowlisted_function_clean(self):
+        text = ("import numpy as np\n"
+                "def proportional_supernode_mapping(n):\n"
+                "    return np.empty(n)\n")
+        assert rules(text, rel="variants/multifrontal.py") == []
+
+    def test_allowlist_keyed_by_file_and_function(self):
+        text = ("import numpy as np\n"
+                "def proportional_supernode_mapping(n):\n"
+                "    return np.empty(n)\n")
+        assert rules(text, rel="variants/fanin.py") == ["REP106"]
+
+    def test_pool_take_clean(self):
+        text = "buf = pool.take((4, 4), float, label='x')\n"
+        assert rules(text, rel="core/storage.py") == []
+
+
 class TestTreeInvariant:
     def test_working_tree_is_clean(self):
         assert lint_tree() == []

@@ -8,7 +8,8 @@ the same checks ``python -m repro.analysis selftest`` runs in CI.
 import pytest
 
 from repro.analysis.mutation import (format_reports, selftest_lint,
-                                     selftest_races, selftest_waves)
+                                     selftest_pool_lint, selftest_races,
+                                     selftest_waves)
 
 
 @pytest.fixture(scope="module")
@@ -64,6 +65,24 @@ class TestRacesSelftest:
     def test_signal_before_put_and_starvation_reported(self, races_report):
         fired = {f.rule for f in races_report.injected_findings}
         assert {"HB002", "HB004"} <= fired
+
+
+class TestPoolLintSelftest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return selftest_pool_lint()
+
+    def test_passes(self, report):
+        assert report.ok, format_reports([report])
+
+    def test_real_storage_module_clean(self, report):
+        assert report.clean_findings == []
+
+    def test_raw_alloc_reported(self, report):
+        findings = report.injected_findings
+        assert [f.rule for f in findings] == ["REP106"]
+        assert "np.zeros" in findings[0].message
+        assert "BufferPool" in findings[0].message
 
 
 class TestLintSelftest:

@@ -1,0 +1,113 @@
+"""Unit tests of the per-(rank, space) memory ledger."""
+
+import pytest
+
+from repro.memory import MemoryBudgetExceeded, MemoryLedger
+from repro.pgas.network import MemorySpace
+
+
+class TestChargeRelease:
+    def test_live_peak_and_counts(self):
+        led = MemoryLedger()
+        led.charge(0, "host", 100)
+        led.charge(0, "host", 50)
+        led.release(0, "host", 120)
+        assert led.live(0, "host") == 30
+        assert led.peak(0, "host") == 150
+        assert led.allocs(0, "host") == 2
+
+    def test_accounts_are_independent(self):
+        led = MemoryLedger()
+        led.charge(0, "host", 10)
+        led.charge(1, "host", 20)
+        led.charge(0, "device", 40)
+        assert led.live(0) == 50
+        assert led.live(space="host") == 30
+        assert led.live(1, "host") == 20
+        assert led.live() == 70
+
+    def test_enum_and_string_space_are_one_account(self):
+        led = MemoryLedger()
+        led.charge(0, MemorySpace.DEVICE, 64)
+        assert led.live(0, "device") == 64
+        led.release(0, "device", 64)
+        assert led.live(0, MemorySpace.DEVICE) == 0
+
+    def test_label_accounting(self):
+        led = MemoryLedger()
+        led.charge(0, "host", 100, label="factor")
+        led.charge(0, "host", 40, label="scratch")
+        led.release(0, "host", 100, label="factor")
+        assert led.live_label("factor") == 0
+        assert led.live_label("scratch") == 40
+
+    def test_negative_and_over_release_raise(self):
+        led = MemoryLedger()
+        with pytest.raises(ValueError):
+            led.charge(0, "host", -1)
+        with pytest.raises(ValueError):
+            led.release(0, "host", -1)
+        led.charge(0, "host", 10)
+        with pytest.raises(ValueError):
+            led.release(0, "host", 11)
+
+
+class TestBudgets:
+    def test_charge_past_budget_raises_without_mutation(self):
+        led = MemoryLedger()
+        led.set_budget(0, "device", 100)
+        led.charge(0, "device", 80)
+        with pytest.raises(MemoryBudgetExceeded):
+            led.charge(0, "device", 21)
+        assert led.live(0, "device") == 80
+        assert led.allocs(0, "device") == 1
+        assert led.remaining(0, "device") == 20
+
+    def test_ensure_budget_min_semantics(self):
+        led = MemoryLedger()
+        led.ensure_budget(0, "device", 100)
+        led.ensure_budget(0, "device", 10**9)   # looser: ignored
+        assert led.budget(0, "device") == 100
+        led.ensure_budget(0, "device", 50)      # tighter: wins
+        assert led.budget(0, "device") == 50
+
+    def test_clear_budget(self):
+        led = MemoryLedger()
+        led.set_budget(0, "host", 10)
+        led.set_budget(0, "host", None)
+        assert led.remaining(0, "host") is None
+        led.charge(0, "host", 10**9)            # unbounded again
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen_view(self):
+        led = MemoryLedger()
+        led.charge(1, "host", 100, label="factor")
+        snap = led.snapshot()
+        led.charge(1, "host", 900, label="factor")
+        assert snap.live() == 100
+        assert led.snapshot().live() == 1000
+
+    def test_snapshot_filters_and_labels(self):
+        led = MemoryLedger()
+        led.charge(0, "host", 100, label="factor")
+        led.charge(0, "device", 70, label="device")
+        snap = led.snapshot()
+        assert snap.live("host") == 100
+        assert snap.live("device") == 70
+        assert snap.peak() == 170
+        assert snap.allocs() == 2
+        assert snap.live_label("factor") == 100
+
+    def test_format_report_lists_accounts(self):
+        led = MemoryLedger()
+        led.set_budget(0, "device", 1000)
+        led.charge(0, "host", 100, label="factor")
+        report = led.snapshot().format_report()
+        assert "rank 0" in report
+        assert "factor" in report
+        assert "budget=1,000" in report
+
+    def test_empty_report(self):
+        assert "(no accounts charged)" in MemoryLedger(
+            ).snapshot().format_report()

@@ -1,0 +1,97 @@
+"""Unit tests of the ledger-charged buffer pool."""
+
+import numpy as np
+import pytest
+
+from repro.memory import BufferPool, MemoryBudgetExceeded, MemoryLedger
+
+
+class TestTakeGive:
+    def test_take_charges_ledger(self):
+        pool = BufferPool()
+        arr = pool.take((10, 10), label="factor")
+        assert arr.shape == (10, 10)
+        assert pool.ledger.live(0, "host") == 800
+        assert pool.live_bytes("factor") == 800
+        assert pool.outstanding() == 1
+        assert pool.owns(arr)
+
+    def test_give_releases_but_caches(self):
+        pool = BufferPool()
+        arr = pool.take((10,))
+        pool.give(arr)
+        # Cached arrays are not live: close-to-zero holds while the pool
+        # retains memory for reuse.
+        assert pool.ledger.live() == 0
+        assert pool.cached_bytes == 80
+        assert not pool.owns(arr)
+
+    def test_reuse_returns_same_array_zeroed(self):
+        pool = BufferPool()
+        a = pool.take((5, 5))
+        a[:] = 7.0
+        pool.give(a)
+        b = pool.take((5, 5))
+        assert b is a                       # free-list hit
+        assert pool.reuses == 1
+        # Bit-identity contract: reused arrays read as np.zeros.
+        assert np.array_equal(b, np.zeros((5, 5)))
+
+    def test_distinct_shape_or_dtype_not_shared(self):
+        pool = BufferPool()
+        a = pool.take((4,))
+        pool.give(a)
+        b = pool.take((4,), dtype=np.float32)
+        assert b is not a
+        assert pool.reuses == 0
+
+    def test_give_unowned_raises(self):
+        pool = BufferPool()
+        with pytest.raises(KeyError):
+            pool.give(np.zeros(3))
+
+    def test_double_give_raises(self):
+        pool = BufferPool()
+        arr = pool.take((3,))
+        pool.give(arr)
+        with pytest.raises(KeyError):
+            pool.give(arr)
+
+    def test_zero_false_skips_clear(self):
+        pool = BufferPool()
+        a = pool.take((6,))
+        a[:] = 3.0
+        pool.give(a)
+        b = pool.take((6,), zero=False)
+        assert b is a
+        assert np.array_equal(b, np.full(6, 3.0))   # left dirty by design
+
+
+class TestBudgetAndTrim:
+    def test_budget_violation_allocates_nothing(self):
+        ledger = MemoryLedger()
+        ledger.set_budget(0, "host", 100)
+        pool = BufferPool(ledger=ledger)
+        with pytest.raises(MemoryBudgetExceeded):
+            pool.take((100,))
+        assert pool.takes == 0
+        assert pool.outstanding() == 0
+        assert ledger.live() == 0
+
+    def test_trim_drops_cache(self):
+        pool = BufferPool()
+        pool.give(pool.take((8,)))
+        assert pool.trim() == 64
+        assert pool.cached_bytes == 0
+        fresh = pool.take((8,))
+        assert pool.reuses == 0
+        assert fresh.shape == (8,)
+
+    def test_shared_ledger_accounts_by_rank(self):
+        ledger = MemoryLedger()
+        p0 = BufferPool(ledger=ledger, rank=0)
+        p1 = BufferPool(ledger=ledger, rank=1)
+        p0.take((10,))
+        p1.take((20,))
+        assert ledger.live(0, "host") == 80
+        assert ledger.live(1, "host") == 160

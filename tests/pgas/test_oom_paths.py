@@ -1,0 +1,153 @@
+"""OOM paths: device exhaustion, engine fallback modes, budget injection.
+
+The device allocator's capacity check is a :class:`MemoryLedger` budget,
+so every test here drives the same ``DeviceOutOfMemory`` →
+:class:`OomFallback` machinery the engine hits on a real out-of-memory
+GPU — including deterministic injection by shrinking a shared ledger's
+budget from outside the solver.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.offload import CPU_ONLY, DEFAULT_THRESHOLDS, OffloadPolicy
+from repro.core.solver import SolverOptions, SymPackSolver
+from repro.memory import MemoryBudgetExceeded, MemoryLedger
+from repro.pgas.device import DeviceAllocator, DeviceOutOfMemory, OomFallback
+from repro.pgas.global_ptr import BufferRegistry
+from repro.pgas.network import MemorySpace
+from repro.sparse.generators import random_spd
+
+
+def make_allocator(capacity, ledger=None, rank=0):
+    return DeviceAllocator(device_id=0, capacity=capacity,
+                           registry=BufferRegistry(rank=rank),
+                           ledger=ledger, rank=rank)
+
+
+class TestDeviceAllocatorExhaustion:
+    def test_exhaustion_raises_and_counts(self):
+        alloc = make_allocator(capacity=800)
+        alloc.allocate((50,))          # 400 bytes of float64
+        alloc.allocate((50,))
+        assert alloc.used == 800
+        assert alloc.available == 0
+        with pytest.raises(DeviceOutOfMemory):
+            alloc.allocate((1,))
+        assert alloc.failed_allocs == 1
+        assert alloc.alloc_count == 2
+
+    def test_failed_alloc_leaves_ledger_unchanged(self):
+        alloc = make_allocator(capacity=100)
+        alloc.allocate((8,))           # 64 bytes
+        with pytest.raises(DeviceOutOfMemory):
+            alloc.allocate((8,))
+        assert alloc.used == 64
+        assert alloc.available == 36
+        # Exact fit still goes through after the failure.
+        alloc.allocate((4, 1), dtype=np.float64)  # 32 bytes
+        assert alloc.available == 4
+
+    def test_free_returns_bytes(self):
+        alloc = make_allocator(capacity=400)
+        ptr = alloc.allocate((50,))
+        assert alloc.available == 0
+        alloc.free(ptr)
+        assert alloc.used == 0
+        assert alloc.available == 400
+        alloc.allocate((50,))          # fits again
+
+    def test_release_all_resets_live_keeps_peak(self):
+        alloc = make_allocator(capacity=1024)
+        for _ in range(3):
+            alloc.allocate((16,))
+        alloc.release_all()
+        assert alloc.used == 0
+        assert alloc.peak == 3 * 128
+
+
+class TestBudgetInjection:
+    def test_injected_budget_survives_capacity_redeclare(self):
+        # ensure_budget has min-semantics: a tighter budget installed on
+        # the shared ledger before the allocator re-declares its (huge)
+        # segment capacity stays in force.
+        ledger = MemoryLedger()
+        ledger.set_budget(0, MemorySpace.DEVICE, 100)
+        alloc = make_allocator(capacity=10**9, ledger=ledger)
+        assert alloc.available == 100
+        with pytest.raises(DeviceOutOfMemory):
+            alloc.allocate((100,))
+
+    def test_loose_budget_tightened_by_capacity(self):
+        ledger = MemoryLedger()
+        ledger.set_budget(0, MemorySpace.DEVICE, 10**9)
+        alloc = make_allocator(capacity=256, ledger=ledger)
+        assert ledger.budget(0, MemorySpace.DEVICE) == 256
+
+    def test_failed_charge_mutates_nothing(self):
+        ledger = MemoryLedger()
+        ledger.set_budget(0, MemorySpace.DEVICE, 100)
+        ledger.charge(0, MemorySpace.DEVICE, 60, label="device")
+        with pytest.raises(MemoryBudgetExceeded):
+            ledger.charge(0, MemorySpace.DEVICE, 50, label="device")
+        assert ledger.live(0, MemorySpace.DEVICE) == 60
+        assert ledger.allocs(0, MemorySpace.DEVICE) == 1
+        ledger.charge(0, MemorySpace.DEVICE, 40)   # exact fit
+        assert ledger.remaining(0, MemorySpace.DEVICE) == 0
+
+    def test_budget_injection_through_session(self):
+        # Shrinking one rank's device budget on the session ledger drives
+        # the engine's fallback path without touching solver options.
+        ledger = MemoryLedger()
+        for rank in range(2):
+            ledger.set_budget(rank, MemorySpace.DEVICE, 64)
+        a = random_spd(60, density=0.15, seed=3)
+        policy = OffloadPolicy(
+            thresholds={op: 1 for op in DEFAULT_THRESHOLDS})
+        solver = SymPackSolver(
+            a, SolverOptions(nranks=2, offload=policy), ledger=ledger)
+        fact = solver.factorize()
+        assert fact.trace.gpu_fallbacks > 0
+        solver.close()
+        assert ledger.live() == 0
+
+
+def gpu_hungry_options(mode, capacity=64):
+    """Every kernel wants the GPU; the device segment fits none of them."""
+    policy = OffloadPolicy(
+        thresholds={op: 1 for op in DEFAULT_THRESHOLDS},
+        oom_fallback=mode)
+    return SolverOptions(nranks=2, offload=policy,
+                         device_capacity=capacity)
+
+
+class TestEngineOomFallback:
+    def test_cpu_fallback_completes_bit_identically(self):
+        a = random_spd(60, density=0.15, seed=3)
+        rhs = np.linspace(-1.0, 1.0, a.n).reshape(a.n, 1)
+
+        solver = SymPackSolver(a, gpu_hungry_options(OomFallback.CPU))
+        fact = solver.factorize()
+        assert fact.trace.gpu_fallbacks > 0
+        x, _ = solver.solve(rhs)
+
+        reference = SymPackSolver(
+            a, SolverOptions(nranks=2, offload=CPU_ONLY))
+        reference.factorize()
+        x_ref, _ = reference.solve(rhs)
+        # Numerics are host-authoritative: placement (and OOM-forced
+        # re-placement) must not change a single bit of the solution.
+        assert np.array_equal(x, x_ref)
+
+    def test_raise_mode_propagates(self):
+        a = random_spd(60, density=0.15, seed=3)
+        solver = SymPackSolver(a, gpu_hungry_options(OomFallback.RAISE))
+        with pytest.raises(DeviceOutOfMemory):
+            solver.factorize()
+
+    @pytest.mark.parametrize("mode", list(OomFallback))
+    def test_ample_capacity_never_falls_back(self, mode):
+        a = random_spd(60, density=0.15, seed=3)
+        solver = SymPackSolver(a, gpu_hungry_options(mode, capacity=2**30))
+        fact = solver.factorize()
+        assert fact.trace.gpu_fallbacks == 0

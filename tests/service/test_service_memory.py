@@ -1,0 +1,112 @@
+"""Memory accounting of the solve service against its shared ledger.
+
+The factor cache's byte budget, eviction accounting and per-request
+``bytes_live``/``bytes_peak`` telemetry are all views of one
+:class:`~repro.memory.MemoryLedger`; these tests pin the reconciliation
+contract: ``close()`` returns live bytes to zero, and the cache's own
+byte counter agrees with ledger truth once retires settle.
+"""
+
+import numpy as np
+
+from repro import ServiceConfig, SolveService, SolverOptions
+from repro.sparse import grid_laplacian_2d, random_spd
+
+OPTIONS = SolverOptions(nranks=2)
+
+
+def _config(**overrides) -> ServiceConfig:
+    defaults = dict(workers=2, queue_depth=32)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def _rhs(a, seed, ncols=1):
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal((a.n, ncols))
+    return b[:, 0] if ncols == 1 else b
+
+
+class TestLedgerReconciliation:
+    def test_close_returns_live_to_zero(self):
+        svc = SolveService(OPTIONS, _config()).start()
+        a = grid_laplacian_2d(8, 8)
+        svc.solve(a, _rhs(a, 0))
+        svc.solve(a, _rhs(a, 1))
+        assert svc.ledger.live() > 0          # cached factor stays charged
+        svc.close()
+        assert svc.ledger.live() == 0
+        assert svc.ledger.peak() > 0
+
+    def test_stop_keeps_caches_readable(self):
+        a = grid_laplacian_2d(8, 8)
+        with SolveService(OPTIONS, _config()) as svc:
+            svc.solve(a, _rhs(a, 0))
+        # __exit__ calls stop(): counters and caches remain inspectable,
+        # and the factor's bytes are still live until close().
+        assert svc.counters().factor_entries == 1
+        assert svc.ledger.live() > 0
+        svc.close()
+        assert svc.ledger.live() == 0
+
+    def test_cache_counter_agrees_with_ledger(self):
+        a = grid_laplacian_2d(8, 8)
+        with SolveService(OPTIONS, _config(workers=1)) as svc:
+            svc.solve(a, _rhs(a, 0))
+            # Quiesced service: cache byte accounting equals the live
+            # "factor"-labelled bytes on the ledger.
+            assert svc.factor_cache.reconcile() == 0
+            assert svc.factor_cache.ledger_live() == \
+                svc.factor_cache.current_bytes
+        svc.close()
+
+    def test_eviction_retires_ledger_charges(self):
+        mats = [grid_laplacian_2d(8, 8),
+                random_spd(50, density=0.15, seed=1),
+                random_spd(50, density=0.15, seed=2)]
+        with SolveService(OPTIONS,
+                          _config(workers=1, factor_budget_bytes=1)) as svc:
+            # Budget of 1 byte: only the most recent factor is retained,
+            # every predecessor is evicted and retired.
+            for i, a in enumerate(mats):
+                svc.solve(a, _rhs(a, i))
+            counts = svc.counters()
+            assert counts.evictions >= 2
+            assert len(svc.factor_cache) == 1
+            assert svc.factor_cache.reconcile() == 0
+        svc.close()
+        assert svc.ledger.live() == 0
+
+
+class TestStatsSurface:
+    def test_request_stats_carry_ledger_watermarks(self):
+        a = grid_laplacian_2d(8, 8)
+        with SolveService(OPTIONS, _config(workers=1)) as svc:
+            _, s1 = svc.solve(a, _rhs(a, 0))
+            _, s2 = svc.solve(a, _rhs(a, 1))
+        assert s1.bytes_live > 0
+        assert s1.bytes_peak >= s1.bytes_live
+        assert s2.bytes_peak >= s1.bytes_peak   # peaks are monotone
+        svc.close()
+
+    def test_counters_expose_ledger_and_delta(self):
+        a = grid_laplacian_2d(8, 8)
+        with SolveService(OPTIONS, _config(workers=1)) as svc:
+            svc.solve(a, _rhs(a, 0))
+            counts = svc.counters()
+            assert counts.bytes_live > 0
+            assert counts.bytes_peak >= counts.bytes_live
+            assert counts.factor_bytes_ledger == \
+                svc.factor_cache.current_bytes
+            assert counts.factor_bytes_delta == 0
+        svc.close()
+        assert svc.counters().bytes_live == 0
+
+    def test_events_record_memory(self):
+        a = grid_laplacian_2d(8, 8)
+        with SolveService(OPTIONS, _config(workers=1)) as svc:
+            svc.solve(a, _rhs(a, 0))
+            with svc.trace._lock:
+                events = list(svc.trace.service_events)
+        assert any(ev.bytes_peak > 0 for ev in events)
+        svc.close()
