@@ -31,6 +31,11 @@ Run as ``python -m repro.analysis.lint`` (or through the combined
     to the :class:`~repro.memory.MemoryLedger` and replays reuse memory.
     Build-time symbolic helpers may be allowlisted in
     :data:`RAW_ALLOC_ALLOWLIST` (keyed by file and enclosing function).
+``REP107`` **simulated time only** — ``pgas/`` and ``resilience/`` must
+    not read the wall clock (``time.time`` / ``time.monotonic`` /
+    ``time.perf_counter``): every timestamp in the simulated runtime
+    comes from the DES event queue, and a wall-clock read would make
+    fault schedules, retry timers and checkpoint cuts unreplayable.
 
 The checker works on source text (:func:`lint_source`), which is what
 lets the mutation self-test lint a defect-injected copy of
@@ -88,6 +93,11 @@ HOT_PATH_DIRS = ("variants/", "kernels/")
 RAW_ALLOC_ALLOWLIST = frozenset({
     ("variants/multifrontal.py", "proportional_supernode_mapping"),
 })
+
+# REP107: wall-clock reads forbidden in the simulated-time packages.
+WALLCLOCK_FUNCS = frozenset({"time", "monotonic", "perf_counter"})
+WALLCLOCK_CALLS = frozenset({f"time.{f}" for f in WALLCLOCK_FUNCS})
+WALLCLOCK_DIRS = ("pgas/", "resilience/")
 
 
 def _dotted(node: ast.AST) -> str | None:
@@ -205,6 +215,29 @@ def _check_pool_alloc(tree: ast.AST, path: str, rel: str
             yield from visit(child, func)
 
     yield from visit(tree, "<module>")
+
+
+def _check_wallclock(tree: ast.AST, path: str, rel: str
+                     ) -> Iterator[Finding]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name in WALLCLOCK_CALLS:
+                yield Finding(
+                    rule="REP107", where=f"{path}:{node.lineno}",
+                    message=f"wall-clock read {name}() in simulated-time "
+                            f"module {rel}; use the DES clock (event "
+                            "timestamps / World.clocks) so runs replay "
+                            "deterministically")
+        elif (isinstance(node, ast.ImportFrom)
+                and node.module == "time"):
+            for alias in node.names:
+                if alias.name in WALLCLOCK_FUNCS:
+                    yield Finding(
+                        rule="REP107", where=f"{path}:{node.lineno}",
+                        message=f"import of wall-clock time.{alias.name} "
+                                f"in simulated-time module {rel}; use the "
+                                "DES clock instead")
 
 
 # -------------------------------------------------- kernel-handler rule
@@ -384,6 +417,8 @@ def lint_source(text: str, path: str, rel: str | None = None
         findings.extend(_check_handlers(tree, path))
     if _hot_path(rel):
         findings.extend(_check_pool_alloc(tree, path, rel))
+    if rel.startswith(WALLCLOCK_DIRS):
+        findings.extend(_check_wallclock(tree, path, rel))
     return findings
 
 
@@ -407,7 +442,7 @@ def lint_tree(root: Path = SRC_ROOT) -> list[Finding]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="Repo-invariant lint pass (rules REP101-REP106).")
+        description="Repo-invariant lint pass (rules REP101-REP107).")
     parser.add_argument("paths", nargs="*", type=Path,
                         help="files to lint (default: all of src/repro)")
     args = parser.parse_args(argv)

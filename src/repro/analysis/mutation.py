@@ -26,6 +26,10 @@ The injections mirror the analysis layers:
 * **pool lint** — the real ``core/storage.py`` must carry zero ``REP106``
   findings; a copy with a helper calling raw ``np.zeros`` appended (an
   allocation that bypasses the ledgered ``BufferPool``) must be flagged.
+* **wall-clock lint** — the real ``pgas/runtime.py`` must carry zero
+  ``REP107`` findings; a copy with a helper reading ``time.monotonic()``
+  appended (a wall-clock read that would make the simulated runtime's
+  fault schedules and retry timers unreplayable) must be flagged.
 
 ``python -m repro.analysis selftest`` (and the CI ``static-analysis``
 job) fail unless every layer passes both halves.
@@ -42,8 +46,8 @@ from .report import Finding
 from .waves import verify_flush
 
 __all__ = ["MutationReport", "selftest_waves", "selftest_races",
-           "selftest_lint", "selftest_pool_lint", "run_selftest",
-           "format_reports"]
+           "selftest_lint", "selftest_pool_lint",
+           "selftest_wallclock_lint", "run_selftest", "format_reports"]
 
 
 @dataclass
@@ -212,10 +216,34 @@ def selftest_pool_lint() -> MutationReport:
     )
 
 
+_REP107_MUTANT = ("\n\ndef _rep107_probe():\n"
+                  "    import time\n"
+                  "    return time.monotonic()\n")
+
+
+def selftest_wallclock_lint() -> MutationReport:
+    """Wall-clock lint: real pgas/runtime.py clean; clock mutant flagged."""
+    from .lint import lint_source
+
+    path = Path(__file__).resolve().parents[1] / "pgas" / "runtime.py"
+    source = path.read_text()
+    clean = lint_source(source, str(path), rel="pgas/runtime.py")
+    mutant = source + _REP107_MUTANT
+    injected = lint_source(mutant, str(path), rel="pgas/runtime.py")
+    return MutationReport(
+        layer="wallclock-lint",
+        clean_findings=clean,
+        injected_findings=injected,
+        expect_rules=("REP107",),
+        notes="mutant: helper in pgas/runtime.py reads time.monotonic() "
+              "(wall clock leaking into the simulated runtime)",
+    )
+
+
 def run_selftest() -> list[MutationReport]:
     """All layers' mutation self-tests."""
     return [selftest_waves(), selftest_races(), selftest_lint(),
-            selftest_pool_lint()]
+            selftest_pool_lint(), selftest_wallclock_lint()]
 
 
 def format_reports(reports: list[MutationReport]) -> str:

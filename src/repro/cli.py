@@ -6,6 +6,9 @@ Mirrors the paper's benchmarking drivers (``run_sympack2D`` and PaStiX's
 * ``solve``    — read a matrix (Matrix Market or Rutherford-Boeing, like
   the paper's drivers), factor and solve it, print timings and residual;
   ``--save-factor`` persists the factor for later ``resolve`` runs;
+  ``--faults`` / ``--checkpoint-every`` run the factorization under the
+  resilience subsystem (deterministic fault injection + checkpoint
+  restart, see ``docs/resilience.md``);
 * ``resolve``  — solve against a previously saved factor (no matrix,
   no factorization: the factor-reuse workflow across process restarts);
 * ``serve``    — run a :class:`~repro.service.SolveService` over a file
@@ -47,18 +50,62 @@ def _machine(name: str):
             "aurora": aurora}[name]()
 
 
+def _resilience_options(args: argparse.Namespace):
+    """Build :class:`ResilienceOptions` from solve flags (None if unused).
+
+    Exit code contract (see docs/resilience.md): a malformed fault plan
+    exits 2, an unrecovered injected fault (``RankUnresponsive``) exits 3
+    and a checkpoint I/O failure exits 4 — each with a one-line typed
+    error instead of a traceback, so chaos drivers can branch on the
+    failure class.
+    """
+    from .resilience import FaultPlan, FaultPlanError, ResilienceOptions
+
+    if not (args.faults or args.checkpoint_every or args.checkpoint_dir):
+        return None
+    plan = None
+    if args.faults:
+        try:
+            plan = FaultPlan.from_json(Path(args.faults).read_text())
+        except OSError as exc:
+            raise FaultPlanError(
+                f"cannot read fault plan {args.faults!r}: {exc}") from exc
+    return ResilienceOptions(
+        hardened=not args.no_harden, faults=plan,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir,
+        max_restarts=args.max_restarts)
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .core.offload import CPU_ONLY, OffloadPolicy
     from .core.solver import SolverOptions, SymPackSolver
+    from .resilience import (CheckpointIOError, FaultPlanError,
+                             RankUnresponsive)
 
+    try:
+        resilience = _resilience_options(args)
+    except FaultPlanError as exc:
+        print(f"fault-plan error : {exc}", file=sys.stderr)
+        return 2
     a = _load_matrix(args.matrix)
     offload = CPU_ONLY if args.no_gpu else OffloadPolicy()
     solver = SymPackSolver(a, SolverOptions(
         nranks=args.nranks, ranks_per_node=args.ranks_per_node,
         ordering=args.ordering, machine=_machine(args.machine),
         offload=offload, parallelism=args.parallelism,
-        check_waves=args.check_waves, check_races=args.check_races))
-    info = solver.factorize()
+        check_waves=args.check_waves, check_races=args.check_races,
+        resilience=resilience))
+    try:
+        info = solver.factorize()
+    except RankUnresponsive as exc:
+        print(f"injected fault   : {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 3
+    except CheckpointIOError as exc:
+        print(f"checkpoint error : {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 4
     rng = np.random.default_rng(args.seed)
     b = rng.standard_normal((a.n, args.nrhs))
     x, sinfo = solver.solve(b)
@@ -71,6 +118,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"relative residual: {res:.3e}")
     print(f"communication    : {info.comm.rpcs_sent} RPCs, "
           f"{info.comm.bytes_get} bytes pulled")
+    if resilience is not None:
+        counts = solver.session.trace.resilience_counts()
+        print(f"resilience       : {counts['faults_injected']} faults, "
+              f"{counts['retries']} retries, "
+              f"{counts['recoveries']} recoveries, "
+              f"{counts['checkpoints']} checkpoints")
     findings = (list(solver.session.wave_findings)
                 + list(solver.session.race_findings))
     if args.check_waves or args.check_races:
@@ -304,6 +357,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "live and peak bytes, allocation counts) and "
                         "verify live bytes return to zero after the "
                         "solver closes (see docs/memory.md)")
+    p.add_argument("--faults", default=None, metavar="PLAN",
+                   help="fault-plan JSON (python -m repro.resilience plan) "
+                        "injected into the factorization; implies the "
+                        "hardened transport (see docs/resilience.md). "
+                        "Exit codes: 2 bad plan, 3 unrecovered fault, "
+                        "4 checkpoint I/O failure")
+    p.add_argument("--checkpoint-every", type=int, default=0, metavar="N",
+                   help="checkpoint the factorization every N completed "
+                        "wave frontiers (0 disables; restart after an "
+                        "injected crash resumes from the last checkpoint "
+                        "bit-identically)")
+    p.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                   help="also persist checkpoints to DIR as .npz "
+                        "(in-memory only when omitted)")
+    p.add_argument("--max-restarts", type=int, default=2,
+                   help="checkpoint-restart attempts before giving up "
+                        "(exit 3)")
+    p.add_argument("--no-harden", action="store_true",
+                   help="disable the acknowledged retry transport (fault "
+                        "injection then loses messages for good)")
     add_run_args(p)
     p.set_defaults(func=_cmd_solve)
 

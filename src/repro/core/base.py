@@ -30,6 +30,7 @@ from ..machine.perlmutter import perlmutter
 from ..pgas.device_kinds import DeviceKind
 from ..pgas.network import MemoryKindsMode
 from ..pgas.runtime import CommStats
+from ..resilience.options import ResilienceOptions
 from ..sparse.csc import SymmetricCSC
 from ..sparse.validate import check_finite, probable_spd
 from ..symbolic.analysis import SymbolicAnalysis, analyze, rebind_analysis_values
@@ -115,6 +116,11 @@ class CommonOptions:
     batching: bool = True
     check_waves: bool = False
     check_races: bool = False
+    # Resilience policy (hardened delivery, fault injection,
+    # checkpoint/restart); ``None`` keeps the classic lossless path.
+    # See :class:`repro.resilience.ResilienceOptions` and
+    # ``docs/resilience.md``.
+    resilience: ResilienceOptions | None = None
 
     def __post_init__(self) -> None:
         Scheduling(self.scheduling)  # raises ValueError on unknown policy

@@ -113,6 +113,17 @@ class FanOutEngine:
     flush_hook:
         Optional flush observer forwarded to the default-constructed
         executor (see :class:`~repro.kernels.dispatch.KernelExecutor`).
+    canonical:
+        Execute flushed kernels in canonical ``(wave, tid)`` order
+        (forwarded to the executor; see the resilience subsystem).
+    checkpointer:
+        Optional :class:`~repro.resilience.checkpoint.CheckpointManager`
+        (duck-typed): notified at engine start and on every task
+        completion so it can cut wave-frontier checkpoints.
+    resume:
+        Optional restart state from a checkpoint restore: tasks marked
+        executed are skipped and dependency counters/waves are rederived
+        so the run continues exactly where the checkpoint cut.
     """
 
     def __init__(
@@ -126,6 +137,9 @@ class FanOutEngine:
         parallelism: int = 1,
         batching: bool = True,
         flush_hook=None,
+        canonical: bool = False,
+        checkpointer=None,
+        resume=None,
     ) -> None:
         graph.validate()
         self.world = world
@@ -137,9 +151,13 @@ class FanOutEngine:
                          else KernelExecutor(graph.context, trace=self.trace,
                                              parallelism=parallelism,
                                              batching=batching,
+                                             canonical=canonical,
                                              flush_hook=flush_hook))
+        if canonical:
+            self.executor.canonical = True
         if self.executor.trace is None:
             self.executor.trace = self.trace
+        self._checkpointer = checkpointer
 
         n_ranks = world.nranks
         self._remaining = [t.deps for t in graph.tasks]
@@ -159,6 +177,49 @@ class FanOutEngine:
         # 1 + max over producers.  Producers all complete before a
         # consumer is submitted, so the value is final by submission time.
         self._wave = [0] * len(graph.tasks)
+        if resume is not None:
+            self._apply_resume(resume)
+        # Rank-level fault windows (stall/pause end) re-poll through here.
+        world.wake_hooks.append(self._on_wake)
+
+    def _on_wake(self, rank: int, t: float) -> None:
+        self._try_schedule(rank, t)
+
+    def _apply_resume(self, resume) -> None:
+        """Rebuild counters and waves from a checkpoint's executed set.
+
+        A consumer's dependency counter must equal its number of
+        *unexecuted* producers, and its wave the max over executed
+        producers' waves + 1 — both rederivable from the checkpoint's
+        ``(executed, waves)`` pair alone.  No signals are replayed:
+        message payloads are size-only handles, and the restored storage
+        already holds every executed producer's output.
+        """
+        for tid in resume.executed:
+            self._executed[tid] = True
+            self._wave[tid] = resume.waves[tid]
+        self._done_count = len(resume.executed)
+        for task in self.graph.tasks:
+            if not self._executed[task.tid]:
+                continue
+            child_wave = self._wave[task.tid] + 1
+            for child in task.local_consumers:
+                if self._executed[child]:
+                    continue
+                self._remaining[child] -= 1
+                if child_wave > self._wave[child]:
+                    self._wave[child] = child_wave
+            for msg in task.messages:
+                for child in msg.consumers:
+                    if self._executed[child]:
+                        continue
+                    self._remaining[child] -= 1
+                    if child_wave > self._wave[child]:
+                        self._wave[child] = child_wave
+        for tid, left in enumerate(self._remaining):
+            if not self._executed[tid] and left < 0:
+                raise RuntimeError(
+                    f"task {tid} dependency counter went negative on resume")
 
     # --------------------------------------------------------------- queues
 
@@ -280,6 +341,9 @@ class FanOutEngine:
         """Poll, then start the next ready task if the rank is idle."""
         if self._busy[rank]:
             return
+        injector = self.world.injector
+        if injector is not None and injector.rank_blocked(rank):
+            return  # paused or crashed; wake hooks re-poll at window end
         self._poll(rank, now)
         tid = self._pop_ready(rank)
         if tid is None:
@@ -289,7 +353,8 @@ class FanOutEngine:
         device, duration = self._place_task(task, rank)
         # Numerics are deferred: submission order is task start order, so
         # the flushed execution is dependency-respecting.
-        self.executor.submit(task, rank, device, wave=self._wave[tid])
+        self.executor.submit(task, rank, device, wave=self._wave[tid],
+                             order_key=task.tid)
         end = now + duration
         self.world.ranks[rank].busy_time += duration
         self.trace.record_task(now, end, rank, task.label)
@@ -299,6 +364,13 @@ class FanOutEngine:
         """TASK_DONE: fan out results, release the rank (Fig. 3 steps 2–6)."""
         task = self.graph.tasks[tid]
         rank = task.rank
+        injector = self.world.injector
+        if injector is not None and rank in injector.dead_ranks:
+            # Fail-stop: a rank that crashed mid-task loses the work.  The
+            # task stays unexecuted (its submitted kernel's wave stays
+            # above every checkpoint frontier, so it is never flushed) and
+            # its consumers starve until checkpoint restart.
+            return
         state = self.world.ranks[rank]
         state.clock = now
         state.tasks_run += 1
@@ -316,6 +388,9 @@ class FanOutEngine:
             for child in msg.consumers:
                 if child_wave > wave[child]:
                     wave[child] = child_wave
+
+        if self._checkpointer is not None:
+            self._checkpointer.on_task_done(self, now)
 
         # Local dependents.
         for child in task.local_consumers:
@@ -342,7 +417,7 @@ class FanOutEngine:
             else:
                 slot = idx
             send_t = now + (slot + 1) * occ
-            self.world.rpc(
+            self.world.signal(
                 rank, msg.dst_rank, self._signal_handler, (msg, ptr), send_t,
                 on_delivered=lambda t, dst=msg.dst_rank: self._try_schedule(dst, t),
             )
@@ -366,8 +441,10 @@ class FanOutEngine:
 
     def run(self) -> EngineResult:
         """Execute the graph to completion; returns timing and trace."""
+        if self._checkpointer is not None:
+            self._checkpointer.begin_run(self)
         for task in self.graph.tasks:
-            if self._remaining[task.tid] == 0:
+            if self._remaining[task.tid] == 0 and not self._executed[task.tid]:
                 self._push_ready(task.tid)
         for rank in range(self.world.nranks):
             self.world.events.schedule(
@@ -378,10 +455,19 @@ class FanOutEngine:
         self.world.run(max_events=limit)
 
         if self._done_count != len(self.graph.tasks):
+            injector = self.world.injector
+            dead = (injector.dead_ranks if injector is not None
+                    else frozenset())
+            stranded = len(self.graph.tasks) - self._done_count
+            if dead:
+                from ..resilience.errors import RankUnresponsive
+                raise RankUnresponsive(
+                    rank=min(dead),
+                    detail=f"rank crash stranded {stranded} task(s)")
             stuck = [t.label for t in self.graph.tasks
                      if not self._executed[t.tid]][:10]
             raise RuntimeError(
-                f"engine finished with {len(self.graph.tasks) - self._done_count}"
+                f"engine finished with {stranded}"
                 f" unexecuted tasks (protocol deadlock?); first stuck: {stuck}"
             )
         # The simulation has fixed the execution order; now run the real

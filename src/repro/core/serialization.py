@@ -10,6 +10,7 @@ handle for the loaded factor.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -17,9 +18,11 @@ import numpy as np
 import scipy.sparse as sp
 from scipy.sparse.linalg import spsolve_triangular
 
-__all__ = ["SerializedFactor", "save_factor", "load_factor"]
+__all__ = ["SerializedFactor", "save_factor", "load_factor",
+           "checkpoint_path", "save_checkpoint", "load_checkpoint"]
 
 _FORMAT_VERSION = 1
+_CHECKPOINT_VERSION = 1
 
 
 @dataclass
@@ -125,3 +128,108 @@ def load_factor(path: str | Path) -> SerializedFactor:
     iperm[perm] = np.arange(perm.size)
     return SerializedFactor(l_factor=l_factor, perm=perm, iperm=iperm,
                             matrix_name=name, pattern_key=pattern)
+
+
+# --------------------------------------------------------------- checkpoints
+#
+# Mid-factorization checkpoints (repro.resilience): the numeric snapshot
+# is supernode-granular — one ``diag_<s>`` / ``panel_<s>`` array pair per
+# supernode — plus scratch accumulators, transient payloads and the
+# task-graph progress (executed set, waves, frontier).  Keys that are
+# Python tuples travel as a JSON manifest.  All I/O failures surface as
+# the typed ``CheckpointIOError`` so callers (CLI exit code 4, service
+# events) can tell them from solver errors.
+
+
+def checkpoint_path(directory: str | Path, label: str = "factor") -> Path:
+    """Canonical on-disk location of a run's rolling checkpoint."""
+    return Path(directory) / f"{label}_checkpoint.npz"
+
+
+def save_checkpoint(state, directory: str | Path,
+                    label: str = "factor") -> Path:
+    """Persist a :class:`~repro.resilience.checkpoint.CheckpointState`."""
+    from ..resilience.errors import CheckpointIOError
+
+    path = checkpoint_path(directory, label)
+    manifest = {
+        "version": _CHECKPOINT_VERSION,
+        "frontier": state.frontier,
+        "nsuper": len(state.panels),
+        "scratch_keys": [list(k) for k in state.scratch],
+        "transient": [
+            {"key": list(key), "is_tuple": is_tuple,
+             "parts": [{"held": held,
+                        "array": isinstance(obj, np.ndarray)}
+                       for held, obj in saved]}
+            for key, (is_tuple, saved) in state.transient.items()
+        ],
+    }
+    arrays: dict[str, np.ndarray] = {
+        "executed": np.asarray(state.executed, dtype=np.int64),
+        "waves": np.asarray(state.waves, dtype=np.int64),
+        "manifest": np.bytes_(json.dumps(manifest).encode()),
+    }
+    for s, (diag, panel) in enumerate(zip(state.diag, state.panels)):
+        arrays[f"diag_{s}"] = diag
+        arrays[f"panel_{s}"] = panel
+    for i, arr in enumerate(state.scratch.values()):
+        arrays[f"scratch_{i}"] = arr
+    for i, (_key, (_is_tuple, saved)) in enumerate(state.transient.items()):
+        for j, (_held, obj) in enumerate(saved):
+            arrays[f"trans_{i}_{j}"] = (obj if isinstance(obj, np.ndarray)
+                                        else np.asarray(obj))
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+    except OSError as exc:
+        raise CheckpointIOError(
+            f"cannot write checkpoint {path}: {exc}") from exc
+    return path
+
+
+def load_checkpoint(path: str | Path):
+    """Load a checkpoint saved by :func:`save_checkpoint`."""
+    from ..resilience.checkpoint import CheckpointState
+    from ..resilience.errors import CheckpointIOError
+
+    try:
+        with np.load(Path(path)) as archive:
+            manifest = json.loads(bytes(archive["manifest"]).decode())
+            version = int(manifest["version"])
+            if version != _CHECKPOINT_VERSION:
+                raise CheckpointIOError(
+                    f"unsupported checkpoint version {version} "
+                    f"(expected {_CHECKPOINT_VERSION})")
+            nsuper = int(manifest["nsuper"])
+            diag = [archive[f"diag_{s}"] for s in range(nsuper)]
+            panels = [archive[f"panel_{s}"] for s in range(nsuper)]
+            scratch = {
+                tuple(key): archive[f"scratch_{i}"]
+                for i, key in enumerate(manifest["scratch_keys"])}
+            transient = {}
+            for i, entry in enumerate(manifest["transient"]):
+                saved = []
+                for j, part in enumerate(entry["parts"]):
+                    obj = archive[f"trans_{i}_{j}"]
+                    if not part["array"]:
+                        # Non-ndarray payload part: np.asarray round-trip
+                        # (scalars come back via .item(), sequences as
+                        # lists).
+                        obj = obj.item() if obj.ndim == 0 else obj.tolist()
+                    saved.append((bool(part["held"]), obj))
+                transient[tuple(entry["key"])] = (bool(entry["is_tuple"]),
+                                                  tuple(saved))
+            return CheckpointState(
+                frontier=int(manifest["frontier"]),
+                executed=tuple(int(t) for t in archive["executed"]),
+                waves=tuple(int(w) for w in archive["waves"]),
+                diag=diag, panels=panels, scratch=scratch,
+                transient=transient)
+    except OSError as exc:
+        raise CheckpointIOError(
+            f"cannot read checkpoint {path}: {exc}") from exc
+    except (KeyError, ValueError, json.JSONDecodeError) as exc:
+        raise CheckpointIOError(
+            f"corrupt checkpoint {path}: {exc}") from exc

@@ -82,6 +82,7 @@ class ExecutionSession:
         check_races: bool = False,
         ledger: MemoryLedger | None = None,
         pool: BufferPool | None = None,
+        resilience=None,
     ) -> None:
         self.nranks = nranks
         self.machine = machine
@@ -118,6 +119,14 @@ class ExecutionSession:
         self.wave_findings: list = []
         self.race_findings: list = []
         self._flush_hook = self._verify_flush if check_waves else None
+        # Resilience policy (repro.resilience): when set, runs route
+        # through the resilient runner — hardened delivery, optional
+        # fault injection, checkpoint/restart.  The runner records the
+        # deterministic fault schedule and recovery count here.
+        self.resilience = resilience
+        self.resilient_runs = 0
+        self.fault_schedule: list = []
+        self.recoveries = 0
 
     def _verify_flush(self, executor, pending) -> None:
         """Default ``check_waves`` observer: verify every flush's stream."""
@@ -159,6 +168,7 @@ class ExecutionSession:
             check_races=getattr(options, "check_races", False),
             ledger=ledger,
             pool=pool,
+            resilience=getattr(options, "resilience", None),
         )
 
     # ----------------------------------------------------------- execution
@@ -182,6 +192,11 @@ class ExecutionSession:
 
     def run(self, graph: TaskGraph) -> RunResult:
         """Execute one task graph on a fresh world; accumulate stats."""
+        if self.resilience is not None:
+            from ..resilience.runner import run_resilient
+
+            world, result = run_resilient(self, graph)
+            return self._finish_run(graph, world, result)
         tracer = None
         if self.check_races:
             from ..analysis.hb import PgasTracer
@@ -196,6 +211,10 @@ class ExecutionSession:
         result = engine.run()
         if tracer is not None:
             self.race_findings.extend(tracer.finalize(world))
+        return self._finish_run(graph, world, result)
+
+    def _finish_run(self, graph: TaskGraph, world: World,
+                    result) -> RunResult:
         # End-of-run reclamation: the world is discarded here, so free its
         # device segments (per-task staging buffers) and return the run's
         # kernel scratch to the pool.  ``result.mem`` already captured the

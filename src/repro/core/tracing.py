@@ -113,6 +113,14 @@ class ServiceEvent:
         the service's resident footprint at that moment.
     bytes_peak:
         Ledger peak bytes at completion (monotone high-water mark).
+    failure_class:
+        Coarse failure taxonomy for failed requests: ``injected-fault``
+        (resilience watchdog), ``checkpoint-io``, ``request-error`` or
+        ``spool-error``; empty for successes.
+    retries / recoveries:
+        Trace-wide hardened-delivery retry and checkpoint-restart
+        counters at the time the event was recorded (resilience runs
+        only; 0 otherwise).
     """
 
     request_id: int
@@ -124,6 +132,9 @@ class ServiceEvent:
     error_summary: str = ""
     bytes_live: int = 0
     bytes_peak: int = 0
+    failure_class: str = ""
+    retries: int = 0
+    recoveries: int = 0
 
 
 @dataclass
@@ -143,6 +154,12 @@ class ExecutionTrace:
     # (sessions report after every run via :meth:`update_memory`).
     mem_live: dict[tuple[int, str], int] = field(default_factory=dict)
     mem_peak: dict[tuple[int, str], int] = field(default_factory=dict)
+    # Resilience counters (repro.resilience): accumulated across runs by
+    # the resilient runner, exported on ServiceEvents.
+    retries: int = 0
+    recoveries: int = 0
+    checkpoints: int = 0
+    faults_injected: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False, compare=False)
 
@@ -167,6 +184,23 @@ class ExecutionTrace:
         """Count one device-OOM CPU fallback."""
         with self._lock:
             self.gpu_fallbacks += 1
+
+    def add_resilience(self, retries: int = 0, recoveries: int = 0,
+                       checkpoints: int = 0, faults: int = 0) -> None:
+        """Accumulate one resilient run's retry/recovery counters."""
+        with self._lock:
+            self.retries += retries
+            self.recoveries += recoveries
+            self.checkpoints += checkpoints
+            self.faults_injected += faults
+
+    def resilience_counts(self) -> dict[str, int]:
+        """Snapshot of the resilience counters under the lock."""
+        with self._lock:
+            return {"retries": self.retries,
+                    "recoveries": self.recoveries,
+                    "checkpoints": self.checkpoints,
+                    "faults_injected": self.faults_injected}
 
     def update_memory(self, snapshot) -> None:
         """Fold a :class:`~repro.memory.MemorySnapshot` into the trace.

@@ -581,6 +581,7 @@ class KernelExecutor:
                  trace: Any = None,
                  parallelism: int = 1, batching: bool = True,
                  use_threads: bool | None = None,
+                 canonical: bool = False,
                  flush_hook: Callable[
                      ["KernelExecutor",
                       list[tuple[KernelCall, int | None]]],
@@ -601,28 +602,95 @@ class KernelExecutor:
         if use_threads is None:
             use_threads = min(self.parallelism, _usable_cpus()) > 1
         self.use_threads = use_threads
+        # Canonical mode re-sorts each flushed stream by (wave, order_key)
+        # — both timing-independent (DAG depth, task build index) — so the
+        # executed order is a pure function of the task graph.  Resilient
+        # sessions enable it for baseline and faulted runs alike: message
+        # timing then cannot perturb scatter-add order, which is what
+        # makes factors bit-identical across fault scenarios.
+        self.canonical = canonical
         self.stats = ExecutorStats()
         self._pending: list[tuple[KernelCall, int | None]] = []
+        self._order: list[int | None] = []
 
     def submit(self, task: Any, rank: int, device: str,
-               wave: int | None = None) -> None:
+               wave: int | None = None,
+               order_key: int | None = None) -> None:
         """Queue a task's kernel; account its op/flops to the trace.
 
         ``wave`` is the task's dependency depth in the DAG (0 for roots).
         Submitters that do not track waves (tests, direct replays) leave
         it ``None``, which routes the flush down the serial path.
+        ``order_key`` is a timing-independent tiebreaker within a wave
+        (the engine passes the task id); only canonical mode reads it.
         """
         if self.trace is not None:
             self.trace.ops.record(rank, task.op, device, task.flops)
         self._pending.append((task.kernel, wave))
+        self._order.append(order_key)
+
+    def _canonical_sort(
+        self, pending: list[tuple[KernelCall, int | None]],
+        keys: list[int | None]
+    ) -> list[tuple[KernelCall, int | None]]:
+        """Reorder a flush stream into (wave, order_key) order.
+
+        Falls back to submission order when any entry lacks a wave or
+        key (direct submitters) — canonical mode then degrades to the
+        historical behaviour instead of guessing.
+        """
+        if not self.canonical:
+            return pending
+        if any(w is None for _, w in pending) or any(k is None for k in keys):
+            return pending
+        idx = sorted(range(len(pending)),
+                     key=lambda i: (pending[i][1], keys[i]))
+        return [pending[i] for i in idx]
 
     def flush(self) -> None:
         """Execute all pending kernels; bit-identical for every mode."""
         pending, self._pending = self._pending, []
+        keys, self._order = self._order, []
         if not pending:
             return
+        pending = self._canonical_sort(pending, keys)
         if self.flush_hook is not None:
             self.flush_hook(self, pending)
+        self._execute(pending)
+
+    def flush_through(self, wave_cut: int) -> int:
+        """Execute only the pending kernels with wave <= ``wave_cut``.
+
+        The checkpoint path: a wave-frontier cut of the canonical stream
+        is a prefix of the fully-sorted stream, so executing it now and
+        the remainder at the final ``flush()`` yields bytes identical to
+        one uncut flush.  Entries without a wave are executed too (they
+        cannot be ordered against the cut, and direct submitters do not
+        checkpoint).  Returns the number of calls executed.
+        """
+        if not self._pending:
+            return 0
+        take: list[tuple[KernelCall, int | None]] = []
+        take_keys: list[int | None] = []
+        keep: list[tuple[KernelCall, int | None]] = []
+        keep_keys: list[int | None] = []
+        for (call, wave), key in zip(self._pending, self._order):
+            if wave is None or wave <= wave_cut:
+                take.append((call, wave))
+                take_keys.append(key)
+            else:
+                keep.append((call, wave))
+                keep_keys.append(key)
+        if not take:
+            return 0
+        self._pending, self._order = keep, keep_keys
+        take = self._canonical_sort(take, take_keys)
+        if self.flush_hook is not None:
+            self.flush_hook(self, take)
+        self._execute(take)
+        return len(take)
+
+    def _execute(self, pending: list[tuple[KernelCall, int | None]]) -> None:
         t0 = time.perf_counter()
         try:
             if (self.parallelism > 1 and self.batching

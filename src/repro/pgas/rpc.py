@@ -55,6 +55,11 @@ class RpcInbox:
     delivered: int = 0
     executed: int = 0
     tracer: Any = None
+    #: Simulated time before which ``progress()`` executes nothing.
+    #: Deliveries still enqueue (the NIC keeps receiving); only user-level
+    #: progress is suspended.  Set by the resilience fault injector to
+    #: model a stalled progress loop; ``inf`` models a crashed rank.
+    stall_until: float = 0.0
 
     def deliver(self, rpc: PendingRpc) -> None:
         """Enqueue an RPC (called by the network at arrival time)."""
@@ -67,6 +72,8 @@ class RpcInbox:
         Returns the number executed.  This is the simulated
         ``upcxx::progress()``: user-level progress happens only here.
         """
+        if now < self.stall_until - 1e-15:
+            return 0
         ready = [r for r in self._queue if r.arrival_time <= now + 1e-15]
         if not ready:
             return 0

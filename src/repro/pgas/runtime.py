@@ -43,6 +43,18 @@ class CommStats:
     bytes_staged: int = 0
     puts_issued: int = 0
     bytes_put: int = 0
+    # Resilience counters (zero unless a hardened transport / fault
+    # injector is attached; merged field-wise like everything else).
+    signals_sent: int = 0
+    acks_sent: int = 0
+    retries: int = 0
+    dup_suppressed: int = 0
+    rpcs_dropped: int = 0
+    rpcs_duplicated: int = 0
+    rpcs_delayed: int = 0
+    rpcs_reordered: int = 0
+    inbox_stalls: int = 0
+    rank_crashes: int = 0
 
     def merge(self, other: "CommStats") -> "CommStats":
         """Add another stats object's counters into this one; returns self."""
@@ -127,6 +139,13 @@ class World:
             self.network.trace_hook = tracer.on_network_leg
         self.events = EventQueue()
         self.stats = CommStats()
+        # Resilience hooks (duck-typed to avoid import cycles): an
+        # attached FaultInjector rewrites delivery schedules; an attached
+        # ReliableTransport carries signal() traffic; wake_hooks fire when
+        # a rank-level fault window ends so the engine can re-poll.
+        self.injector: Any = None
+        self.transport: Any = None
+        self.wake_hooks: list[Callable[[int, float], None]] = []
         self.ranks: list[RankState] = []
         for r in range(nranks):
             registry = BufferRegistry(rank=r)
@@ -154,6 +173,11 @@ class World:
         it executes at the target's next ``progress()``.  ``on_delivered``
         (if given) fires as a simulation event at arrival, letting the
         driver wake an idle target.
+
+        With a fault injector attached, the nominal arrival time is
+        rewritten into zero or more actual deliveries (drop, duplicate,
+        reorder, delay spike); a dropped message never fires
+        ``on_delivered``.
         """
         arrival = self.network.rpc_arrival_time(src, dst, t)
         self.stats.rpcs_sent += 1
@@ -167,7 +191,32 @@ class World:
             if on_delivered is not None:
                 on_delivered(now)
 
-        self.events.schedule(arrival, deliver)
+        arrivals = [arrival]
+        if self.injector is not None:
+            arrivals = self.injector.route(src, dst, t, arrival)
+        for when in arrivals:
+            self.events.schedule(when, deliver)
+
+    def signal(self, src: int, dst: int, fn: Callable[[Any], None],
+               payload: Any, t: float,
+               on_delivered: Callable[[float], None] | None = None) -> None:
+        """Send a dependency-signal RPC (the fan-out notifications).
+
+        Plain worlds forward straight to :meth:`rpc`.  When a hardened
+        transport is attached, the signal goes through sequence-numbered
+        acknowledged delivery with idempotent dedup and DES-clocked
+        retry — the resilient variant of the paper's signal path.
+        """
+        self.stats.signals_sent += 1
+        if self.transport is not None:
+            self.transport.send(src, dst, fn, payload, t, on_delivered)
+        else:
+            self.rpc(src, dst, fn, payload, t, on_delivered)
+
+    def wake(self, rank: int, t: float) -> None:
+        """Notify listeners that ``rank`` became runnable again at ``t``."""
+        for hook in self.wake_hooks:
+            hook(rank, t)
 
     def progress(self, rank: int, t: float) -> int:
         """Run the rank's queued RPCs that have arrived by ``t``."""

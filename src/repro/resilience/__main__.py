@@ -1,0 +1,92 @@
+"""CLI for the resilience subsystem.
+
+``python -m repro.resilience chaos`` runs the fault-grid harness;
+``python -m repro.resilience plan <scenario>`` writes a template
+:class:`~repro.resilience.faults.FaultPlan` JSON usable with
+``repro solve --faults``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .faults import FaultPlan
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .chaos import format_report, run_chaos, write_report
+
+    report = run_chaos(quick=args.quick,
+                       checkpoint_every=args.checkpoint_every,
+                       check_races=not args.no_races,
+                       seed=args.seed,
+                       families=args.family or None)
+    print(format_report(report))
+    if args.out:
+        path = write_report(report, args.out)
+        print(f"wrote {path}")
+    return 0 if report.ok else 1
+
+
+_TEMPLATES = {
+    "drop": FaultPlan(drop=0.15),
+    "duplicate": FaultPlan(duplicate=0.25),
+    "reorder": FaultPlan(reorder=0.25),
+    "delay": FaultPlan(delay=0.25),
+    "stall": FaultPlan(stalls=((1, 1e-4, 5e-4),)),
+    "crash": FaultPlan(crashes=((1, 2e-4),)),
+}
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = _TEMPLATES[args.scenario]
+    if args.seed:
+        plan = FaultPlan.from_spec(plan.to_spec() | {"seed": args.seed})
+    text = plan.to_json()
+    if args.out:
+        Path(args.out).write_text(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Fault injection, hardened delivery and "
+                    "checkpoint/restart tooling.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    chaos = sub.add_parser(
+        "chaos", help="run the fault-type x family x matrix grid")
+    chaos.add_argument("--quick", action="store_true",
+                       help="sparse distributed matrix only")
+    chaos.add_argument("--checkpoint-every", type=int, default=2,
+                       help="wave-frontier checkpoint cadence (default 2)")
+    chaos.add_argument("--no-races", action="store_true",
+                       help="skip the happens-before checker")
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--family", action="append",
+                       help="filter solver families by name substring "
+                            "(repeatable)")
+    chaos.add_argument("--out", help="write BENCH_resilience.json here")
+    chaos.set_defaults(fn=_cmd_chaos)
+
+    plan = sub.add_parser("plan", help="write a template fault plan JSON")
+    plan.add_argument("scenario", choices=sorted(_TEMPLATES))
+    plan.add_argument("--seed", type=int, default=0)
+    plan.add_argument("--out", help="output path (stdout if omitted)")
+    plan.set_defaults(fn=_cmd_plan)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""The chaos harness: fault-type × solver-family × matrix grid.
+
+``python -m repro.resilience chaos`` runs every fault scenario (drop,
+duplicate, reorder, delay spike, inbox stall, rank crash + restart)
+against every solver family and asserts, per cell:
+
+* **bit-identity** — the faulted run's factor and solution digests equal
+  the fault-free baseline's (same options, same canonical kernel order);
+* **deterministic replay** — running the identical scenario twice yields
+  the same fault-schedule digest and the same result digests;
+* **race-freedom** — the happens-before checker reports zero findings on
+  every hardened run.
+
+Rank-level fault times are scaled from the baseline's simulated
+makespan, so the same scenario set lands mid-run on every family.
+Results (including recovery overhead per scenario) are written to
+``BENCH_resilience.json`` for the CI ``chaos-smoke`` artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from .faults import FaultPlan, FaultRecord
+from .options import ResilienceOptions
+
+__all__ = ["ChaosResult", "ChaosReport", "fault_scenarios", "run_chaos"]
+
+#: Scenario names, in grid order.
+SCENARIOS = ("drop", "duplicate", "reorder", "delay", "stall", "crash")
+
+
+@dataclass
+class ChaosResult:
+    """One (scenario, family, matrix) chaos cell."""
+
+    scenario: str
+    family: str
+    matrix: str
+    bit_identical: bool
+    replay_deterministic: bool
+    races_clean: bool
+    faults_injected: int
+    retries: int
+    recoveries: int
+    checkpoints: int
+    overhead: float  # faulted makespan / baseline makespan
+
+    @property
+    def ok(self) -> bool:
+        return (self.bit_identical and self.replay_deterministic
+                and self.races_clean)
+
+
+@dataclass
+class ChaosReport:
+    """Full chaos-grid outcome."""
+
+    results: list[ChaosResult] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "grid": "fault-type x solver-family x matrix",
+            "ok": self.ok,
+            "cells": len(self.results),
+            "results": [asdict(r) | {"ok": r.ok} for r in self.results],
+        }, indent=2)
+
+
+def fault_scenarios(makespan: float, seed: int = 0,
+                    victim: int = 1) -> dict[str, FaultPlan]:
+    """The six-scenario plan set, rank events scaled to ``makespan``."""
+    return {
+        "drop": FaultPlan(seed=seed, drop=0.15),
+        "duplicate": FaultPlan(seed=seed, duplicate=0.25),
+        "reorder": FaultPlan(seed=seed, reorder=0.25),
+        "delay": FaultPlan(seed=seed, delay=0.25),
+        "stall": FaultPlan(seed=seed, stalls=(
+            (victim, 0.2 * makespan, 0.6 * makespan),)),
+        "crash": FaultPlan(seed=seed, crashes=((victim, 0.4 * makespan),)),
+    }
+
+
+def _schedule_digest(records: list[FaultRecord]) -> str:
+    h = hashlib.sha256()
+    for rec in records:
+        h.update(repr(rec.key()).encode())
+    return h.hexdigest()
+
+
+def _factor_digest(solver) -> str:
+    h = hashlib.sha256()
+    storage = solver.storage
+    for d in storage.diag:
+        h.update(d.tobytes())
+    for p in storage.panels:
+        h.update(p.tobytes())
+    return h.hexdigest()
+
+
+def _run_once(solver_cls, options_cls, a, rhs, plan, *,
+              checkpoint_every: int, check_races: bool, nranks: int):
+    """One full factorize + solve under a resilience policy."""
+    res = ResilienceOptions(hardened=True, faults=plan,
+                            checkpoint_every=checkpoint_every)
+    options = options_cls(nranks=nranks, resilience=res,
+                          check_races=check_races)
+    solver = solver_cls(a, options)
+    info = solver.factorize()
+    x, _solve_info = solver.solve(rhs)
+    session = solver.session
+    xh = hashlib.sha256(np.ascontiguousarray(x).tobytes()).hexdigest()
+    out = {
+        "factor": _factor_digest(solver),
+        "x": xh,
+        "schedule": _schedule_digest(session.fault_schedule),
+        "races": len(session.race_findings),
+        "makespan": info.simulated_seconds,
+        "counters": session.trace.resilience_counts(),
+        "recoveries": session.recoveries,
+    }
+    solver.close()
+    return out
+
+
+def run_chaos(quick: bool = True, checkpoint_every: int = 2,
+              check_races: bool = True, seed: int = 0,
+              families: list[str] | None = None) -> ChaosReport:
+    """Run the chaos grid; see the module docstring for the assertions.
+
+    ``quick`` restricts the matrix axis to the distributed ``sparse``
+    case (the one exercising remote messages hardest); the full grid
+    adds the grid Laplacian.  ``families`` filters solver families by
+    class-name substring (case-insensitive).
+    """
+    from ..analysis.scenarios import _MATRICES, _families
+
+    matrix_keys = ["sparse"] if quick else ["sparse", "grid"]
+    nranks = 2
+    report = ChaosReport()
+    for solver_cls, options_cls in _families():
+        name = solver_cls.__name__
+        if families and not any(f.lower() in name.lower()
+                                for f in families):
+            continue
+        for key in matrix_keys:
+            a = _MATRICES[key]()
+            rhs = np.linspace(-1.0, 1.0, a.n).reshape(a.n, 1)
+            baseline = _run_once(solver_cls, options_cls, a, rhs, None,
+                                 checkpoint_every=checkpoint_every,
+                                 check_races=check_races, nranks=nranks)
+            scenarios = fault_scenarios(baseline["makespan"], seed=seed)
+            for scenario in SCENARIOS:
+                plan = scenarios[scenario]
+                first = _run_once(solver_cls, options_cls, a, rhs, plan,
+                                  checkpoint_every=checkpoint_every,
+                                  check_races=check_races, nranks=nranks)
+                second = _run_once(solver_cls, options_cls, a, rhs, plan,
+                                   checkpoint_every=checkpoint_every,
+                                   check_races=check_races, nranks=nranks)
+                counters = first["counters"]
+                report.results.append(ChaosResult(
+                    scenario=scenario,
+                    family=name,
+                    matrix=key,
+                    bit_identical=(
+                        first["factor"] == baseline["factor"]
+                        and first["x"] == baseline["x"]),
+                    replay_deterministic=(
+                        first["schedule"] == second["schedule"]
+                        and first["factor"] == second["factor"]
+                        and first["x"] == second["x"]),
+                    races_clean=(not check_races
+                                 or (first["races"] == 0
+                                     and baseline["races"] == 0)),
+                    faults_injected=counters["faults_injected"],
+                    retries=counters["retries"],
+                    recoveries=first["recoveries"],
+                    checkpoints=counters["checkpoints"],
+                    overhead=(first["makespan"] / baseline["makespan"]
+                              if baseline["makespan"] > 0 else 1.0),
+                ))
+    return report
+
+
+def write_report(report: ChaosReport, out: str | Path) -> Path:
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(report.to_json())
+    return path
+
+
+def format_report(report: ChaosReport) -> str:
+    lines = []
+    for r in report.results:
+        status = "PASS" if r.ok else "FAIL"
+        lines.append(
+            f"[{status}] {r.scenario:9s} {r.family:20s} {r.matrix:9s} "
+            f"bits={'ok' if r.bit_identical else 'DIFF'} "
+            f"replay={'ok' if r.replay_deterministic else 'DIFF'} "
+            f"races={'ok' if r.races_clean else 'FOUND'} "
+            f"faults={r.faults_injected} retries={r.retries} "
+            f"recoveries={r.recoveries} ckpts={r.checkpoints} "
+            f"overhead={r.overhead:.2f}x")
+    verdict = "CHAOS GRID PASS" if report.ok else "CHAOS GRID FAIL"
+    lines.append(f"{verdict}: {len(report.results)} cell(s)")
+    return "\n".join(lines)

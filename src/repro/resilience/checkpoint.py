@@ -1,0 +1,176 @@
+"""Supernode-granular checkpoint/restart for factorization runs.
+
+A checkpoint is cut at a **wave frontier**: after any task completion,
+``frontier = min(wave of unexecuted tasks) - 1``.  Every task whose
+final wave is <= frontier is provably executed (a task's current wave
+only grows toward its final value, so an unexecuted task at or below
+the frontier would contradict the minimum).  The manager then
+
+1. flushes the executor's deferred kernels **through** the frontier
+   (``KernelExecutor.flush_through``) — a prefix of the canonical
+   ``(wave, tid)`` stream, so partial execution cannot perturb bytes;
+2. snapshots the numeric state: every supernode's diagonal block and
+   panel (supernode-granular, per ``FactorStorage``), scratch
+   accumulators, and in-flight transient payloads;
+3. records the executed set restricted to the frontier plus each task's
+   wave, from which dependency counters are rederivable on restart.
+
+Because the cut is a prefix of the same canonical kernel stream every
+run executes, a restart completes with a factor bit-identical to the
+fault-free run — regardless of when the crash or the checkpoints
+landed.  An initial frontier ``-1`` checkpoint (taken at engine start)
+makes "restart from before any task" well-defined without re-running
+the solver's storage preparation hooks.
+
+Checkpoints live in memory by default; ``checkpoint_dir`` additionally
+persists them via ``core/serialization.py`` (``CheckpointIOError`` on
+I/O failure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .options import ResilienceOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.engine import FanOutEngine
+    from ..core.tasks import TaskGraph
+
+__all__ = ["CheckpointState", "ResumeState", "CheckpointManager"]
+
+
+@dataclass
+class CheckpointState:
+    """One checkpoint: numeric snapshot + task-graph progress."""
+
+    frontier: int
+    executed: tuple[int, ...]
+    waves: tuple[int, ...]
+    diag: list[np.ndarray] = field(default_factory=list)
+    panels: list[np.ndarray] = field(default_factory=list)
+    scratch: dict = field(default_factory=dict)
+    # key -> (is_tuple, ((was_pool_held, payload), ...))
+    transient: dict = field(default_factory=dict)
+
+
+@dataclass
+class ResumeState:
+    """What a restarted engine needs: who ran, at which wave."""
+
+    executed: tuple[int, ...]
+    waves: tuple[int, ...]
+    frontier: int
+
+
+class CheckpointManager:
+    """Cuts, stores and restores checkpoints for one resilient run."""
+
+    def __init__(self, options: ResilienceOptions,
+                 label: str = "factor") -> None:
+        self.options = options
+        self.label = label
+        self.state: CheckpointState | None = None
+        self.taken = 0
+        self._frontier = -1
+
+    # ----------------------------------------------------------- engine API
+
+    def begin_run(self, engine: FanOutEngine) -> None:
+        """Initial frontier ``-1`` checkpoint, first attempt only."""
+        if self.state is None:
+            self.state = self._capture(engine, frontier=-1)
+            self.taken += 1
+            self._persist()
+
+    def on_task_done(self, engine: FanOutEngine, now: float) -> None:
+        """Advance the wave frontier; cut when it moved far enough."""
+        every = self.options.checkpoint_every
+        if every <= 0:
+            return
+        waves = engine._wave
+        executed = engine._executed
+        unexec = [waves[tid] for tid in range(len(executed))
+                  if not executed[tid]]
+        if not unexec:
+            return  # final completion; the normal flush finishes the run
+        frontier = min(unexec) - 1
+        if frontier - self._frontier < every:
+            return
+        engine.executor.flush_through(frontier)
+        self.state = self._capture(engine, frontier)
+        self._frontier = frontier
+        self.taken += 1
+        self._persist()
+
+    # ------------------------------------------------------------- snapshot
+
+    def _capture(self, engine: FanOutEngine,
+                 frontier: int) -> CheckpointState:
+        ctx = engine.graph.context
+        storage = ctx.storage
+        waves = engine._wave
+        executed = tuple(
+            tid for tid in range(len(engine._executed))
+            if engine._executed[tid] and waves[tid] <= frontier)
+        transient: dict = {}
+        for key, val in ctx.transient.items():
+            is_tuple = isinstance(val, tuple)
+            parts = val if is_tuple else (val,)
+            saved = []
+            for obj in parts:
+                if isinstance(obj, np.ndarray):
+                    saved.append((id(obj) in ctx._held, obj.copy()))
+                else:
+                    saved.append((False, obj))
+            transient[key] = (is_tuple, tuple(saved))
+        return CheckpointState(
+            frontier=frontier,
+            executed=executed,
+            waves=tuple(waves),
+            diag=[d.copy() for d in storage.diag],
+            panels=[p.copy() for p in storage.panels],
+            scratch={key: arr.copy() for key, arr in ctx.scratch.items()},
+            transient=transient,
+        )
+
+    def _persist(self) -> None:
+        if self.options.checkpoint_dir is None or self.state is None:
+            return
+        from ..core.serialization import save_checkpoint
+        save_checkpoint(self.state, self.options.checkpoint_dir, self.label)
+
+    # -------------------------------------------------------------- restore
+
+    def restore(self, graph: TaskGraph) -> ResumeState:
+        """Write the last checkpoint back into the graph's run state."""
+        state = self.state
+        if state is None:
+            raise ValueError("no checkpoint to restore")
+        ctx = graph.context
+        ctx.fresh_run()  # zero scratch, drop (and release) old transients
+        storage = ctx.storage
+        for s, d in enumerate(state.diag):
+            storage.diag[s][...] = d
+        for s, p in enumerate(state.panels):
+            storage.panels[s][...] = p
+        for key, arr in state.scratch.items():
+            ctx.scratch_array(key, arr.shape)[...] = arr
+        for key, (is_tuple, saved) in state.transient.items():
+            rebuilt: list[Any] = []
+            for held, obj in saved:
+                if isinstance(obj, np.ndarray):
+                    if held:
+                        buf = ctx.take_buffer(obj.shape, zero=False)
+                        buf[...] = obj
+                        rebuilt.append(buf)
+                    else:
+                        rebuilt.append(obj.copy())
+                else:
+                    rebuilt.append(obj)
+            ctx.transient[key] = tuple(rebuilt) if is_tuple else rebuilt[0]
+        return ResumeState(executed=state.executed, waves=state.waves,
+                           frontier=state.frontier)

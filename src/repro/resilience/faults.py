@@ -1,0 +1,320 @@
+"""Deterministic fault injection for the simulated PGAS runtime.
+
+A :class:`FaultPlan` is a declarative, seed-keyed description of what
+goes wrong: per-message fate probabilities (drop / duplicate / reorder /
+delay-spike) plus scheduled rank-level events (inbox stalls, rank
+pauses, rank crashes) pinned to simulated times.  A
+:class:`FaultInjector` executes the plan against a ``World``:
+
+* every RPC send consults :meth:`FaultInjector.route`, which maps the
+  nominal arrival time to zero or more actual arrival times;
+* rank events are scheduled on the world's event queue at
+  :meth:`FaultInjector.attach` time.
+
+Determinism is the whole point.  Each message's fate is drawn from
+``np.random.default_rng((seed, src, dst, counter))`` where ``counter``
+is the per-(src, dst) message index — so the same plan against the same
+task graph always yields the same fault schedule, independent of Python
+hash order or wall clock.  The injector records every fault as a
+:class:`FaultRecord`; :meth:`FaultInjector.schedule_digest` hashes the
+record list so chaos runs can assert replay determinism.
+
+This composes with the ledger-driven OOM injection in
+``repro.memory.failure`` — both hook different layers (allocation vs.
+delivery) of the same simulated stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from .errors import FaultPlanError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..pgas.runtime import World
+
+__all__ = ["FAULT_KINDS", "FaultRecord", "FaultPlan", "FaultInjector"]
+
+#: The fault-event taxonomy (see docs/simulation.md).
+FAULT_KINDS = ("drop", "duplicate", "reorder", "delay", "stall", "pause",
+               "crash")
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected fault, in deterministic schedule order."""
+
+    kind: str
+    rank: int          # victim rank (dst for message faults)
+    src: int           # sender (== rank for rank-level faults)
+    t: float           # simulated time the fault applied
+    index: int         # per-(src, dst) message index; -1 for rank faults
+
+    def key(self) -> tuple:
+        return (self.kind, self.rank, self.src, round(self.t, 12),
+                self.index)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, declarative description of injected faults.
+
+    Message-fate probabilities are cumulative and must sum to <= 1; the
+    remainder is clean delivery.  Spike/gap/shift magnitudes default to
+    multiples of the message's own network latency when left at 0.
+
+    Rank events are ``(rank, t0, t1)`` windows (stall, pause) or
+    ``(rank, t)`` points (crash), all in simulated seconds.
+    """
+
+    seed: int = 0
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    delay: float = 0.0
+    delay_spike: float = 0.0     # seconds; 0 -> 25x message latency
+    duplicate_gap: float = 0.0   # seconds; 0 -> 3x message latency
+    reorder_shift: float = 0.0   # seconds; 0 -> 2.5x message latency
+    stalls: tuple[tuple[int, float, float], ...] = ()
+    pauses: tuple[tuple[int, float, float], ...] = ()
+    crashes: tuple[tuple[int, float], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "duplicate", "reorder", "delay"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise FaultPlanError(f"{name} probability {p} not in [0, 1]")
+        total = self.drop + self.duplicate + self.reorder + self.delay
+        if total > 1.0 + 1e-12:
+            raise FaultPlanError(
+                f"fault probabilities sum to {total:.3f} > 1")
+        for name in ("delay_spike", "duplicate_gap", "reorder_shift"):
+            if getattr(self, name) < 0.0:
+                raise FaultPlanError(f"{name} must be >= 0")
+        for rank, t0, t1 in tuple(self.stalls) + tuple(self.pauses):
+            if t1 <= t0 or t0 < 0.0:
+                raise FaultPlanError(
+                    f"window ({t0}, {t1}) for rank {rank} is not ordered")
+        for rank, t in self.crashes:
+            if t < 0.0:
+                raise FaultPlanError(f"crash time {t} for rank {rank} < 0")
+
+    @property
+    def has_message_faults(self) -> bool:
+        return (self.drop + self.duplicate + self.reorder + self.delay) > 0.0
+
+    @property
+    def has_rank_faults(self) -> bool:
+        return bool(self.stalls or self.pauses or self.crashes)
+
+    def to_spec(self) -> dict[str, Any]:
+        """JSON-serializable plan spec (inverse of :meth:`from_spec`)."""
+        return {
+            "seed": self.seed,
+            "drop": self.drop, "duplicate": self.duplicate,
+            "reorder": self.reorder, "delay": self.delay,
+            "delay_spike": self.delay_spike,
+            "duplicate_gap": self.duplicate_gap,
+            "reorder_shift": self.reorder_shift,
+            "stalls": [list(s) for s in self.stalls],
+            "pauses": [list(p) for p in self.pauses],
+            "crashes": [list(c) for c in self.crashes],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_spec(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_spec(cls, spec: dict[str, Any]) -> FaultPlan:
+        known = {"seed", "drop", "duplicate", "reorder", "delay",
+                 "delay_spike", "duplicate_gap", "reorder_shift",
+                 "stalls", "pauses", "crashes"}
+        unknown = set(spec) - known
+        if unknown:
+            raise FaultPlanError(
+                f"unknown fault plan keys: {sorted(unknown)}")
+        kwargs: dict[str, Any] = dict(spec)
+        for name in ("stalls", "pauses"):
+            if name in kwargs:
+                kwargs[name] = tuple(
+                    (int(r), float(t0), float(t1))
+                    for r, t0, t1 in kwargs[name])
+        if "crashes" in kwargs:
+            kwargs["crashes"] = tuple(
+                (int(r), float(t)) for r, t in kwargs["crashes"])
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise FaultPlanError(f"bad fault plan spec: {exc}") from exc
+
+    @classmethod
+    def from_json(cls, text: str) -> FaultPlan:
+        try:
+            spec = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") \
+                from exc
+        if not isinstance(spec, dict):
+            raise FaultPlanError("fault plan JSON must be an object")
+        return cls.from_spec(spec)
+
+
+class FaultInjector:
+    """Executes a :class:`FaultPlan` against one ``World``.
+
+    One injector serves one world (one engine run); the resilient runner
+    creates a fresh injector per attempt.  ``include_rank_faults=False``
+    models a restarted world in which the crashed/paused process has
+    been respawned: message-level faults stay live, rank-level events do
+    not recur.
+    """
+
+    def __init__(self, plan: FaultPlan,
+                 include_rank_faults: bool = True) -> None:
+        self.plan = plan
+        self.include_rank_faults = include_rank_faults
+        self.records: list[FaultRecord] = []
+        self._counters: dict[tuple[int, int], int] = {}
+        self._dead: set[int] = set()
+        self._paused: dict[int, float] = {}
+        self._world: World | None = None
+
+    # -- wiring ---------------------------------------------------------
+
+    def attach(self, world: World) -> None:
+        """Bind to ``world`` and schedule the plan's rank-level events."""
+        self._world = world
+        world.injector = self
+        if not self.include_rank_faults:
+            return
+        for rank, t0, t1 in self.plan.stalls:
+            self._check_rank(world, rank)
+            world.events.schedule(t0, self._start_stall(world, rank, t1))
+            world.events.schedule(t1, self._end_stall(world, rank))
+        for rank, t0, t1 in self.plan.pauses:
+            self._check_rank(world, rank)
+            world.events.schedule(t0, self._start_pause(world, rank, t1))
+            world.events.schedule(t1, self._end_pause(world, rank))
+        for rank, t in self.plan.crashes:
+            self._check_rank(world, rank)
+            world.events.schedule(t, self._crash(world, rank))
+
+    @staticmethod
+    def _check_rank(world: World, rank: int) -> None:
+        if not 0 <= rank < world.nranks:
+            raise FaultPlanError(
+                f"fault plan targets rank {rank}, world has "
+                f"{world.nranks} rank(s)")
+
+    def _start_stall(self, world: World, rank: int, until: float):
+        def fire(now: float) -> None:
+            world.ranks[rank].inbox.stall_until = until
+            world.stats.inbox_stalls += 1
+            self.records.append(FaultRecord("stall", rank, rank, now, -1))
+        return fire
+
+    def _end_stall(self, world: World, rank: int):
+        def fire(now: float) -> None:
+            if rank not in self._dead:
+                world.ranks[rank].inbox.stall_until = 0.0
+                world.wake(rank, now)
+        return fire
+
+    def _start_pause(self, world: World, rank: int, until: float):
+        def fire(now: float) -> None:
+            self._paused[rank] = until
+            self.records.append(FaultRecord("pause", rank, rank, now, -1))
+        return fire
+
+    def _end_pause(self, world: World, rank: int):
+        def fire(now: float) -> None:
+            self._paused.pop(rank, None)
+            if rank not in self._dead:
+                world.wake(rank, now)
+        return fire
+
+    def _crash(self, world: World, rank: int):
+        def fire(now: float) -> None:
+            self._dead.add(rank)
+            world.ranks[rank].inbox.stall_until = float("inf")
+            world.stats.rank_crashes += 1
+            self.records.append(FaultRecord("crash", rank, rank, now, -1))
+        return fire
+
+    # -- queries --------------------------------------------------------
+
+    def rank_blocked(self, rank: int) -> bool:
+        """True if ``rank`` must not start work right now (paused/dead)."""
+        return rank in self._dead or rank in self._paused
+
+    @property
+    def dead_ranks(self) -> frozenset[int]:
+        return frozenset(self._dead)
+
+    # -- message routing ------------------------------------------------
+
+    def route(self, src: int, dst: int, t: float,
+              arrival: float) -> list[float]:
+        """Map one send to its actual arrival times (possibly none).
+
+        Called by ``World.rpc`` for every remote delivery, acks
+        included.  The per-(src, dst) counter advances on every call, so
+        the fate stream is a pure function of the plan seed and the
+        message order on that channel.
+        """
+        stats = self._world.stats if self._world is not None else None
+        if src in self._dead or dst in self._dead:
+            self.records.append(FaultRecord("drop", dst, src, t, -1))
+            if stats is not None:
+                stats.rpcs_dropped += 1
+            return []
+        key = (src, dst)
+        index = self._counters.get(key, 0)
+        self._counters[key] = index + 1
+        plan = self.plan
+        if not plan.has_message_faults:
+            return [arrival]
+        rng = np.random.default_rng((plan.seed, src, dst, index))
+        u = float(rng.random())
+        latency = max(arrival - t, 1e-9)
+        if u < plan.drop:
+            self.records.append(FaultRecord("drop", dst, src, t, index))
+            if stats is not None:
+                stats.rpcs_dropped += 1
+            return []
+        u -= plan.drop
+        if u < plan.duplicate:
+            gap = plan.duplicate_gap or 3.0 * latency
+            self.records.append(FaultRecord("duplicate", dst, src, t, index))
+            if stats is not None:
+                stats.rpcs_duplicated += 1
+            return [arrival, arrival + gap]
+        u -= plan.duplicate
+        if u < plan.reorder:
+            shift = plan.reorder_shift or 2.5 * latency
+            self.records.append(FaultRecord("reorder", dst, src, t, index))
+            if stats is not None:
+                stats.rpcs_reordered += 1
+            return [arrival + shift]
+        u -= plan.reorder
+        if u < plan.delay:
+            spike = plan.delay_spike or 25.0 * latency
+            self.records.append(FaultRecord("delay", dst, src, t, index))
+            if stats is not None:
+                stats.rpcs_delayed += 1
+            return [arrival + spike]
+        return [arrival]
+
+    # -- replay determinism --------------------------------------------
+
+    def schedule_digest(self) -> str:
+        """Stable hash of the injected-fault schedule (replay check)."""
+        h = hashlib.sha256()
+        for rec in self.records:
+            h.update(repr(rec.key()).encode())
+        return h.hexdigest()

@@ -71,6 +71,23 @@ def error_summary(exc: BaseException) -> str:
     return f"{name}:{last.lineno} in {last.name}: {exc}"
 
 
+def classify_failure(exc: BaseException) -> str:
+    """Coarse failure taxonomy stamped on failed-request telemetry.
+
+    ``injected-fault`` and ``checkpoint-io`` are the resilience
+    subsystem's typed errors (both subclass ``RuntimeError``, so they
+    flow through :data:`REQUEST_ERRORS`); everything else a request can
+    legitimately raise is a ``request-error``.
+    """
+    from ..resilience.errors import CheckpointIOError, RankUnresponsive
+
+    if isinstance(exc, RankUnresponsive):
+        return "injected-fault"
+    if isinstance(exc, CheckpointIOError):
+        return "checkpoint-io"
+    return "request-error"
+
+
 @dataclass(frozen=True)
 class ServiceConfig:
     """Operational knobs of a :class:`SolveService`.
@@ -433,11 +450,14 @@ class SolveService:
         """Count and trace failed requests (tier ``failed``)."""
         now = time.monotonic()
         summary = error_summary(exc)
+        counts = self.trace.resilience_counts()
         for r in batch:
             self.trace.record_request(ServiceEvent(
                 request_id=r.request_id, tier="failed",
                 queue_wait=now - r.submit_time, makespan=0.0,
-                error=type(exc).__name__, error_summary=summary))
+                error=type(exc).__name__, error_summary=summary,
+                failure_class=classify_failure(exc),
+                retries=counts["retries"], recoveries=counts["recoveries"]))
         with self._lock:
             self._counts.requests_failed += len(batch)
 
@@ -483,11 +503,13 @@ class SolveService:
                 bytes_live=bytes_live,
                 bytes_peak=bytes_peak,
             )
+            counts = self.trace.resilience_counts()
             self.trace.record_request(ServiceEvent(
                 request_id=r.request_id, tier=r_tier,
                 queue_wait=stats.queue_wait, makespan=stats.makespan,
                 coalesced_width=width,
-                bytes_live=bytes_live, bytes_peak=bytes_peak))
+                bytes_live=bytes_live, bytes_peak=bytes_peak,
+                retries=counts["retries"], recoveries=counts["recoveries"]))
             with self._lock:
                 self._counts.requests_completed += 1
                 if width > r.ncols:

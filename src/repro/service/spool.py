@@ -32,7 +32,8 @@ import numpy as np
 
 from ..core.tracing import ServiceEvent
 from ..sparse import read_matrix_auto
-from .service import REQUEST_ERRORS, SolveService, error_summary
+from .service import (REQUEST_ERRORS, SolveService, classify_failure,
+                      error_summary)
 
 # Everything a malformed spool request can raise on top of the solver's
 # own REQUEST_ERRORS: unreadable/missing files (OSError covers
@@ -126,11 +127,13 @@ class SpoolServer:
             # the service never saw this request, so give telemetry a
             # synthetic event (request_id -1 = no service id assigned).
             result = {"id": rid, "ok": False, "error": str(exc),
-                      "error_type": type(exc).__name__}
+                      "error_type": type(exc).__name__,
+                      "failure_class": "spool-error"}
             self.service.trace.record_request(ServiceEvent(
                 request_id=-1, tier="failed", queue_wait=0.0,
                 makespan=0.0, error=type(exc).__name__,
-                error_summary=error_summary(exc)))
+                error_summary=error_summary(exc),
+                failure_class="spool-error"))
         if result is None:
             try:
                 x, stats = self.service.solve(a, b)
@@ -145,9 +148,11 @@ class SpoolServer:
                     "x_file": str(x_file),
                 }
             except REQUEST_ERRORS as exc:
-                # Solver-side failure: already traced by the service.
+                # Solver-side failure: already traced (with its failure
+                # class) by the service; echo the class to the client.
                 result = {"id": rid, "ok": False, "error": str(exc),
-                          "error_type": type(exc).__name__}
+                          "error_type": type(exc).__name__,
+                          "failure_class": classify_failure(exc)}
         tmp = self.done / f".{rid}.json.tmp"
         tmp.write_text(json.dumps(result))
         os.replace(tmp, self.done / f"{rid}.json")

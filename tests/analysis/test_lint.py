@@ -151,6 +151,31 @@ class TestPoolAllocRule:
         assert rules(text, rel="core/storage.py") == []
 
 
+class TestWallClockRule:
+    def test_dotted_wallclock_call_flagged(self):
+        text = "import time\nt0 = time.monotonic()\n"
+        assert rules(text, rel="pgas/runtime.py") == ["REP107"]
+
+    def test_all_three_clocks_flagged(self):
+        text = ("import time\n"
+                "a = time.time()\nb = time.monotonic()\n"
+                "c = time.perf_counter()\n")
+        assert rules(text, rel="resilience/delivery.py") == ["REP107"] * 3
+
+    def test_from_import_flagged(self):
+        text = "from time import perf_counter\n"
+        assert rules(text, rel="pgas/events.py") == ["REP107"]
+
+    def test_rule_scoped_to_simulated_time_dirs(self):
+        text = "import time\nt0 = time.perf_counter()\n"
+        assert rules(text, rel="kernels/dispatch.py") == []
+        assert rules(text, rel="core/session.py") == []
+
+    def test_non_clock_time_functions_clean(self):
+        text = "import time\ntime.sleep(0)\nfrom time import strftime\n"
+        assert rules(text, rel="pgas/runtime.py") == []
+
+
 class TestTreeInvariant:
     def test_working_tree_is_clean(self):
         assert lint_tree() == []

@@ -9,6 +9,7 @@ import pytest
 
 from repro.analysis.mutation import (format_reports, selftest_lint,
                                      selftest_pool_lint, selftest_races,
+                                     selftest_wallclock_lint,
                                      selftest_waves)
 
 
@@ -83,6 +84,23 @@ class TestPoolLintSelftest:
         assert [f.rule for f in findings] == ["REP106"]
         assert "np.zeros" in findings[0].message
         assert "BufferPool" in findings[0].message
+
+
+class TestWallClockLintSelftest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return selftest_wallclock_lint()
+
+    def test_passes(self, report):
+        assert report.ok, format_reports([report])
+
+    def test_real_runtime_module_clean(self, report):
+        assert report.clean_findings == []
+
+    def test_wallclock_read_reported(self, report):
+        findings = report.injected_findings
+        assert [f.rule for f in findings] == ["REP107"]
+        assert "time.monotonic" in findings[0].message
 
 
 class TestLintSelftest:

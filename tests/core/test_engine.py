@@ -183,5 +183,6 @@ class TestProtocolFidelity:
         engine._device_resident = [set()]
         engine._executed = [False]
         engine._done_count = 0
+        engine._checkpointer = None
         with pytest.raises(RuntimeError, match="unexecuted"):
             engine.run()

@@ -1,0 +1,133 @@
+"""Delivery-edge tests of the raw RPC inbox.
+
+The hardened transport (``repro.resilience.delivery``) builds its
+guarantees on three properties of the raw queue that are easy to break
+silently: duplicates execute twice (dedup lives *above* the inbox),
+equal-arrival ties resolve in delivery order (determinism under
+reordering faults), and a stalled inbox keeps its ``pending()`` /
+``next_arrival()`` bookkeeping consistent until flushed.
+"""
+
+import math
+
+from repro.pgas.rpc import PendingRpc, RpcInbox
+
+
+def make_rpc(t, log, tag, src=1):
+    return PendingRpc(arrival_time=t, fn=log.append, payload=tag,
+                      src_rank=src)
+
+
+class TestDuplicateArrival:
+    def test_duplicate_pending_rpc_executes_twice(self):
+        """The raw inbox has no dedup: the same RPC delivered twice runs
+        twice.  Idempotence is the hardened transport's job (it dedups
+        by sequence number before the body runs)."""
+        inbox = RpcInbox(rank=0)
+        log = []
+        rpc = make_rpc(1.0, log, "m")
+        inbox.deliver(rpc)
+        inbox.deliver(rpc)
+        assert inbox.delivered == 2
+        assert inbox.progress(2.0) == 2
+        assert log == ["m", "m"]
+        assert inbox.executed == 2
+
+    def test_duplicate_after_first_execution_runs_again(self):
+        """A duplicate arriving after the original already ran is not
+        remembered either — there is no execution history to consult."""
+        inbox = RpcInbox(rank=0)
+        log = []
+        rpc = make_rpc(1.0, log, "m")
+        inbox.deliver(rpc)
+        assert inbox.progress(1.0) == 1
+        inbox.deliver(PendingRpc(arrival_time=3.0, fn=log.append,
+                                 payload="m", src_rank=1))
+        assert inbox.progress(3.0) == 1
+        assert log == ["m", "m"]
+
+
+class TestEqualArrivalOrdering:
+    def test_ties_resolve_in_delivery_order(self):
+        """Two RPCs with the same arrival time execute in the order the
+        network delivered them — the only deterministic tiebreak."""
+        inbox = RpcInbox(rank=0)
+        log = []
+        inbox.deliver(make_rpc(2.0, log, "first"))
+        inbox.deliver(make_rpc(2.0, log, "second"))
+        inbox.deliver(make_rpc(2.0, log, "third"))
+        assert inbox.progress(2.0) == 3
+        assert log == ["first", "second", "third"]
+
+    def test_tie_order_is_replayable(self):
+        """The same delivery sequence replays to the same execution
+        order every time (no hidden set/dict iteration)."""
+        runs = []
+        for _ in range(3):
+            inbox = RpcInbox(rank=0)
+            log = []
+            for tag in ("a", "b", "c", "d"):
+                inbox.deliver(make_rpc(1.0, log, tag))
+            inbox.progress(1.0)
+            runs.append(log)
+        assert runs[0] == runs[1] == runs[2] == ["a", "b", "c", "d"]
+
+    def test_backlog_executes_in_delivery_order_not_timestamp(self):
+        """A single progress call drains every ready RPC in delivery
+        order: the queue trusts the network to deliver at arrival time,
+        so it never re-sorts by timestamp.  (Reordering faults therefore
+        really do reorder execution — which is what the hardened
+        transport's canonical kernel ordering has to absorb.)"""
+        inbox = RpcInbox(rank=0)
+        log = []
+        inbox.deliver(make_rpc(3.0, log, "late-1"))
+        inbox.deliver(make_rpc(1.0, log, "early"))
+        inbox.deliver(make_rpc(3.0, log, "late-2"))
+        assert inbox.progress(5.0) == 3
+        assert log == ["late-1", "early", "late-2"]
+
+
+class TestStalledInbox:
+    def test_stall_suspends_progress_but_not_delivery(self):
+        """Deliveries keep enqueuing during a stall (the NIC still
+        receives); only user-level progress is suspended."""
+        inbox = RpcInbox(rank=0)
+        log = []
+        inbox.stall_until = 10.0
+        inbox.deliver(make_rpc(1.0, log, "a"))
+        inbox.deliver(make_rpc(2.0, log, "b"))
+        assert inbox.progress(5.0) == 0
+        assert log == []
+        assert inbox.delivered == 2
+        assert inbox.pending() == 2
+        assert inbox.next_arrival() == 1.0
+
+    def test_flush_after_stall_restores_consistency(self):
+        """Once the stall window ends the backlog flushes in arrival
+        order, and pending()/next_arrival() agree with the queue."""
+        inbox = RpcInbox(rank=0)
+        log = []
+        inbox.stall_until = 10.0
+        for t, tag in [(1.0, "a"), (4.0, "b"), (12.0, "c")]:
+            inbox.deliver(make_rpc(t, log, tag))
+        assert inbox.progress(9.0) == 0
+        # Exactly at the stall boundary progress resumes (tolerance
+        # mirrors the arrival-time comparison).
+        assert inbox.progress(10.0) == 2
+        assert log == ["a", "b"]
+        assert inbox.pending() == 1
+        assert inbox.next_arrival() == 12.0
+        assert inbox.progress(12.0) == 1
+        assert inbox.pending() == 0
+        assert inbox.next_arrival() is None
+
+    def test_infinite_stall_models_crash(self):
+        """``stall_until = inf`` never executes: the crashed-rank model
+        used by the fault injector."""
+        inbox = RpcInbox(rank=0)
+        log = []
+        inbox.stall_until = math.inf
+        inbox.deliver(make_rpc(1.0, log, "a"))
+        assert inbox.progress(1e18) == 0
+        assert inbox.pending() == 1
+        assert log == []

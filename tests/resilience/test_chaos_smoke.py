@@ -1,0 +1,18 @@
+"""Chaos-harness smoke: one family through every fault scenario."""
+
+from repro.resilience.chaos import SCENARIOS, run_chaos, write_report
+
+
+class TestChaosSmoke:
+    def test_sympack_grid_passes_every_scenario(self, tmp_path):
+        report = run_chaos(quick=True, families=["SymPack"])
+        assert len(report.results) == len(SCENARIOS)
+        for cell in report.results:
+            assert cell.ok, f"{cell.scenario} failed: {cell}"
+            assert cell.faults_injected >= 1
+            assert cell.checkpoints >= 1
+        crash = next(r for r in report.results if r.scenario == "crash")
+        assert crash.recoveries >= 1
+        path = write_report(report, tmp_path / "BENCH_resilience.json")
+        assert path.exists()
+        assert '"ok": true' in path.read_text()

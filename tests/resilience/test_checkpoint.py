@@ -1,0 +1,119 @@
+"""Checkpoint save/load round-trips and crash-restart bit-identity."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import SolverOptions, SymPackSolver
+from repro.core.serialization import (checkpoint_path, load_checkpoint,
+                                      save_checkpoint)
+from repro.resilience import (CheckpointIOError, CheckpointState, FaultPlan,
+                              ResilienceOptions)
+from repro.sparse import random_spd
+
+
+def factor_digest(solver):
+    h = hashlib.sha256()
+    for d in solver.storage.diag:
+        h.update(d.tobytes())
+    for p in solver.storage.panels:
+        h.update(p.tobytes())
+    return h.hexdigest()
+
+
+def make_state():
+    rng = np.random.default_rng(0)
+    return CheckpointState(
+        frontier=3,
+        executed=(0, 1, 4),
+        waves=(0, 1, 2, 5, 1, 7),
+        diag=[rng.standard_normal((2, 2)), rng.standard_normal((3, 3))],
+        panels=[rng.standard_normal((4, 2)), np.zeros((0, 3))],
+        scratch={("acc", 1): rng.standard_normal((3, 3))},
+        transient={
+            ("panel", 0, 1): (True, ((True, rng.standard_normal((2, 2))),
+                                     (False, [0, 2]))),
+            ("meta", 2): (False, ((False, "tag"),)),
+        },
+    )
+
+
+class TestSerializationRoundTrip:
+    def test_round_trip_preserves_everything(self, tmp_path):
+        state = make_state()
+        save_checkpoint(state, tmp_path, label="factor")
+        loaded = load_checkpoint(checkpoint_path(tmp_path, "factor"))
+        assert loaded.frontier == state.frontier
+        assert loaded.executed == state.executed
+        assert loaded.waves == state.waves
+        for a, b in zip(loaded.diag, state.diag):
+            assert np.array_equal(a, b)
+        for a, b in zip(loaded.panels, state.panels):
+            assert np.array_equal(a, b)
+        assert set(loaded.scratch) == set(state.scratch)
+        for key in state.scratch:
+            assert np.array_equal(loaded.scratch[key], state.scratch[key])
+        assert set(loaded.transient) == set(state.transient)
+        is_tuple, saved = loaded.transient[("panel", 0, 1)]
+        assert is_tuple
+        assert saved[0][0] is True
+        assert np.array_equal(saved[0][1],
+                              state.transient[("panel", 0, 1)][1][0][1])
+        assert loaded.transient[("meta", 2)][1][0][1] == "tag"
+
+    def test_unwritable_directory_raises_typed_error(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        with pytest.raises(CheckpointIOError, match="cannot write"):
+            save_checkpoint(make_state(), blocker / "sub")
+
+    def test_missing_file_raises_typed_error(self, tmp_path):
+        with pytest.raises(CheckpointIOError):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_corrupt_file_raises_typed_error(self, tmp_path):
+        bad = tmp_path / "factor_checkpoint.npz"
+        bad.write_bytes(b"definitely not an npz archive")
+        with pytest.raises(CheckpointIOError):
+            load_checkpoint(bad)
+
+
+class TestCrashRestartBitIdentity:
+    @pytest.fixture(scope="class")
+    def problem(self):
+        a = random_spd(60, density=0.15, seed=3)
+        rhs = np.linspace(-1.0, 1.0, a.n).reshape(a.n, 1)
+        return a, rhs
+
+    def run(self, a, rhs, res):
+        solver = SymPackSolver(a, SolverOptions(nranks=2, resilience=res))
+        info = solver.factorize()
+        x, _ = solver.solve(rhs)
+        out = (factor_digest(solver), x.tobytes(),
+               solver.session.recoveries,
+               solver.session.trace.resilience_counts(),
+               info.simulated_seconds)
+        solver.close()
+        return out
+
+    def test_restart_from_checkpoint_is_bit_identical(self, problem,
+                                                      tmp_path):
+        a, rhs = problem
+        base_digest, base_x, _, _, makespan = self.run(
+            a, rhs, ResilienceOptions(hardened=True, checkpoint_every=2))
+        plan = FaultPlan(seed=0, crashes=((1, 0.4 * makespan),))
+        digest, x, recoveries, counts, _ = self.run(
+            a, rhs, ResilienceOptions(
+                hardened=True, faults=plan, checkpoint_every=2,
+                checkpoint_dir=str(tmp_path)))
+        assert recoveries >= 1
+        assert counts["recoveries"] >= 1
+        assert counts["checkpoints"] >= 1
+        assert counts["faults_injected"] >= 1
+        assert digest == base_digest
+        assert x == base_x
+        # The persisted checkpoint is loadable and frontier-consistent.
+        persisted = load_checkpoint(checkpoint_path(tmp_path, "factor"))
+        assert all(persisted.waves[tid] <= persisted.frontier
+                   for tid in persisted.executed)

@@ -1,0 +1,102 @@
+"""Hardened transport: bit-identity under message faults, typed escapes."""
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro import SolverOptions, SymPackSolver
+from repro.resilience import (FaultPlan, RankUnresponsive,
+                              ResilienceOptions)
+from repro.sparse import random_spd
+
+
+def factor_digest(solver):
+    h = hashlib.sha256()
+    for d in solver.storage.diag:
+        h.update(d.tobytes())
+    for p in solver.storage.panels:
+        h.update(p.tobytes())
+    return h.hexdigest()
+
+
+def run_solver(a, rhs, res):
+    solver = SymPackSolver(a, SolverOptions(nranks=2, resilience=res))
+    info = solver.factorize()
+    x, _ = solver.solve(rhs)
+    digest = factor_digest(solver)
+    comm, makespan = info.comm, info.simulated_seconds
+    solver.close()
+    return digest, x, comm, makespan
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = random_spd(60, density=0.15, seed=3)
+    rhs = np.linspace(-1.0, 1.0, a.n).reshape(a.n, 1)
+    return a, rhs
+
+
+@pytest.fixture(scope="module")
+def baseline(problem):
+    a, rhs = problem
+    return run_solver(a, rhs, ResilienceOptions(hardened=True))
+
+
+class TestBitIdentityUnderFaults:
+    def test_drop_faults_retry_to_identical_factor(self, problem, baseline):
+        a, rhs = problem
+        digest, x, comm, _ = run_solver(
+            a, rhs, ResilienceOptions(
+                hardened=True, faults=FaultPlan(seed=1, drop=0.15),
+                checkpoint_every=2))
+        assert comm.rpcs_dropped > 0
+        assert comm.retries > 0
+        assert digest == baseline[0]
+        assert x.tobytes() == baseline[1].tobytes()
+
+    def test_duplicates_are_suppressed_bit_identically(self, problem,
+                                                       baseline):
+        a, rhs = problem
+        digest, x, comm, _ = run_solver(
+            a, rhs, ResilienceOptions(
+                hardened=True, faults=FaultPlan(seed=1, duplicate=0.3)))
+        assert comm.rpcs_duplicated > 0
+        assert comm.dup_suppressed > 0
+        assert digest == baseline[0]
+        assert x.tobytes() == baseline[1].tobytes()
+
+    def test_ack_traffic_is_counted(self, baseline):
+        comm = baseline[2]
+        assert comm.signals_sent > 0
+        assert comm.acks_sent >= comm.signals_sent
+
+
+class TestTypedEscapes:
+    def test_crash_without_checkpoint_raises_rank_unresponsive(self,
+                                                               problem,
+                                                               baseline):
+        a, rhs = problem
+        # Crash rank 1 mid-run (40% of the fault-free makespan); with no
+        # checkpoints there is nothing to restore, so the typed error
+        # must escape factorize().
+        plan = FaultPlan(seed=0, crashes=((1, 0.4 * baseline[3]),))
+        solver = SymPackSolver(a, SolverOptions(
+            nranks=2, resilience=ResilienceOptions(
+                hardened=True, faults=plan, checkpoint_every=0)))
+        with pytest.raises(RankUnresponsive) as excinfo:
+            solver.factorize()
+        assert excinfo.value.rank == 1
+        assert "rank 1" in str(excinfo.value)
+        solver.close()
+
+    def test_unhardened_drop_deadlocks_loudly(self, problem):
+        """Without the acked transport a dropped signal is lost for
+        good: the engine must fail loudly (deadlock), not hang."""
+        a, rhs = problem
+        solver = SymPackSolver(a, SolverOptions(
+            nranks=2, resilience=ResilienceOptions(
+                hardened=False, faults=FaultPlan(seed=0, drop=1.0))))
+        with pytest.raises(RuntimeError, match="deadlock"):
+            solver.factorize()
+        solver.close()

@@ -1,0 +1,102 @@
+"""Fault-plan parsing/validation and injector determinism."""
+
+import pytest
+
+from repro.resilience import (FAULT_KINDS, FaultInjector, FaultPlan,
+                              FaultPlanError)
+
+
+class TestFaultPlanValidation:
+    def test_defaults_are_fault_free(self):
+        plan = FaultPlan()
+        assert not plan.has_message_faults
+        assert not plan.has_rank_faults
+
+    @pytest.mark.parametrize("kw", [
+        {"drop": -0.1}, {"duplicate": 1.5},
+        {"drop": 0.6, "duplicate": 0.6},          # probabilities sum > 1
+        {"delay_spike": -1.0},
+        {"stalls": ((1, 5.0, 2.0),)},             # window not ordered
+        {"stalls": ((1, -1.0, 2.0),)},            # negative start
+        {"crashes": ((1, -0.5),)},                # negative crash time
+    ])
+    def test_invalid_plans_raise_typed_error(self, kw):
+        with pytest.raises(FaultPlanError):
+            FaultPlan(**kw)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(seed=7, drop=0.1, duplicate=0.2,
+                         stalls=((1, 0.5, 1.5),), crashes=((0, 2.0),))
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            FaultPlan.from_spec({"drop": 0.1, "explode": True})
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json("[1, 2, 3]")
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("not json at all")
+
+    def test_taxonomy_is_stable(self):
+        assert FAULT_KINDS == ("drop", "duplicate", "reorder", "delay",
+                               "stall", "pause", "crash")
+
+
+class TestInjectorDeterminism:
+    def route_stream(self, plan, n=200):
+        injector = FaultInjector(plan)
+        fates = [tuple(injector.route(0, 1, t=float(i), arrival=float(i) + 0.1))
+                 for i in range(n)]
+        return fates, injector
+
+    def test_same_plan_same_fate_stream(self):
+        plan = FaultPlan(seed=3, drop=0.2, duplicate=0.2, delay=0.2)
+        first, inj1 = self.route_stream(plan)
+        second, inj2 = self.route_stream(plan)
+        assert first == second
+        assert inj1.schedule_digest() == inj2.schedule_digest()
+
+    def test_different_seed_different_schedule(self):
+        a, inj_a = self.route_stream(FaultPlan(seed=0, drop=0.3))
+        b, inj_b = self.route_stream(FaultPlan(seed=1, drop=0.3))
+        assert inj_a.schedule_digest() != inj_b.schedule_digest()
+
+    def test_channels_are_independent(self):
+        """The fate of (0 -> 1) traffic does not shift when unrelated
+        (1 -> 0) traffic interleaves: fates key off the per-channel
+        message index, not a global counter."""
+        plan = FaultPlan(seed=5, drop=0.3)
+        solo = FaultInjector(plan)
+        fates_solo = [tuple(solo.route(0, 1, float(i), float(i) + 0.1))
+                      for i in range(50)]
+        mixed = FaultInjector(plan)
+        fates_mixed = []
+        for i in range(50):
+            mixed.route(1, 0, float(i), float(i) + 0.1)
+            fates_mixed.append(
+                tuple(mixed.route(0, 1, float(i), float(i) + 0.1)))
+        assert fates_solo == fates_mixed
+
+    def test_duplicate_yields_two_arrivals(self):
+        plan = FaultPlan(seed=0, duplicate=1.0)
+        injector = FaultInjector(plan)
+        arrivals = injector.route(0, 1, t=1.0, arrival=1.1)
+        assert len(arrivals) == 2
+        assert arrivals[1] > arrivals[0]
+        assert injector.records[0].kind == "duplicate"
+
+    def test_drop_yields_no_arrival(self):
+        injector = FaultInjector(FaultPlan(seed=0, drop=1.0))
+        assert injector.route(0, 1, t=1.0, arrival=1.1) == []
+
+    def test_dead_rank_drops_all_traffic(self):
+        injector = FaultInjector(FaultPlan(seed=0))
+        injector._dead.add(1)
+        assert injector.route(0, 1, t=1.0, arrival=1.1) == []
+        assert injector.route(1, 0, t=1.0, arrival=1.1) == []
+        assert injector.rank_blocked(1)
+        assert not injector.rank_blocked(0)
