@@ -40,7 +40,8 @@ def _run_grid(check_races: bool, parallelism: int) -> int:
         status = "clean" if res.clean else f"{len(res.findings)} finding(s)"
         print(f"{res.family:>20s} × {res.matrix:<10s} "
               f"flushes={res.flushes_checked:<4d} "
-              f"waves={res.waves_executed:<4d} {status}")
+              f"waves={res.waves_executed:<4d} "
+              f"plan={res.plan_stream_calls:<5d} {status}")
         if not res.clean:
             bad += 1
             print(format_findings(res.findings))

@@ -24,12 +24,20 @@ __all__ = ["ScenarioResult", "scenario_grid", "run_scenarios"]
 
 @dataclass
 class ScenarioResult:
-    """One checked family × matrix execution."""
+    """One checked family × matrix execution.
+
+    ``plan_stream_calls`` counts the kernel calls of the compiled-plan
+    stream derived from the factorization's first flush (fusion applied)
+    that was re-verified through :func:`~repro.analysis.waves
+    .verify_plan`; its findings land in ``findings`` alongside the live
+    ones.
+    """
 
     family: str
     matrix: str
     flushes_checked: int
     waves_executed: int
+    plan_stream_calls: int = 0
     findings: list[Finding] = field(default_factory=list)
 
     @property
@@ -103,11 +111,17 @@ def run_scenarios(parallelism: int = 4, check_races: bool = True
             solver = solver_cls(a, options)
             session = solver.session
             flushes = 0
+            captured: list = []  # first factor flush: (stream, ctx, cfg)
             verify = session._flush_hook
 
-            def counting_hook(executor, pending, _verify=verify):
+            def counting_hook(executor, pending, _verify=verify,
+                              _captured=captured):
                 nonlocal flushes
                 flushes += 1
+                if not _captured:
+                    _captured.append((list(pending), executor.context,
+                                      executor.parallelism,
+                                      executor.batching))
                 if _verify is not None:
                     _verify(executor, pending)
 
@@ -116,12 +130,27 @@ def run_scenarios(parallelism: int = 4, check_races: bool = True
             rhs = np.linspace(-1.0, 1.0, a.n * 2).reshape(a.n, 2)
             solver.solve(rhs)
             waves = info.exec_stats.waves if info.exec_stats else 0
+            # Re-verify the stream the warm path would replay: compile
+            # the captured factor flush (fusion + interning) and run the
+            # plan verifier with the executor's own configuration.
+            findings = (list(session.wave_findings)
+                        + list(session.race_findings))
+            plan_calls = 0
+            if captured:
+                from ..plans import compile_stream
+                from .waves import verify_plan
+
+                stream, ctx, par, batching = captured[0]
+                plan = compile_stream(stream)
+                plan_calls = plan.calls
+                findings.extend(verify_plan(plan, ctx, parallelism=par,
+                                            batching=batching))
             results.append(ScenarioResult(
                 family=solver_cls.__name__,
                 matrix=key,
                 flushes_checked=flushes,
                 waves_executed=waves,
-                findings=list(session.wave_findings)
-                + list(session.race_findings),
+                plan_stream_calls=plan_calls,
+                findings=findings,
             ))
     return results

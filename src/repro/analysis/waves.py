@@ -46,7 +46,7 @@ from ..kernels.dispatch import ExecContext, KernelCall
 from .effects import RHS_OPS, Access, call_accesses
 from .report import Finding
 
-__all__ = ["verify_flush", "is_wave_parallel"]
+__all__ = ["verify_flush", "verify_plan", "is_wave_parallel"]
 
 _ELT_BYTES = 8  # float64 factor/aggregate storage throughout
 
@@ -132,6 +132,24 @@ def verify_flush(pending: list[tuple[KernelCall, int | None]],
     findings.sort(key=lambda f: (f.details["task_a"], f.details["task_b"],
                                  f.rule))
     return findings
+
+
+def verify_plan(plan, context: ExecContext,
+                parallelism: int = 2,
+                batching: bool = True) -> list[Finding]:
+    """Check a compiled plan's frozen stream against the wave invariants.
+
+    A :class:`~repro.plans.plan.NumericPlan` carries the exact
+    ``(call, wave)`` stream a warm replay hands to
+    :meth:`KernelExecutor.execute_stream
+    <repro.kernels.dispatch.KernelExecutor.execute_stream>` — including
+    the compile pass's fused ``multi_update`` groups, whose deferred
+    scatter sets the effects registry expands action by action.  The
+    invariants are the same three the live verifier proves (WAVE001–003);
+    only the stream source differs.
+    """
+    return verify_flush(list(plan.stream), context,
+                        parallelism=parallelism, batching=batching)
 
 
 def _pair_finding(rule: str, what: str, key: tuple,

@@ -95,6 +95,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         ordering=args.ordering, machine=_machine(args.machine),
         offload=offload, parallelism=args.parallelism,
         check_waves=args.check_waves, check_races=args.check_races,
+        plan_mode="on" if args.plan else "off",
         resilience=resilience))
     try:
         info = solver.factorize()
@@ -118,6 +119,15 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"relative residual: {res:.3e}")
     print(f"communication    : {info.comm.rpcs_sent} RPCs, "
           f"{info.comm.bytes_get} bytes pulled")
+    if args.plan:
+        # Warm refactorization through the compiled plan (no DES run);
+        # bit-identity with the recorded run is covered by tests/plans.
+        solver.factorize()
+        ps = solver.plan_stats
+        print(f"compiled plans   : {ps.compiles} compiled "
+              f"({ps.recorded_calls} kernel calls, {ps.fused_groups} fused "
+              f"groups / {ps.fused_calls} calls, "
+              f"{ps.compile_seconds * 1e3:.2f} ms), {ps.hits} replays")
     if resilience is not None:
         counts = solver.session.trace.resilience_counts()
         print(f"resilience       : {counts['faults_injected']} faults, "
@@ -344,6 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "bit-identical to serial; see docs/performance.md)")
     p.add_argument("--save-factor", default=None, metavar="PATH",
                    help="persist the factor (.npz) for later `resolve` runs")
+    p.add_argument("--plan", dest="plan", action="store_true", default=False,
+                   help="compile a numeric plan during factorization and "
+                        "replay it for a warm refactorization (bit-identical "
+                        "to the DES run; see docs/performance.md). "
+                        "Incompatible with --faults/--checkpoint-every")
+    p.add_argument("--no-plan", dest="plan", action="store_false",
+                   help="disable compiled-plan recording (the default)")
     p.add_argument("--check-waves", action="store_true",
                    help="verify every kernel flush for same-wave write "
                         "conflicts and wave-order inversions (exit 1 on "

@@ -30,6 +30,8 @@ from ..machine.perlmutter import perlmutter
 from ..pgas.device_kinds import DeviceKind
 from ..pgas.network import MemoryKindsMode
 from ..pgas.runtime import CommStats
+from ..plans import (NumericPlan, PlanArena, PlanStats, StreamRecorder,
+                     compile_plan, execute_plan)
 from ..resilience.options import ResilienceOptions
 from ..sparse.csc import SymmetricCSC
 from ..sparse.validate import check_finite, probable_spd
@@ -99,6 +101,16 @@ class CommonOptions:
         (:mod:`repro.analysis.hb`) to every simulated world; findings
         accumulate on the session's ``race_findings`` (CLI
         ``--check-races``).
+    plan_mode:
+        ``"on"`` records the first DES-driven factorization (and each
+        first solve per rhs width) into a compiled
+        :class:`~repro.plans.NumericPlan` and executes every warm
+        repeat straight through the wave-parallel kernel executor —
+        no task-graph traversal, no event queue — with bit-identical
+        results (CLI ``--plan``; see ``docs/performance.md``).
+        ``"off"`` (default) keeps the classic DES replay path.
+        Mutually exclusive with ``resilience`` (fault injection needs
+        the simulator it would skip).
     """
 
     nranks: int = 1
@@ -116,6 +128,7 @@ class CommonOptions:
     batching: bool = True
     check_waves: bool = False
     check_races: bool = False
+    plan_mode: str = "off"
     # Resilience policy (hardened delivery, fault injection,
     # checkpoint/restart); ``None`` keeps the classic lossless path.
     # See :class:`repro.resilience.ResilienceOptions` and
@@ -132,6 +145,14 @@ class CommonOptions:
         if self.parallelism < 1:
             raise ValueError(
                 f"parallelism must be >= 1, got {self.parallelism}")
+        if self.plan_mode not in ("off", "on"):
+            raise ValueError(
+                f"plan_mode must be 'off' or 'on', got {self.plan_mode!r}")
+        if self.plan_mode == "on" and self.resilience is not None:
+            raise ValueError(
+                "plan_mode='on' is incompatible with resilience: compiled "
+                "replay skips the simulator that fault injection and "
+                "checkpointing run inside")
 
     def resolved_device_capacity(self) -> int | None:
         """Per-process device segment size (the recommended equal split)."""
@@ -222,6 +243,14 @@ class SolverBase:
         # nrhs -> (forward graph, backward graph, rhs buffer).
         self._solve_graphs: dict[int, tuple[TaskGraph, TaskGraph, np.ndarray]] = {}
         self._factorized = False
+        # Compiled-plan state (plan_mode="on"): the factor plan is
+        # recorded on the first factorization, solve plans per rhs
+        # width on the first solve of that width; the arena retains
+        # kernel-held buffers between replays (see repro.plans).
+        self.plan_stats = PlanStats()
+        self._factor_plan: NumericPlan | None = None
+        self._solve_plans: dict[int, tuple[NumericPlan, NumericPlan]] = {}
+        self._plan_arena: PlanArena | None = None
 
     # ------------------------------------------------------- family hooks
 
@@ -266,6 +295,10 @@ class SolverBase:
         """The session-accumulated execution trace."""
         return self.session.trace
 
+    @property
+    def _plan_enabled(self) -> bool:
+        return self.options.plan_mode == "on"
+
     def factorize(self) -> FactorizeInfo:
         """Numeric Cholesky factorization ``P A P^T = L L^T``.
 
@@ -273,7 +306,11 @@ class SolverBase:
         *reused* afterwards — each later call resets the factor storage
         from ``A`` and the graph's execution context, then replays the
         identical graph (the repeated-factorization pattern of
-        PEXSI-style applications).
+        PEXSI-style applications).  Under ``plan_mode="on"`` the first
+        call additionally records its flush stream into a compiled
+        :class:`~repro.plans.NumericPlan`, and every later call executes
+        that plan straight through the kernel executor — no DES — with
+        bit-identical results.
         """
         if self._closed:
             raise RuntimeError("solver is closed; its buffers were released")
@@ -290,10 +327,20 @@ class SolverBase:
                 # scratch) get the session pool patched in post-build.
                 ctx.pool = self.session.pool
         else:
+            if self._plan_enabled and self._factor_plan is not None:
+                return self._plan_refactorize()
             self.storage.reset()
             self._prepare_storage()
             self._factor_graph.context.fresh_run()
-        run = self.session.run(self._factor_graph)
+        if self._plan_enabled and self._factor_plan is None:
+            with StreamRecorder(self.session) as rec:
+                run = self.session.run(self._factor_graph)
+            self._factor_plan = compile_plan(
+                rec.stream(), kind="factor", makespan=run.makespan,
+                tasks=run.tasks_total, rank_busy=tuple(run.rank_busy),
+                comm=CommStats() + run.comm, stats=self.plan_stats)
+        else:
+            run = self.session.run(self._factor_graph)
         self._factorized = True
         return FactorizeInfo(
             simulated_seconds=run.makespan,
@@ -303,6 +350,49 @@ class SolverBase:
             rank_busy=run.rank_busy,
             exec_stats=run.exec_stats,
             mem=run.mem,
+        )
+
+    def _execute_plan(self, plan: NumericPlan, ctx: ExecContext
+                      ) -> "ExecutorStats":
+        """Run one compiled plan against ``ctx`` with the arena installed."""
+        if self._plan_arena is None:
+            self._plan_arena = PlanArena(self.session.pool)
+        ctx.plan_arena = self._plan_arena
+        try:
+            stats = execute_plan(
+                plan, ctx, parallelism=self.options.parallelism,
+                batching=self.options.batching,
+                flush_hook=self.session._flush_hook)
+        finally:
+            ctx.plan_arena = None
+        self.plan_stats.hits += 1
+        return stats
+
+    def _plan_refactorize(self) -> FactorizeInfo:
+        """Warm refactorization through the compiled plan (no DES).
+
+        The context deliberately skips ``end_run()``: scratch stays
+        resident (zeroed in place by the next ``fresh_run``) and the
+        arena retains kernel-held buffers, so replays after the first
+        perform zero pool takes and zero ledger allocations.
+        """
+        plan = self._factor_plan
+        ctx = self._factor_graph.context
+        self.storage.reset()
+        self._prepare_storage()
+        ctx.fresh_run()
+        stats = self._execute_plan(plan, ctx)
+        comm = CommStats() + plan.comm
+        self.session.record_replay(comm)
+        self._factorized = True
+        return FactorizeInfo(
+            simulated_seconds=plan.makespan,
+            trace=self.session.trace,
+            comm=comm,
+            tasks=plan.tasks,
+            rank_busy=list(plan.rank_busy),
+            exec_stats=stats,
+            mem=self.session.ledger.snapshot(),
         )
 
     def update_values(self, a: SymmetricCSC) -> None:
@@ -367,12 +457,40 @@ class SolverBase:
         total_time = 0.0
         total_tasks = 0
         comm = CommStats()
-        for graph in (fwd, bwd):
-            graph.context.fresh_run()
-            run = self.session.run(graph)
-            total_time += run.makespan
-            total_tasks += run.tasks_total
-            comm += run.comm
+        plans = self._solve_plans.get(nrhs) if self._plan_enabled else None
+        if plans is not None:
+            # Warm path: both sweeps execute their compiled streams (rhs
+            # kernels force the serial flush path either way, so replay
+            # order equals DES order trivially).
+            for plan, graph in zip(plans, (fwd, bwd)):
+                graph.context.fresh_run()
+                self._execute_plan(plan, graph.context)
+                run_comm = CommStats() + plan.comm
+                self.session.record_replay(run_comm)
+                total_time += plan.makespan
+                total_tasks += plan.tasks
+                comm += run_comm
+        elif self._plan_enabled:
+            recorded: list[NumericPlan] = []
+            for kind, graph in (("solve_fwd", fwd), ("solve_bwd", bwd)):
+                graph.context.fresh_run()
+                with StreamRecorder(self.session) as rec:
+                    run = self.session.run(graph)
+                recorded.append(compile_plan(
+                    rec.stream(), kind=kind, makespan=run.makespan,
+                    tasks=run.tasks_total, rank_busy=tuple(run.rank_busy),
+                    comm=CommStats() + run.comm, stats=self.plan_stats))
+                total_time += run.makespan
+                total_tasks += run.tasks_total
+                comm += run.comm
+            self._solve_plans[nrhs] = (recorded[0], recorded[1])
+        else:
+            for graph in (fwd, bwd):
+                graph.context.fresh_run()
+                run = self.session.run(graph)
+                total_time += run.makespan
+                total_tasks += run.tasks_total
+                comm += run.comm
 
         x = rhs[self.analysis.perm.iperm].copy()
         if squeeze:
@@ -396,6 +514,11 @@ class SolverBase:
         if self._closed:
             return
         self._closed = True
+        self._factor_plan = None
+        self._solve_plans.clear()
+        if self._plan_arena is not None:
+            self._plan_arena.retire()
+            self._plan_arena = None
         for fwd, bwd, rhs in self._solve_graphs.values():
             for g in (fwd, bwd):
                 if g.context is not None:

@@ -127,6 +127,9 @@ class ExecutionSession:
         self.resilient_runs = 0
         self.fault_schedule: list = []
         self.recoveries = 0
+        # Compiled-plan replays accounted through record_replay(): runs
+        # that executed a frozen kernel stream instead of the DES.
+        self.plan_runs = 0
 
     def _verify_flush(self, executor, pending) -> None:
         """Default ``check_waves`` observer: verify every flush's stream."""
@@ -172,6 +175,21 @@ class ExecutionSession:
         )
 
     # ----------------------------------------------------------- execution
+
+    def record_replay(self, comm: CommStats) -> None:
+        """Account one compiled-plan replay (no world was built).
+
+        Plan execution (:mod:`repro.plans`) bypasses :meth:`run`
+        entirely; this keeps the session's cross-run accumulators —
+        comm counters, run count, trace memory watermarks — coherent
+        with DES-driven runs.  ``comm`` is the recording run's counter
+        set, which a deterministic DES replay would reproduce exactly.
+        """
+        self.trace.update_memory(self.ledger.snapshot())
+        with self._stats_lock:
+            self.comm += comm
+            self.runs += 1
+            self.plan_runs += 1
 
     def _new_world(self, tracer=None) -> World:
         """Fresh simulated PGAS job for one graph execution.

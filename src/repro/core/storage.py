@@ -57,12 +57,21 @@ class FactorStorage:
             for i, s in enumerate(sups):
                 self.diag_pos[s] = (w, i)
 
+        # All off-diagonal panels back onto one contiguous arena, so a
+        # reset is a handful of whole-arena operations instead of a
+        # per-panel walk; ``panels[s]`` stays a writable row-major view.
+        panel_sizes = [part.structs[s].size * widths[s]
+                       for s in range(part.nsup)]
+        panel_offsets = np.concatenate(
+            ([0], np.cumsum(panel_sizes, dtype=np.int64)))
+        self._panel_arena = self.pool.take((int(panel_offsets[-1]),),
+                                           dtype=dtype, label="factor")
         for s in range(part.nsup):
-            fc, lc = part.first_col(s), part.last_col(s)
             w = widths[s]
             struct = part.structs[s]
-            panel = self.pool.take((struct.size, w), dtype=dtype,
-                                   label="factor")
+            panel = self._panel_arena[
+                panel_offsets[s]:panel_offsets[s + 1]].reshape(
+                    struct.size, w)
             pw, pi = self.diag_pos[s]
             self.diag.append(self.diag_pool[pw][pi])
             self.panels.append(panel)
@@ -70,6 +79,7 @@ class FactorStorage:
             for b in analysis.blocks.blocks[s]:
                 views.append(panel[b.offset : b.offset + b.nrows, :])
             self.block_views.append(views)
+        self._build_reset_scatter(panel_offsets)
         self.reset()
 
     def release(self) -> None:
@@ -83,35 +93,40 @@ class FactorStorage:
         self._released = True
         for group in self.diag_pool.values():
             self.pool.give(group)
-        for panel in self.panels:
-            self.pool.give(panel)
+        self.pool.give(self._panel_arena)
 
-    def reset(self) -> None:
-        """Re-initialise the blocks with the entries of the permuted ``A``.
+    def _build_reset_scatter(self, panel_offsets: np.ndarray) -> None:
+        """Precompute the flat scatter of ``A``'s entries into the blocks.
 
-        Factor tasks overwrite the storage in place, so re-running a
-        factorization graph (the PEXSI repeated-factorization pattern)
-        only needs this reset — the panel views stay valid.
+        The scatter targets depend only on the sparsity pattern (which
+        ``update_values`` pins), so they are computed once; every
+        :meth:`reset` is then a few whole-array fills and fancy-index
+        assignments instead of a per-supernode, per-column Python walk —
+        the hot path of warm refactorization.
         """
         part = self.analysis.supernodes
         a = self.analysis.a_perm.lower
-        indptr, indices, data = a.indptr, a.indices, a.data
-
+        indptr, indices = a.indptr, a.indices
+        diag_idx: dict[int, list[np.ndarray]] = \
+            {w: [] for w in self.diag_pool}
+        diag_src: dict[int, list[np.ndarray]] = \
+            {w: [] for w in self.diag_pool}
+        panel_idx: list[np.ndarray] = []
+        panel_src: list[np.ndarray] = []
         for s in range(part.nsup):
             fc, lc = part.first_col(s), part.last_col(s)
             w = lc - fc + 1
             struct = part.structs[s]
-            diag = self.diag[s]
-            panel = self.panels[s]
-            diag[:, :] = 0.0
-            panel[:, :] = 0.0
+            pw, pi = self.diag_pos[s]
+            base = pi * pw * pw
             for c in range(w):
                 j = fc + c
                 lo, hi = indptr[j], indptr[j + 1]
                 rows = indices[lo:hi]
-                vals = data[lo:hi]
+                src = np.arange(lo, hi, dtype=np.int64)
                 in_diag = rows <= lc
-                diag[rows[in_diag] - fc, c] = vals[in_diag]
+                diag_idx[pw].append(base + (rows[in_diag] - fc) * pw + c)
+                diag_src[pw].append(src[in_diag])
                 rest_rows = rows[~in_diag]
                 if rest_rows.size:
                     pos = np.searchsorted(struct, rest_rows)
@@ -120,7 +135,36 @@ class FactorStorage:
                             f"matrix entry outside symbolic structure of "
                             f"supernode {s}"
                         )
-                    panel[pos, c] = vals[~in_diag]
+                    panel_idx.append(panel_offsets[s] + pos * w + c)
+                    panel_src.append(src[~in_diag])
+
+        def _cat(chunks: list[np.ndarray]) -> np.ndarray:
+            if not chunks:
+                return np.asarray([], dtype=np.int64)
+            return np.concatenate(chunks).astype(np.int64, copy=False)
+
+        self._diag_scatter = {w: (_cat(diag_idx[w]), _cat(diag_src[w]))
+                              for w in self.diag_pool}
+        self._panel_scatter = (_cat(panel_idx), _cat(panel_src))
+
+    def reset(self) -> None:
+        """Re-initialise the blocks with the entries of the permuted ``A``.
+
+        Factor tasks overwrite the storage in place, so re-running a
+        factorization graph (the PEXSI repeated-factorization pattern)
+        only needs this reset — the panel views stay valid.  Executes the
+        precomputed flat scatter: zero the diagonal pools and the panel
+        arena, then place ``A``'s current values in one fancy-index
+        assignment per region.
+        """
+        data = self.analysis.a_perm.lower.data
+        for w, group in self.diag_pool.items():
+            group.fill(0)
+            idx, src = self._diag_scatter[w]
+            group.reshape(-1)[idx] = data[src]
+        self._panel_arena.fill(0)
+        idx, src = self._panel_scatter
+        self._panel_arena[idx] = data[src]
 
     # ------------------------------------------------------------- access
 

@@ -119,6 +119,12 @@ class ExecContext:
         :class:`~repro.memory.BufferPool` backing scratch and kernel
         buffers; a private pool is created lazily when the context is
         used standalone (sessions inject their shared, ledgered pool).
+    plan_arena:
+        When a compiled-plan replay is executing, the
+        :class:`~repro.plans.PlanArena` kernel-held buffers route
+        through instead of the pool — warm replays then serve every
+        ``take_buffer`` from the arena's retained cache with zero new
+        ledger charges.  ``None`` (default) keeps the classic pool path.
     """
 
     def __init__(self, storage: Any = None,
@@ -127,6 +133,7 @@ class ExecContext:
         self.storage = storage
         self.rhs = rhs
         self.pool = pool
+        self.plan_arena: Any = None
         self.scratch: dict = {}
         self.transient: dict = {}
         self.epoch = 0  # bumped by end_run(): one epoch per graph run
@@ -176,19 +183,29 @@ class ExecContext:
         Multifrontal fronts and contribution blocks live here; every
         take must be balanced by :meth:`release_buffer` before the run
         ends (``end_run`` reconciles).  Thread-safe: wave-parallel
-        frontal kernels call this from pool worker threads.
+        frontal kernels call this from pool worker threads.  During a
+        compiled-plan replay (``plan_arena`` set) the arena serves the
+        take from its retained cache when it can.
         """
-        arr = self._ensure_pool().take(shape, label=label, zero=zero)
+        arena = self.plan_arena
+        if arena is not None:
+            arr = arena.take(shape, label=label, zero=zero)
+        else:
+            arr = self._ensure_pool().take(shape, label=label, zero=zero)
         self._held[id(arr)] = arr
         return arr
 
     def release_buffer(self, arr: np.ndarray) -> None:
-        """Return a :meth:`take_buffer` buffer to the pool."""
+        """Return a :meth:`take_buffer` buffer to the pool (or arena)."""
         held = self._held.pop(id(arr), None)
         if held is None:
             raise KeyError("release_buffer() of an array not held by this "
                            "context")
-        self._ensure_pool().give(arr)
+        arena = self.plan_arena
+        if arena is not None:
+            arena.give(arr)
+        else:
+            self._ensure_pool().give(arr)
 
     # --------------------------------------------------------- run lifetime
 
@@ -304,13 +321,23 @@ def _op_gemm_sub(ctx: ExecContext, tgt_ref: tuple, a_ref: tuple,
 
 
 def _op_multi_update(ctx: ExecContext, actions: Sequence[tuple]) -> None:
-    """Aggregated update: a sequence of syrk/gemm scatter actions."""
+    """Aggregated update: a sequence of syrk/gemm scatter actions.
+
+    Actions in a group frequently share their scatter target (fan-in
+    per-supernode groups and plan-compiled fusions always do), so the
+    target resolve + flat view is hoisted per distinct ``tgt_ref``
+    instead of being re-derived for every action.
+    """
+    views: dict[tuple, np.ndarray] = {}
     for kind, tgt_ref, a_ref, b_ref, flat, sign in actions:
         if kind == "syrk":
             prod = kd.syrk_lower(ctx.resolve(a_ref))
         else:
             prod = kd.gemm_nt(ctx.resolve(a_ref), ctx.resolve(b_ref))
-        _flat_view(ctx.resolve(tgt_ref))[flat] += (sign * prod).reshape(-1)
+        view = views.get(tgt_ref)
+        if view is None:
+            view = views[tgt_ref] = _flat_view(ctx.resolve(tgt_ref))
+        view[flat] += (sign * prod).reshape(-1)
 
 
 def _op_apply_panel(ctx: ExecContext, t: int, agg_ref: tuple) -> None:
@@ -689,6 +716,29 @@ class KernelExecutor:
             self.flush_hook(self, take)
         self._execute(take)
         return len(take)
+
+    def execute_stream(
+            self,
+            stream: Sequence[tuple[KernelCall, int | None]]) -> None:
+        """Execute a prerecorded ``(call, wave)`` stream as one flush.
+
+        The compiled-plan replay path (:mod:`repro.plans`): the stream is
+        executed exactly as a flush of the same pending list would be —
+        the flush hook observes it first (so the wave conflict verifier
+        covers plan streams too), then the serial or wave path runs per
+        this executor's configuration.  Nothing may be pending: plans
+        replace submission, they do not interleave with it.
+        """
+        if self._pending:
+            raise RuntimeError(
+                "execute_stream() with submitted kernels pending; flush "
+                "first or use a dedicated executor")
+        if not stream:
+            return
+        pending = list(stream)
+        if self.flush_hook is not None:
+            self.flush_hook(self, pending)
+        self._execute(pending)
 
     def _execute(self, pending: list[tuple[KernelCall, int | None]]) -> None:
         t0 = time.perf_counter()

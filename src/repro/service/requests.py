@@ -63,6 +63,13 @@ class ServiceStats:
     bytes_peak:
         Service memory-ledger peak bytes at completion — the high-water
         mark over everything the service has run so far.
+    plan_hits:
+        Compiled-plan replays this request's work rode through
+        (refactorization and/or solve sweeps executed as frozen kernel
+        streams instead of DES runs; 0 when ``plan_mode`` is off).
+    plan_compile_ms:
+        Wall-clock milliseconds spent compiling new plans on behalf of
+        this request (first-run recording cost; 0.0 on warm paths).
     """
 
     request_id: int
@@ -74,6 +81,8 @@ class ServiceStats:
     residual: float | None = None
     bytes_live: int = 0
     bytes_peak: int = 0
+    plan_hits: int = 0
+    plan_compile_ms: float = 0.0
 
     @property
     def makespan(self) -> float:

@@ -143,6 +143,11 @@ class ServiceCounters:
     refactorizations: int = 0
     solve_runs: int = 0
     coalesced_requests: int = 0
+    # Compiled-plan telemetry (plan_mode="on"): replays executed as
+    # frozen kernel streams, plans compiled, and total compile cost.
+    plan_hits: int = 0
+    plan_compiles: int = 0
+    plan_compile_ms: float = 0.0
     tiers: dict = field(default_factory=dict)
     queue_depth: int = 0
     symbolic_entries: int = 0
@@ -320,6 +325,9 @@ class SolveService:
                 refactorizations=self._counts.refactorizations,
                 solve_runs=self._counts.solve_runs,
                 coalesced_requests=self._counts.coalesced_requests,
+                plan_hits=self._counts.plan_hits,
+                plan_compiles=self._counts.plan_compiles,
+                plan_compile_ms=self._counts.plan_compile_ms,
                 comm=CommStats() + self.comm,
             )
         snap.tiers = self.trace.tier_counts()
@@ -362,7 +370,8 @@ class SolveService:
         picked_up = time.monotonic()
         with self._key_lock(req.pattern_key):
             while True:
-                tier, entry, factor_seconds = self._materialize(req)
+                (tier, entry, factor_seconds,
+                 plan_hits, plan_ms) = self._materialize(req)
                 with entry.lock:
                     if entry.closed:
                         # Another pattern's insert evicted this entry and
@@ -380,31 +389,66 @@ class SolveService:
                     steal_time = time.monotonic()
                     waits += [steal_time - r.submit_time for r in batch[1:]]
                     self._run_solve(entry, batch, waits, tier,
-                                    factor_seconds)
+                                    factor_seconds, plan_hits, plan_ms)
                     return
 
+    @staticmethod
+    def _plan_snapshot(solver: SolverBase) -> tuple[int, int, float]:
+        """Plan-telemetry baseline: (hits, compiles, compile_seconds)."""
+        ps = solver.plan_stats
+        return ps.hits, ps.compiles, ps.compile_seconds
+
+    def _count_plan_delta(self, solver: SolverBase,
+                          before: tuple[int, int, float]
+                          ) -> tuple[int, float]:
+        """Fold the plan work since ``before`` into the service counters.
+
+        Returns ``(plan replays, compile milliseconds)`` attributable to
+        the operation bracketed by the snapshot.  Caller must NOT hold
+        ``self._lock``.
+        """
+        hits0, compiles0, seconds0 = before
+        ps = solver.plan_stats
+        d_hits = ps.hits - hits0
+        d_compiles = ps.compiles - compiles0
+        d_ms = (ps.compile_seconds - seconds0) * 1e3
+        if d_hits or d_compiles:
+            with self._lock:
+                self._counts.plan_hits += d_hits
+                self._counts.plan_compiles += d_compiles
+                self._counts.plan_compile_ms += d_ms
+        return d_hits, d_ms
+
     def _materialize(self, req: SolveRequest
-                     ) -> tuple[str, FactorEntry, float]:
+                     ) -> tuple[str, FactorEntry, float, int, float]:
         """Resolve the cache tiers until a live factor for ``req`` exists.
 
         Called under the pattern's key lock, so concurrent requests on
-        one pattern never duplicate symbolic or numeric work.
+        one pattern never duplicate symbolic or numeric work.  Returns
+        ``(tier, entry, factor_seconds, plan_hits, plan_compile_ms)`` —
+        the last two attribute compiled-plan work (plan_mode="on") to
+        the materialization.
         """
         entry = self.factor_cache.get(req.pattern_key)
         if entry is not None:
             with entry.lock:
                 if not entry.closed:
                     if entry.values_key == req.values_key:
-                        return "factor", entry, 0.0
+                        return "factor", entry, 0.0, 0, 0.0
                     # Numeric-only change: swap the values in place and
-                    # replay the cached factorization graph.
+                    # replay the cached factorization graph — through the
+                    # compiled plan when one is attached (plan_mode="on").
+                    before = self._plan_snapshot(entry.solver)
                     entry.solver.update_values(req.a)
                     info = entry.solver.factorize()
                     entry.values_key = req.values_key
                     with self._lock:
                         self._counts.refactorizations += 1
                         self.comm += info.comm
-                    return "refactor", entry, info.simulated_seconds
+                    plan_hits, plan_ms = self._count_plan_delta(
+                        entry.solver, before)
+                    return ("refactor", entry, info.simulated_seconds,
+                            plan_hits, plan_ms)
             # Raced an eviction: the entry was retired between get() and
             # its lock; rebuild from the symbolic tier below.
 
@@ -421,6 +465,7 @@ class SolveService:
             self.symbolic_cache.put(req.pattern_key, solver.analysis)
             with self._lock:
                 self._counts.symbolic_builds += 1
+        before = self._plan_snapshot(solver)
         info = solver.factorize()
         entry = FactorEntry(pattern_key=req.pattern_key, solver=solver,
                             values_key=req.values_key,
@@ -430,7 +475,8 @@ class SolveService:
         with self._lock:
             self._counts.numeric_factorizations += 1
             self.comm += info.comm
-        return tier, entry, info.simulated_seconds
+        plan_hits, plan_ms = self._count_plan_delta(solver, before)
+        return tier, entry, info.simulated_seconds, plan_hits, plan_ms
 
     def _retire(self, victim: FactorEntry) -> None:
         """Close an evicted entry's solver, releasing its pooled buffers.
@@ -463,12 +509,21 @@ class SolveService:
 
     def _run_solve(self, entry: FactorEntry, batch: list[SolveRequest],
                    waits: list[float], tier: str,
-                   factor_seconds: float) -> None:
-        """One (possibly stacked) triangular solve for ``batch``."""
+                   factor_seconds: float, plan_hits: int = 0,
+                   plan_compile_ms: float = 0.0) -> None:
+        """One (possibly stacked) triangular solve for ``batch``.
+
+        ``plan_hits``/``plan_compile_ms`` carry the materialization's
+        compiled-plan work; the solve's own plan work (warm sweeps for
+        this rhs width replay frozen streams) is added here.  The leader
+        is stamped with the combined totals, followers with the solve
+        share they actually rode.
+        """
         solver = entry.solver
         stacked = (batch[0].b if len(batch) == 1
                    else np.concatenate([r.b for r in batch], axis=1))
         width = stacked.shape[1]
+        before = self._plan_snapshot(solver)
         try:
             x, sinfo = solver.solve(stacked)
         except REQUEST_ERRORS as exc:
@@ -476,6 +531,7 @@ class SolveService:
                 r.future.set_exception(exc)
             self._record_failure(batch, exc)
             return
+        solve_hits, solve_ms = self._count_plan_delta(solver, before)
         x = x.reshape(solver.a.n, -1)
         with self._lock:
             self._counts.solve_runs += 1
@@ -502,6 +558,9 @@ class SolveService:
                 residual=residual,
                 bytes_live=bytes_live,
                 bytes_peak=bytes_peak,
+                plan_hits=plan_hits + solve_hits if i == 0 else solve_hits,
+                plan_compile_ms=(plan_compile_ms + solve_ms if i == 0
+                                 else solve_ms),
             )
             counts = self.trace.resilience_counts()
             self.trace.record_request(ServiceEvent(

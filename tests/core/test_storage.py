@@ -34,7 +34,7 @@ class TestInitialization:
         for s in range(an.nsup):
             for bi, b in enumerate(an.blocks.blocks[s]):
                 view = st.off_block(s, bi)
-                assert view.base is st.panels[s]
+                assert np.shares_memory(view, st.panels[s]) or not view.size
                 if view.size:
                     view[0, 0] = 123.0
                     assert st.panels[s][b.offset, 0] == 123.0
