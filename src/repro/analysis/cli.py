@@ -3,6 +3,9 @@
 ``python -m repro.analysis <command>``:
 
 * ``lint`` — the AST lint pass over ``src/repro`` (REP1xx rules).
+* ``flow`` — the flow-sensitive CFG/dataflow pass: buffer ownership
+  (REP200-REP203) and lock discipline (REP210-REP211) over the
+  pooled-memory and service layers.
 * ``waves`` — the wave conflict verifier over the full determinism
   scenario grid (5 solver families × 3 matrices, parallelism 4).
 * ``races`` — the scenario grid with the PGAS happens-before checker
@@ -11,16 +14,22 @@
   real tree and must flag its seeded defect injection.
 * ``all`` — everything above; the CI ``static-analysis`` job runs this.
 
-Every command exits 0 iff no findings (and, for ``selftest``, all
-injections were caught).
+Exit codes: 0 iff no findings (and, for ``selftest``, all injections
+were caught); 1 on findings; 2 on usage errors (unreadable paths).
+Analyzer crashes on a single module are contained as ``REP290``
+findings naming the failing file and stage, never a silent pass.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 
 __all__ = ["main"]
+
+USAGE_ERROR = 2
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -59,6 +68,63 @@ def _cmd_races(args: argparse.Namespace) -> int:
     return _run_grid(check_races=True, parallelism=args.parallelism)
 
 
+def _cmd_flow(args: argparse.Namespace) -> int:
+    from .locks import DEFAULT_LOCK_MODULES, analyze_locks
+    from .ownership import (DEFAULT_OWNERSHIP_MODULES, ModuleSource,
+                            analyze_ownership)
+    from .report import format_findings
+
+    src_root = Path(__file__).resolve().parents[1]
+
+    def load(rels: tuple[str, ...], base: Path) -> list[ModuleSource] | None:
+        mods = []
+        for rel in rels:
+            path = base / rel
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                print(f"flow: cannot read {path}: {exc}", file=sys.stderr)
+                return None
+            mods.append(ModuleSource(rel, text))
+        return mods
+
+    if args.paths:
+        given: list[ModuleSource] = []
+        for p in args.paths:
+            path = Path(p)
+            try:
+                text = path.read_text()
+            except OSError as exc:
+                print(f"flow: cannot read {path}: {exc}", file=sys.stderr)
+                return USAGE_ERROR
+            try:
+                rel = str(path.resolve().relative_to(src_root))
+            except ValueError:
+                rel = str(path)
+            given.append(ModuleSource(rel, text))
+        own_mods = lock_mods = given
+    else:
+        maybe_own = load(DEFAULT_OWNERSHIP_MODULES, src_root)
+        maybe_lock = load(DEFAULT_LOCK_MODULES, src_root)
+        if maybe_own is None or maybe_lock is None:
+            return USAGE_ERROR
+        own_mods, lock_mods = maybe_own, maybe_lock
+
+    t0 = time.perf_counter()
+    own = analyze_ownership(own_mods)
+    t1 = time.perf_counter()
+    locks = analyze_locks(lock_mods)
+    t2 = time.perf_counter()
+    print(f"ownership (REP200-203): {len(own_mods)} module(s), "
+          f"{len(own)} finding(s) [{t1 - t0:.2f}s]")
+    print(f"locks     (REP210-211): {len(lock_mods)} module(s), "
+          f"{len(locks)} finding(s) [{t2 - t1:.2f}s]")
+    findings = own + locks
+    if findings:
+        print(format_findings(findings))
+    return 1 if findings else 0
+
+
 def _cmd_selftest(_args: argparse.Namespace) -> int:
     from .mutation import format_reports, run_selftest
 
@@ -71,6 +137,8 @@ def _cmd_all(args: argparse.Namespace) -> int:
     rc = 0
     print("== lint ==")
     rc |= _cmd_lint(argparse.Namespace(paths=[]))
+    print("== flow (ownership + locks) ==")
+    rc |= _cmd_flow(argparse.Namespace(paths=[]))
     print("== scenarios (waves + races) ==")
     rc |= _run_grid(check_races=True, parallelism=args.parallelism)
     print("== mutation selftest ==")
@@ -89,6 +157,14 @@ def main(argv: list[str] | None = None) -> int:
     p_lint.add_argument("paths", nargs="*",
                         help="files to lint (default: all of src/repro)")
     p_lint.set_defaults(fn=_cmd_lint)
+
+    p_flow = sub.add_parser(
+        "flow", help="flow-sensitive ownership (REP200-203) and lock "
+                     "discipline (REP210-211) analysis")
+    p_flow.add_argument("paths", nargs="*",
+                        help="files to analyse (default: the pooled-memory "
+                             "and service layers)")
+    p_flow.set_defaults(fn=_cmd_flow)
 
     for name, fn, doc in (
         ("waves", _cmd_waves,

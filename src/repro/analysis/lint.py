@@ -30,7 +30,9 @@ Run as ``python -m repro.analysis.lint`` (or through the combined
     ``ctx.scratch_array`` / ``ctx.take_buffer``) so every byte is charged
     to the :class:`~repro.memory.MemoryLedger` and replays reuse memory.
     Build-time symbolic helpers may be allowlisted in
-    :data:`RAW_ALLOC_ALLOWLIST` (keyed by file and enclosing function).
+    :data:`RAW_ALLOC_ALLOWLIST` (keyed by file and the *qualified*
+    enclosing-function name, so ``Class.method`` and nested helpers
+    resolve correctly and an entry covers the scopes inside it).
 ``REP107`` **simulated time only** — ``pgas/`` and ``resilience/`` must
     not read the wall clock (``time.time`` / ``time.monotonic`` /
     ``time.perf_counter``): every timestamp in the simulated runtime
@@ -87,9 +89,12 @@ POOL_BYPASS = frozenset({"np.zeros", "np.empty", "numpy.zeros",
 # from the pool API.
 HOT_PATH_FILES = ("core/storage.py",)
 HOT_PATH_DIRS = ("variants/", "kernels/")
-# (rel path, innermost enclosing function) pairs allowed to allocate raw
+# (rel path, qualified enclosing function) pairs allowed to allocate raw
 # arrays: build-time symbolic work (index/owner maps), not numeric
-# buffers.
+# buffers.  Names are dotted qualified names ("Class.method",
+# "outer.inner"); an entry covers the named scope *and* everything
+# nested inside it, so allowlisting an outer function covers its local
+# helpers.  Module-level allocations key on "<module>".
 RAW_ALLOC_ALLOWLIST = frozenset({
     ("variants/multifrontal.py", "proportional_supernode_mapping"),
 })
@@ -196,25 +201,48 @@ def _hot_path(rel: str) -> bool:
 
 def _check_pool_alloc(tree: ast.AST, path: str, rel: str
                       ) -> Iterator[Finding]:
-    def visit(node: ast.AST, func: str) -> Iterator[Finding]:
-        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            func = node.name
+    def allowed(stack: list[str]) -> bool:
+        # An allowlist entry suppresses the named scope and everything
+        # nested under it, so "outer" also covers "outer.inner".
+        if not stack:
+            return (rel, "<module>") in RAW_ALLOC_ALLOWLIST
+        return any((rel, ".".join(stack[:i])) in RAW_ALLOC_ALLOWLIST
+                   for i in range(1, len(stack) + 1))
+
+    def visit(node: ast.AST, stack: list[str]) -> Iterator[Finding]:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # Decorators and parameter defaults evaluate in the
+            # *enclosing* scope, so an allowlist entry on the decorated
+            # function must not suppress allocations inside them.
+            for dec in node.decorator_list:
+                yield from visit(dec, stack)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                args = node.args
+                for default in (*args.defaults, *args.kw_defaults):
+                    if default is not None:
+                        yield from visit(default, stack)
+            inner = stack + [node.name]
+            for child in node.body:
+                yield from visit(child, inner)
+            return
         if isinstance(node, ast.Call):
             name = _dotted(node.func)
-            if (name in POOL_BYPASS
-                    and (rel, func) not in RAW_ALLOC_ALLOWLIST):
+            if name in POOL_BYPASS and not allowed(stack):
+                qual = ".".join(stack) if stack else "<module>"
                 yield Finding(
                     rule="REP106", where=f"{path}:{node.lineno}",
-                    message=f"raw {name}() in hot-path module {rel}; "
-                            "allocate through the BufferPool API "
-                            "(pool.take / ctx.scratch_array / "
-                            "ctx.take_buffer) so the MemoryLedger sees "
-                            "it, or allowlist the enclosing function in "
+                    message=f"raw {name}() in hot-path module {rel} "
+                            f"(scope {qual}); allocate through the "
+                            "BufferPool API (pool.take / "
+                            "ctx.scratch_array / ctx.take_buffer) so the "
+                            "MemoryLedger sees it, or allowlist the "
+                            "enclosing function's qualified name in "
                             "RAW_ALLOC_ALLOWLIST")
         for child in ast.iter_child_nodes(node):
-            yield from visit(child, func)
+            yield from visit(child, stack)
 
-    yield from visit(tree, "<module>")
+    yield from visit(tree, [])
 
 
 def _check_wallclock(tree: ast.AST, path: str, rel: str

@@ -35,6 +35,19 @@ The injections mirror the analysis layers:
   ``REP107`` findings; a copy with a helper reading ``time.monotonic()``
   appended (a wall-clock read that would make the simulated runtime's
   fault schedules and retry timers unreplayable) must be flagged.
+* **flow-ownership** — the pooled-memory and service layers must be
+  clean under the flow-sensitive ownership analysis; four probe
+  functions appended to a copy of ``memory/pool.py`` plant one defect
+  each — a buffer leaked on an exception path (``REP200``), a double
+  ``give`` (``REP201``), a use after ``give`` (``REP202``) and a
+  conditional give that diverges at the join (``REP203``) — and each
+  must be flagged *at the planted line*.
+* **flow-locks** — the same layers must be clean under the lock
+  discipline analysis; a method spliced into ``ExecutionTrace`` that
+  bumps ``tasks_executed`` without the trace lock must raise ``REP210``,
+  and a pair of methods spliced into ``FactorCache`` and
+  ``ExecutionTrace`` that nest the two locks in opposite orders must
+  raise ``REP211`` — again at the planted lines.
 
 ``python -m repro.analysis selftest`` (and the CI ``static-analysis``
 job) fail unless every layer passes both halves.
@@ -52,7 +65,8 @@ from .waves import verify_flush
 
 __all__ = ["MutationReport", "selftest_waves", "selftest_plan_waves",
            "selftest_races", "selftest_lint", "selftest_pool_lint",
-           "selftest_wallclock_lint", "run_selftest", "format_reports"]
+           "selftest_wallclock_lint", "selftest_flow_ownership",
+           "selftest_flow_locks", "run_selftest", "format_reports"]
 
 
 @dataclass
@@ -74,7 +88,7 @@ class MutationReport:
                         for rule in self.expect_rules))
 
 
-def _capture_factor_flush():
+def _capture_factor_flush() -> tuple:
     """One real wave-parallel factorization's flush stream + executor."""
     from ..core.solver import SolverOptions, SymPackSolver
     from ..sparse.generators import random_spd
@@ -306,11 +320,176 @@ def selftest_wallclock_lint() -> MutationReport:
     )
 
 
+# Each ownership probe is appended to a copy of memory/pool.py; the
+# marker is the exact planted line the analysis must point at.
+_FLOW_OWNERSHIP_PROBES = (
+    ("REP200",
+     "\n\ndef _flow_rep200_probe(pool, shape, check):\n"
+     "    buf = pool.take(shape)\n"
+     "    try:\n"
+     "        check(buf)\n"
+     "    except ValueError:\n"
+     "        return None\n"
+     "    pool.give(buf)\n",
+     "        return None"),
+    ("REP201",
+     "\n\ndef _flow_rep201_probe(pool, shape):\n"
+     "    buf = pool.take(shape)\n"
+     "    pool.give(buf)\n"
+     "    pool.give(buf)  # double\n",
+     "    pool.give(buf)  # double"),
+    ("REP202",
+     "\n\ndef _flow_rep202_probe(pool, shape):\n"
+     "    buf = pool.take(shape)\n"
+     "    pool.give(buf)\n"
+     "    return float(buf[0])\n",
+     "    return float(buf[0])"),
+    ("REP203",
+     "\n\ndef _flow_rep203_probe(pool, shape, flag):\n"
+     "    buf = pool.take(shape)\n"
+     "    if flag:\n"
+     "        pool.give(buf)\n"
+     "    buf.fill(0)\n",
+     "    buf.fill(0)"),
+)
+
+
+def _flow_sources() -> dict[str, str]:
+    """rel path -> source text for the default flow-analysis module set."""
+    from .locks import DEFAULT_LOCK_MODULES
+    from .ownership import DEFAULT_OWNERSHIP_MODULES
+
+    base = Path(__file__).resolve().parents[1]
+    return {rel: (base / rel).read_text()
+            for rel in set(DEFAULT_OWNERSHIP_MODULES + DEFAULT_LOCK_MODULES)}
+
+
+def _marker_line(source: str, marker: str) -> int:
+    """1-based line number of the (unique) exact line ``marker``."""
+    return source.splitlines().index(marker) + 1
+
+
+def selftest_flow_ownership() -> MutationReport:
+    """Ownership flow: real layers clean; four planted leaks flagged.
+
+    The clean half runs the full default module set; the injected half
+    appends one probe function at a time to ``memory/pool.py`` and
+    requires the matching rule *at the planted line* (precision failures
+    surface as unmet ``<rule>-precise`` pseudo-rules).
+    """
+    from .ownership import (DEFAULT_OWNERSHIP_MODULES, ModuleSource,
+                            analyze_ownership)
+
+    sources = _flow_sources()
+    clean = analyze_ownership([ModuleSource(rel, sources[rel])
+                               for rel in DEFAULT_OWNERSHIP_MODULES])
+
+    pool_src = sources["memory/pool.py"]
+    injected: list[Finding] = []
+    expect: list[str] = []
+    for rule, probe, marker in _FLOW_OWNERSHIP_PROBES:
+        mutant = pool_src + probe
+        where = f"memory/pool.py:{_marker_line(mutant, marker)}"
+        found = analyze_ownership([ModuleSource("memory/pool.py", mutant)])
+        injected.extend(found)
+        expect.append(rule)
+        if not any(f.rule == rule and f.where == where for f in found):
+            expect.append(rule + "-precise")
+    return MutationReport(
+        layer="flow-ownership",
+        clean_findings=clean,
+        injected_findings=injected,
+        expect_rules=tuple(expect),
+        notes="mutants: leak-on-exception, double give, use-after-give, "
+              "conditional give (join divergence) planted in memory/pool.py",
+    )
+
+
+_REP210_ANCHOR = "    def record_fallback(self) -> None:"
+_REP210_PROBE = ("    def rep210_probe(self) -> None:\n"
+                 "        self.tasks_executed += 1\n\n")
+_REP210_MARKER = "        self.tasks_executed += 1"
+
+_REP211_CACHES_ANCHOR = "    def get(self, key: str) -> FactorEntry | None:"
+_REP211_CACHES_PROBE = (
+    "    def rep211_probe(self, trace: ExecutionTrace) -> None:\n"
+    "        with self._lock:\n"
+    "            with trace._lock:\n"
+    "                pass\n\n")
+_REP211_TRACE_PROBE = (
+    "    def rep211_peer(self, cache: \"FactorCache\") -> None:\n"
+    "        with self._lock:\n"
+    "            with cache._lock:\n"
+    "                pass\n\n")
+_REP211_MARKER = "            with cache._lock:"
+
+
+def selftest_flow_locks() -> MutationReport:
+    """Lock flow: real layers clean; planted discipline bugs flagged.
+
+    ``REP210``: a spliced ``ExecutionTrace`` method bumps the
+    lock-guarded ``tasks_executed`` counter without the trace lock.
+    ``REP211``: methods spliced into ``FactorCache`` and
+    ``ExecutionTrace`` nest the two classes' locks in opposite orders.
+    """
+    from .locks import DEFAULT_LOCK_MODULES, analyze_locks
+    from .ownership import ModuleSource
+
+    sources = _flow_sources()
+    clean = analyze_locks([ModuleSource(rel, sources[rel])
+                           for rel in DEFAULT_LOCK_MODULES])
+
+    trace_src = sources["core/tracing.py"]
+    caches_src = sources["service/caches.py"]
+    if (_REP210_ANCHOR not in trace_src
+            or _REP211_CACHES_ANCHOR not in caches_src):
+        return MutationReport(
+            layer="flow-locks", clean_findings=clean,
+            injected_findings=[], expect_rules=("REP210", "REP211"),
+            notes="injection anchors not found in tracing.py / caches.py")
+
+    expect: list[str] = []
+
+    unguarded = trace_src.replace(_REP210_ANCHOR,
+                                  _REP210_PROBE + _REP210_ANCHOR, 1)
+    where210 = f"core/tracing.py:{_marker_line(unguarded, _REP210_MARKER)}"
+    found210 = analyze_locks([ModuleSource("core/tracing.py", unguarded)])
+    expect.append("REP210")
+    if not any(f.rule == "REP210" and f.where == where210
+               for f in found210):
+        expect.append("REP210-precise")
+
+    inverted_trace = trace_src.replace(_REP210_ANCHOR,
+                                       _REP211_TRACE_PROBE + _REP210_ANCHOR, 1)
+    inverted_caches = caches_src.replace(
+        _REP211_CACHES_ANCHOR,
+        _REP211_CACHES_PROBE + _REP211_CACHES_ANCHOR, 1)
+    where211 = (f"core/tracing.py:"
+                f"{_marker_line(inverted_trace, _REP211_MARKER)}")
+    found211 = analyze_locks([
+        ModuleSource("core/tracing.py", inverted_trace),
+        ModuleSource("service/caches.py", inverted_caches)])
+    expect.append("REP211")
+    if not any(f.rule == "REP211" and f.where == where211
+               for f in found211):
+        expect.append("REP211-precise")
+
+    return MutationReport(
+        layer="flow-locks",
+        clean_findings=clean,
+        injected_findings=found210 + found211,
+        expect_rules=tuple(expect),
+        notes="mutants: unguarded tasks_executed write in ExecutionTrace; "
+              "FactorCache/ExecutionTrace locks nested in opposite orders",
+    )
+
+
 def run_selftest() -> list[MutationReport]:
     """All layers' mutation self-tests."""
     return [selftest_waves(), selftest_plan_waves(), selftest_races(),
             selftest_lint(), selftest_pool_lint(),
-            selftest_wallclock_lint()]
+            selftest_wallclock_lint(), selftest_flow_ownership(),
+            selftest_flow_locks()]
 
 
 def format_reports(reports: list[MutationReport]) -> str:

@@ -12,6 +12,7 @@ fails on any finding.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 import scipy.sparse as sp
@@ -114,8 +115,9 @@ def run_scenarios(parallelism: int = 4, check_races: bool = True
             captured: list = []  # first factor flush: (stream, ctx, cfg)
             verify = session._flush_hook
 
-            def counting_hook(executor, pending, _verify=verify,
-                              _captured=captured):
+            def counting_hook(executor: Any, pending: list,
+                              _verify: Callable[..., None] | None = verify,
+                              _captured: list = captured) -> None:
                 nonlocal flushes
                 flushes += 1
                 if not _captured:

@@ -42,9 +42,14 @@ missing wave, or any rhs-sweep kernel) has nothing to prove, and
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..kernels.dispatch import ExecContext, KernelCall
 from .effects import RHS_OPS, Access, call_accesses
 from .report import Finding
+
+if TYPE_CHECKING:  # import cycle: repro.plans verifies through this module
+    from ..plans.plan import NumericPlan
 
 __all__ = ["verify_flush", "verify_plan", "is_wave_parallel"]
 
@@ -134,7 +139,7 @@ def verify_flush(pending: list[tuple[KernelCall, int | None]],
     return findings
 
 
-def verify_plan(plan, context: ExecContext,
+def verify_plan(plan: NumericPlan, context: ExecContext,
                 parallelism: int = 2,
                 batching: bool = True) -> list[Finding]:
     """Check a compiled plan's frozen stream against the wave invariants.

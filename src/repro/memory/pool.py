@@ -70,6 +70,9 @@ class BufferPool:
 
     # -------------------------------------------------------- take / give
 
+    # flow: transfer -- the ledger charge is made on the caller's behalf;
+    # ownership of the charge leaves with the returned buffer (give() pays
+    # it back), so the flow analysis must not expect a release here.
     def take(self, shape: Sequence[int], dtype: Any = np.float64,
              label: str = "buffer", zero: bool = True) -> np.ndarray:
         """Allocate (or reuse) a C-contiguous array of ``shape``.

@@ -1,0 +1,192 @@
+"""Structural tests of the intra-procedural CFG builder."""
+
+import ast
+from textwrap import dedent
+
+from repro.analysis.cfg import (WithEnter, WithExit, build_cfg,
+                                function_cfgs)
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(dedent(source))
+    funcs = dict(function_cfgs(tree))
+    if name is None:
+        (name,) = funcs
+    return funcs[name]
+
+
+def exit_kinds(cfg):
+    return sorted(e.kind for e in cfg.exit.in_edges)
+
+
+def events(cfg):
+    return [n.event for n in cfg.reachable_order()]
+
+
+class TestStraightLine:
+    def test_statements_chain_to_fallthrough(self):
+        cfg = cfg_of("""
+            def f(x):
+                a = x + 1
+                b = a * 2
+        """)
+        assert exit_kinds(cfg) == ["fallthrough"]
+        stmts = [e for e in events(cfg) if isinstance(e, ast.stmt)]
+        assert [type(s) for s in stmts] == [ast.Assign, ast.Assign]
+
+    def test_return_edge_and_dead_tail(self):
+        cfg = cfg_of("""
+            def f(x):
+                return x
+                x += 1  # unreachable
+        """)
+        assert exit_kinds(cfg) == ["return"]
+        assert not any(isinstance(e, ast.AugAssign) for e in events(cfg))
+
+
+class TestBranching:
+    def test_if_else_paths_merge(self):
+        cfg = cfg_of("""
+            def f(x):
+                if x:
+                    a = 1
+                else:
+                    a = 2
+                return a
+        """)
+        ret = next(n for n in cfg.nodes
+                   if isinstance(n.event, ast.Return))
+        assert len(ret.in_edges) == 2
+
+    def test_loop_has_back_edge(self):
+        cfg = cfg_of("""
+            def f(n):
+                while n:
+                    n -= 1
+        """)
+        assert any(e.kind == "back"
+                   for n in cfg.nodes for e in n.out_edges)
+
+    def test_break_skips_back_edge(self):
+        cfg = cfg_of("""
+            def f(n):
+                for i in n:
+                    break
+        """)
+        brk = next(n for n in cfg.nodes if isinstance(n.event, ast.Break))
+        assert all(e.kind != "back" for e in brk.out_edges)
+
+
+class TestWithBlocks:
+    def test_enter_and_exit_markers(self):
+        cfg = cfg_of("""
+            def f(lock):
+                with lock:
+                    pass
+        """)
+        evs = events(cfg)
+        assert any(isinstance(e, WithEnter) for e in evs)
+        assert any(isinstance(e, WithExit) for e in evs)
+
+    def test_return_inside_with_runs_exit_first(self):
+        cfg = cfg_of("""
+            def f(lock):
+                with lock:
+                    return 1
+        """)
+        (ret_edge,) = [e for e in cfg.exit.in_edges if e.kind == "return"]
+        assert isinstance(ret_edge.src.event, WithExit)
+
+    def test_break_inside_with_runs_exit_first(self):
+        cfg = cfg_of("""
+            def f(lock, xs):
+                for x in xs:
+                    with lock:
+                        break
+        """)
+        brk = next(n for n in cfg.nodes if isinstance(n.event, ast.Break))
+        (out,) = brk.out_edges
+        assert isinstance(out.dst.event, WithExit)
+
+
+class TestExceptions:
+    def test_exc_edge_carries_pre_state(self):
+        cfg = cfg_of("""
+            def f(x):
+                try:
+                    y = g(x)
+                except ValueError:
+                    y = 0
+                return y
+        """)
+        exc = [e for n in cfg.nodes for e in n.out_edges if e.kind == "exc"]
+        assert exc and all(e.carries_pre_state for e in exc)
+
+    def test_handler_reachable(self):
+        cfg = cfg_of("""
+            def f(x):
+                try:
+                    y = g(x)
+                except ValueError:
+                    y = 0
+                return y
+        """)
+        assert any(isinstance(e, ast.ExceptHandler) for e in events(cfg))
+
+    def test_finally_duplicated_for_both_paths(self):
+        cfg = cfg_of("""
+            def f(x):
+                try:
+                    y = g(x)
+                finally:
+                    cleanup()
+        """)
+        # One copy on the normal path, one on the exception path.
+        copies = [n for n in cfg.nodes if isinstance(n.event, ast.Expr)]
+        assert len(copies) == 2
+        assert "raise" in exit_kinds(cfg)
+
+    def test_bare_raise_escapes(self):
+        cfg = cfg_of("""
+            def f(x):
+                raise ValueError(x)
+        """)
+        assert exit_kinds(cfg) == ["raise"]
+
+    def test_statement_outside_try_has_no_exc_edge(self):
+        # Arbitrary calls are not treated as may-raise (documented
+        # precision decision): only code under a handler/finally gets
+        # implicit exception edges.
+        cfg = cfg_of("""
+            def f(x):
+                y = g(x)
+                return y
+        """)
+        assert not any(e.kind == "exc"
+                       for n in cfg.nodes for e in n.out_edges)
+
+
+class TestQualnames:
+    SOURCE = """
+        class C:
+            def m(self):
+                pass
+
+        def outer():
+            def inner():
+                pass
+    """
+
+    def test_methods_and_nested_defs_qualified(self):
+        names = [q for q, _ in function_cfgs(ast.parse(dedent(self.SOURCE)))]
+        assert names == ["C.m", "outer", "outer.inner"]
+
+    def test_each_function_gets_own_graph(self):
+        tree = ast.parse(dedent(self.SOURCE))
+        for qual, cfg in function_cfgs(tree):
+            assert cfg.qualname == qual
+            assert cfg.entry is not cfg.exit
+
+    def test_build_cfg_defaults_to_function_name(self):
+        func = ast.parse("def solo():\n    pass\n").body[0]
+        assert build_cfg(func).qualname == "solo"

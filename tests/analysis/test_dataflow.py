@@ -1,0 +1,126 @@
+"""Tests of the generic forward worklist fixed-point engine."""
+
+import ast
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (DataflowDivergence, ForwardAnalysis,
+                                     solve)
+
+
+class MustAssign(ForwardAnalysis):
+    """Must-assigned variable names: join is set intersection."""
+
+    def initial_state(self, cfg):
+        return frozenset()
+
+    def join(self, a, b):
+        return a & b
+
+    def transfer(self, node, state):
+        ev = node.event
+        if isinstance(ev, ast.Assign):
+            names = {t.id for t in ev.targets if isinstance(t, ast.Name)}
+            return state | names
+        return state
+
+
+def solved(source):
+    func = ast.parse(dedent(source)).body[0]
+    cfg = build_cfg(func)
+    return cfg, solve(cfg, MustAssign())
+
+
+def state_at_exit(source):
+    cfg, fp = solved(source)
+    return fp.state_in(cfg.exit)
+
+
+class TestFixedPoint:
+    def test_straight_line_accumulates(self):
+        assert state_at_exit("""
+            def f():
+                a = 1
+                b = 2
+        """) == {"a", "b"}
+
+    def test_join_is_intersection_at_merge(self):
+        assert state_at_exit("""
+            def f(x):
+                if x:
+                    a = 1
+                    b = 1
+                else:
+                    a = 2
+        """) == {"a"}
+
+    def test_loop_body_not_guaranteed(self):
+        assert state_at_exit("""
+            def f(xs):
+                for x in xs:
+                    a = 1
+        """) == frozenset()
+
+    def test_exception_edge_propagates_pre_state(self):
+        # The try-body assignment raised before completing on the
+        # handler path, so it must not count as assigned there.
+        cfg, fp = solved("""
+            def f(x):
+                try:
+                    a = g(x)
+                except ValueError:
+                    h()
+        """)
+        handler = next(n for n in cfg.nodes
+                       if isinstance(n.event, ast.ExceptHandler))
+        assert fp.state_in(handler) == frozenset()
+
+    def test_state_out_applies_transfer(self):
+        cfg, fp = solved("""
+            def f():
+                a = 1
+        """)
+        assign = next(n for n in cfg.nodes
+                      if isinstance(n.event, ast.Assign))
+        assert fp.state_in(assign) == frozenset()
+        assert fp.state_out(assign) == {"a"}
+
+    def test_unreachable_node_not_solved(self):
+        cfg, fp = solved("""
+            def f():
+                return 1
+                a = 2
+        """)
+        unreachable = [n for n in cfg.nodes
+                       if isinstance(n.event, ast.Assign)]
+        assert all(not fp.reached(n) for n in unreachable)
+        assert all(fp.state_in(n) is None for n in unreachable)
+
+
+class Diverging(ForwardAnalysis):
+    """A non-monotone client: the state keeps growing forever."""
+
+    def initial_state(self, cfg):
+        return 0
+
+    def join(self, a, b):
+        return max(a, b)
+
+    def transfer(self, node, state):
+        return state + 1
+
+
+class TestDivergenceGuard:
+    def test_non_monotone_client_raises(self):
+        func = ast.parse(dedent("""
+            def spin(n):
+                while n:
+                    n -= 1
+        """)).body[0]
+        cfg = build_cfg(func)
+        with pytest.raises(DataflowDivergence) as exc:
+            solve(cfg, Diverging(), max_steps=50)
+        assert exc.value.qualname == "spin"
+        assert exc.value.steps > 50

@@ -150,6 +150,53 @@ class TestPoolAllocRule:
         text = "buf = pool.take((4, 4), float, label='x')\n"
         assert rules(text, rel="core/storage.py") == []
 
+    def test_nested_helper_inherits_allowlist(self):
+        # The allowlisted outer scope covers helpers defined inside it.
+        text = ("import numpy as np\n"
+                "def proportional_supernode_mapping(n):\n"
+                "    def assign(k):\n"
+                "        return np.zeros(k)\n"
+                "    return assign(n)\n")
+        assert rules(text, rel="variants/multifrontal.py") == []
+
+    def test_method_resolves_to_qualified_name(self):
+        # A method named like an allowlisted top-level function is a
+        # different qualified name ("C.proportional_supernode_mapping")
+        # and must still be flagged.
+        text = ("import numpy as np\n"
+                "class C:\n"
+                "    def proportional_supernode_mapping(self, n):\n"
+                "        return np.empty(n)\n")
+        assert rules(text, rel="variants/multifrontal.py") == ["REP106"]
+
+    def test_decorated_allowlisted_function_clean(self):
+        text = ("import numpy as np\n"
+                "@functools.cache\n"
+                "def proportional_supernode_mapping(n):\n"
+                "    return np.empty(n)\n")
+        assert rules(text, rel="variants/multifrontal.py") == []
+
+    def test_decorator_and_defaults_use_enclosing_scope(self):
+        # Decorator expressions and parameter defaults evaluate outside
+        # the function body; the function's allowlist entry must not
+        # suppress allocations inside them.
+        text = ("import numpy as np\n"
+                "@register(np.zeros(3))\n"
+                "def proportional_supernode_mapping(n, seed=np.empty(2)):\n"
+                "    return n\n")
+        assert rules(text, rel="variants/multifrontal.py") == \
+            ["REP106", "REP106"]
+
+    def test_scope_named_in_message(self):
+        text = ("import numpy as np\n"
+                "class S:\n"
+                "    def build(self):\n"
+                "        return np.zeros(4)\n")
+        findings = lint_source(text, "src/repro/core/storage.py",
+                               rel="core/storage.py")
+        assert [f.rule for f in findings] == ["REP106"]
+        assert "S.build" in findings[0].message
+
 
 class TestWallClockRule:
     def test_dotted_wallclock_call_flagged(self):

@@ -7,7 +7,10 @@ the same checks ``python -m repro.analysis selftest`` runs in CI.
 
 import pytest
 
-from repro.analysis.mutation import (format_reports, selftest_lint,
+from repro.analysis.mutation import (format_reports,
+                                     selftest_flow_locks,
+                                     selftest_flow_ownership,
+                                     selftest_lint,
                                      selftest_pool_lint, selftest_races,
                                      selftest_wallclock_lint,
                                      selftest_waves)
@@ -101,6 +104,55 @@ class TestWallClockLintSelftest:
         findings = report.injected_findings
         assert [f.rule for f in findings] == ["REP107"]
         assert "time.monotonic" in findings[0].message
+
+
+class TestFlowOwnershipSelftest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return selftest_flow_ownership()
+
+    def test_passes(self, report):
+        assert report.ok, format_reports([report])
+
+    def test_real_layers_clean(self, report):
+        assert report.clean_findings == []
+
+    def test_all_four_rules_fire(self, report):
+        fired = {f.rule for f in report.injected_findings}
+        assert {"REP200", "REP201", "REP202", "REP203"} <= fired
+
+    def test_precision_pseudo_rules_absent(self, report):
+        # Every planted defect was flagged at its exact line: no unmet
+        # "<rule>-precise" expectation was appended.
+        assert not any(r.endswith("-precise") for r in report.expect_rules)
+
+    def test_findings_name_the_probe_functions(self, report):
+        messages = " ".join(f.message for f in report.injected_findings)
+        for probe in ("_flow_rep200_probe", "_flow_rep201_probe",
+                      "_flow_rep202_probe", "_flow_rep203_probe"):
+            assert probe in messages
+
+
+class TestFlowLocksSelftest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return selftest_flow_locks()
+
+    def test_passes(self, report):
+        assert report.ok, format_reports([report])
+
+    def test_real_layers_clean(self, report):
+        assert report.clean_findings == []
+
+    def test_both_rules_fire_precisely(self, report):
+        fired = {f.rule for f in report.injected_findings}
+        assert {"REP210", "REP211"} <= fired
+        assert not any(r.endswith("-precise") for r in report.expect_rules)
+
+    def test_inversion_names_both_sites(self, report):
+        f = next(f for f in report.injected_findings if f.rule == "REP211")
+        assert "core/tracing.py" in f.message
+        assert "service/caches.py" in f.message
 
 
 class TestLintSelftest:

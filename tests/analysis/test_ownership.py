@@ -1,0 +1,205 @@
+"""Tests of the flow-sensitive buffer-ownership analysis (REP200-203)."""
+
+from textwrap import dedent
+
+from repro.analysis.ownership import (DEFAULT_OWNERSHIP_MODULES,
+                                      ModuleSource, analyze_ownership)
+
+
+def findings_for(source, rel="memory/pool.py"):
+    return analyze_ownership([ModuleSource(rel, dedent(source))])
+
+
+def rules(source, rel="memory/pool.py"):
+    return [f.rule for f in findings_for(source, rel)]
+
+
+class TestCleanPatterns:
+    def test_take_then_give(self):
+        assert rules("""
+            def run(pool, shape):
+                buf = pool.take(shape)
+                work(buf)
+                pool.give(buf)
+        """) == []
+
+    def test_try_finally_give(self):
+        assert rules("""
+            def run(pool, shape):
+                buf = pool.take(shape)
+                try:
+                    work(buf)
+                finally:
+                    pool.give(buf)
+        """) == []
+
+    def test_per_iteration_take_give(self):
+        assert rules("""
+            def run(pool, shapes):
+                for shape in shapes:
+                    buf = pool.take(shape)
+                    work(buf)
+                    pool.give(buf)
+        """) == []
+
+    def test_returned_buffer_escapes(self):
+        # Returning the buffer transfers ownership to the caller.
+        assert rules("""
+            def grab(pool, shape):
+                buf = pool.take(shape)
+                return buf
+        """) == []
+
+    def test_stored_buffer_escapes(self):
+        assert rules("""
+            def grab(self, pool, shape):
+                self.buf = pool.take(shape)
+        """) == []
+
+    def test_release_through_helper_summary(self):
+        # give() reached through a local helper counts as a release.
+        assert rules("""
+            def _drop(pool, buf):
+                pool.give(buf)
+
+            def run(pool, shape):
+                buf = pool.take(shape)
+                _drop(pool, buf)
+        """) == []
+
+    def test_real_default_modules_clean(self):
+        from pathlib import Path
+
+        base = Path(__file__).resolve().parents[2] / "src" / "repro"
+        mods = [ModuleSource(rel, (base / rel).read_text())
+                for rel in DEFAULT_OWNERSHIP_MODULES]
+        assert analyze_ownership(mods) == []
+
+
+class TestLeaks:
+    def test_leak_on_fallthrough(self):
+        assert rules("""
+            def run(pool, shape):
+                buf = pool.take(shape)
+                work(buf)
+        """) == ["REP200"]
+
+    def test_leak_on_exception_path(self):
+        findings = findings_for("""
+            def run(pool, shape, check):
+                buf = pool.take(shape)
+                try:
+                    check(buf)
+                except ValueError:
+                    return None
+                pool.give(buf)
+        """)
+        assert [f.rule for f in findings] == ["REP200"]
+        # Flagged at the handler's early return, not at the happy path.
+        assert findings[0].where.endswith(":7")
+
+    def test_rebind_while_taken(self):
+        assert "REP200" in rules("""
+            def run(pool, shape):
+                buf = pool.take(shape)
+                buf = None
+                return buf
+        """)
+
+    def test_discarded_acquire(self):
+        assert rules("""
+            def run(pool, shape):
+                pool.take(shape)
+        """) == ["REP200"]
+
+
+class TestMisuse:
+    def test_double_give(self):
+        findings = findings_for("""
+            def run(pool, shape):
+                buf = pool.take(shape)
+                pool.give(buf)
+                pool.give(buf)
+        """)
+        assert [f.rule for f in findings] == ["REP201"]
+        assert findings[0].where.endswith(":5")
+
+    def test_use_after_give(self):
+        findings = findings_for("""
+            def run(pool, shape):
+                buf = pool.take(shape)
+                pool.give(buf)
+                return float(buf[0])
+        """)
+        assert [f.rule for f in findings] == ["REP202"]
+
+    def test_conditional_give_diverges_at_join(self):
+        findings = findings_for("""
+            def run(pool, shape, flag):
+                buf = pool.take(shape)
+                if flag:
+                    pool.give(buf)
+                buf.fill(0)
+        """)
+        assert [f.rule for f in findings] == ["REP203"]
+        assert findings[0].where.endswith(":6")
+
+    def test_both_branches_give_is_clean(self):
+        assert rules("""
+            def run(pool, shape, flag):
+                buf = pool.take(shape)
+                if flag:
+                    pool.give(buf)
+                else:
+                    pool.give(buf)
+        """) == []
+
+
+class TestLedgerResources:
+    def test_unbalanced_charge_flagged(self):
+        assert rules("""
+            def run(self, nbytes):
+                self.ledger.charge(0, "host", nbytes, label="x")
+        """) == ["REP200"]
+
+    def test_balanced_charge_release_clean(self):
+        assert rules("""
+            def run(self, nbytes):
+                self.ledger.charge(0, "host", nbytes, label="x")
+                work()
+                self.ledger.release(0, "host", nbytes, label="x")
+        """) == []
+
+
+class TestDirectives:
+    def test_allow_suppresses_named_rule(self):
+        assert rules("""
+            # flow: allow(REP200)
+            def run(pool, shape):
+                buf = pool.take(shape)
+        """) == []
+
+    def test_transfer_suppresses_leak_only(self):
+        source = """
+            # flow: transfer
+            def run(pool, shape):
+                buf = pool.take(shape)
+                pool.give(buf)
+                pool.give(buf)
+        """
+        assert rules(source) == ["REP201"]
+
+    def test_directive_scans_past_decorators(self):
+        assert rules("""
+            # flow: transfer
+            @wraps(thing)
+            def run(pool, shape):
+                buf = pool.take(shape)
+        """) == []
+
+
+class TestErrorContainment:
+    def test_syntax_error_becomes_rep290(self):
+        findings = findings_for("def broken(:\n")
+        assert [f.rule for f in findings] == ["REP290"]
+        assert "memory/pool.py" in findings[0].where
