@@ -90,12 +90,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         return 2
     a = _load_matrix(args.matrix)
     offload = CPU_ONLY if args.no_gpu else OffloadPolicy()
+    analysis_cache = None
+    if args.analysis_cache:
+        from .symbolic.cache import AnalysisCache
+        analysis_cache = AnalysisCache(args.analysis_cache)
     solver = SymPackSolver(a, SolverOptions(
         nranks=args.nranks, ranks_per_node=args.ranks_per_node,
         ordering=args.ordering, machine=_machine(args.machine),
         offload=offload, parallelism=args.parallelism,
         check_waves=args.check_waves, check_races=args.check_races,
         plan_mode="on" if args.plan else "off",
+        analysis_cache=analysis_cache,
         resilience=resilience))
     try:
         info = solver.factorize()
@@ -119,6 +124,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     print(f"relative residual: {res:.3e}")
     print(f"communication    : {info.comm.rpcs_sent} RPCs, "
           f"{info.comm.bytes_get} bytes pulled")
+    if args.timings:
+        print(f"cold-path timing : ordering {info.ordering_ms:.1f} ms, "
+              f"symbolic {info.symbolic_ms:.1f} ms, "
+              f"blocks {info.blocks_ms:.1f} ms, "
+              f"first DES {info.first_des_ms:.1f} ms")
+        if analysis_cache is not None:
+            stats = analysis_cache.stats()
+            load_ms = solver.analysis.phase_seconds.get("cache_load", 0.0) * 1e3
+            tier = ("hit" if stats["mem_hits"] or stats["disk_hits"]
+                    else "miss")
+            print(f"analysis cache   : {tier} "
+                  f"(load {load_ms:.1f} ms, dir {args.analysis_cache})")
     if args.plan:
         # Warm refactorization through the compiled plan (no DES run);
         # bit-identity with the recorded run is covered by tests/plans.
@@ -394,6 +411,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-harden", action="store_true",
                    help="disable the acknowledged retry transport (fault "
                         "injection then loses messages for good)")
+    p.add_argument("--analysis-cache", default=None, metavar="DIR",
+                   help="persistent symbolic-analysis cache directory: the "
+                        "cold path (ordering + symbolic + blocks) is "
+                        "skipped when DIR holds this pattern's analysis, "
+                        "and published there otherwise (see "
+                        "docs/performance.md)")
+    p.add_argument("--timings", action="store_true",
+                   help="print the cold-path wall-clock breakdown "
+                        "(ordering / symbolic / blocks / first DES run)")
     add_run_args(p)
     p.set_defaults(func=_cmd_solve)
 

@@ -19,6 +19,7 @@ simulated timings each time.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -36,6 +37,7 @@ from ..resilience.options import ResilienceOptions
 from ..sparse.csc import SymmetricCSC
 from ..sparse.validate import check_finite, probable_spd
 from ..symbolic.analysis import SymbolicAnalysis, analyze, rebind_analysis_values
+from ..symbolic.cache import AnalysisCache
 from ..symbolic.supernodes import AmalgamationOptions
 from .engine import Scheduling
 from .mapping import ProcessMap, column_cyclic_1d
@@ -129,6 +131,13 @@ class CommonOptions:
     check_waves: bool = False
     check_races: bool = False
     plan_mode: str = "off"
+    # Persistent cold-path cache (repro.symbolic.cache.AnalysisCache):
+    # when set, the solver looks up its full symbolic analysis by
+    # sparsity-pattern hash before computing it, and publishes cold
+    # builds back (memory LRU + optional on-disk npz tier).  A hit skips
+    # ordering, column structures, supernode detection and block
+    # partitioning entirely (CLI ``--analysis-cache DIR``).
+    analysis_cache: AnalysisCache | None = None
     # Resilience policy (hardened delivery, fault injection,
     # checkpoint/restart); ``None`` keeps the classic lossless path.
     # See :class:`repro.resilience.ResilienceOptions` and
@@ -177,6 +186,14 @@ class FactorizeInfo:
     # In-run memory-ledger snapshot (peak host/device bytes of this
     # factorization; see EngineResult.mem).
     mem: MemorySnapshot = field(default_factory=MemorySnapshot)
+    # Cold-path wall-clock breakdown (milliseconds).  The analysis phases
+    # are ~0 on an AnalysisCache hit; ``first_des_ms`` covers the solver's
+    # first graph build + DES execution (0 until one has run, then
+    # carried on warm refactorizations for reference).
+    ordering_ms: float = 0.0
+    symbolic_ms: float = 0.0
+    blocks_ms: float = 0.0
+    first_des_ms: float = 0.0
 
 
 @dataclass
@@ -229,13 +246,38 @@ class SolverBase:
                     f"analysis is for n={analysis.n}, matrix has n={a.n}")
             self.analysis = rebind_analysis_values(analysis, a)
         else:
-            self.analysis = analyze(
-                a, ordering=self.options.ordering,
-                amalgamation=self.options.amalgamation,
-            )
+            cache = self.options.analysis_cache
+            cached = None
+            if cache is not None:
+                t_load = time.perf_counter()
+                cached = cache.get(a)
+                t_load = time.perf_counter() - t_load
+            if cached is not None:
+                # Hit: the whole cold path is skipped.  The copy's phase
+                # dict is replaced (not mutated) so the cached entry keeps
+                # its own record.
+                cached.phase_seconds = {"ordering": 0.0, "symbolic": 0.0,
+                                        "blocks": 0.0, "cache_load": t_load}
+                self.analysis = cached
+            else:
+                self.analysis = analyze(
+                    a, ordering=self.options.ordering,
+                    amalgamation=self.options.amalgamation,
+                )
+                if cache is not None:
+                    cache.put(a, self.analysis)
         self.session = ExecutionSession.from_options(
             self.options, machine=self._session_machine(), trace=trace,
             ledger=ledger, pool=pool)
+        self._first_des_seconds = 0.0
+        ph = self.analysis.phase_seconds
+        if ph:
+            self.session.trace.record_phases({
+                "ordering_ms": ph.get("ordering", 0.0) * 1e3,
+                "symbolic_ms": ph.get("symbolic", 0.0) * 1e3,
+                "blocks_ms": ph.get("blocks", 0.0) * 1e3,
+                "cache_load_ms": ph.get("cache_load", 0.0) * 1e3,
+            })
         self.storage: FactorStorage | None = None
         self._closed = False
         self._factor_graph: TaskGraph | None = None
@@ -314,7 +356,9 @@ class SolverBase:
         """
         if self._closed:
             raise RuntimeError("solver is closed; its buffers were released")
-        if self._factor_graph is None:
+        cold = self._factor_graph is None
+        t_des = time.perf_counter()
+        if cold:
             self.storage = FactorStorage(self.analysis,
                                          pool=self.session.pool)
             self._prepare_storage()
@@ -341,6 +385,10 @@ class SolverBase:
                 comm=CommStats() + run.comm, stats=self.plan_stats)
         else:
             run = self.session.run(self._factor_graph)
+        if cold:
+            self._first_des_seconds = time.perf_counter() - t_des
+            self.session.trace.record_phases(
+                {"first_des_ms": self._first_des_seconds * 1e3})
         self._factorized = True
         return FactorizeInfo(
             simulated_seconds=run.makespan,
@@ -350,7 +398,18 @@ class SolverBase:
             rank_busy=run.rank_busy,
             exec_stats=run.exec_stats,
             mem=run.mem,
+            **self._phase_fields(),
         )
+
+    def _phase_fields(self) -> dict[str, float]:
+        """Cold-path phase breakdown (ms) for :class:`FactorizeInfo`."""
+        ph = self.analysis.phase_seconds
+        return {
+            "ordering_ms": ph.get("ordering", 0.0) * 1e3,
+            "symbolic_ms": ph.get("symbolic", 0.0) * 1e3,
+            "blocks_ms": ph.get("blocks", 0.0) * 1e3,
+            "first_des_ms": self._first_des_seconds * 1e3,
+        }
 
     def _execute_plan(self, plan: NumericPlan, ctx: ExecContext
                       ) -> "ExecutorStats":
@@ -393,6 +452,7 @@ class SolverBase:
             rank_busy=list(plan.rank_busy),
             exec_stats=stats,
             mem=self.session.ledger.snapshot(),
+            **self._phase_fields(),
         )
 
     def update_values(self, a: SymmetricCSC) -> None:

@@ -271,16 +271,18 @@ class FanOutEngine:
                 # the local device segment (paper Section 4.2).
                 dst_space = MemorySpace.DEVICE
 
-            def on_complete(done_t, _data, msg=msg, dst_space=dst_space,
-                            rank=rank):
-                if dst_space is MemorySpace.DEVICE and msg.key is not None:
-                    self._device_resident[rank].add(msg.key)
-                for tid in msg.consumers:
-                    self._decrement(tid)
-                self._try_schedule(rank, done_t)
-
             self.world.rma_get(rank, ptr, now, dst_space=dst_space,
-                               on_complete=on_complete)
+                               on_complete=self._get_complete,
+                               on_complete_args=(msg, dst_space, rank))
+
+    def _get_complete(self, done_t: float, _data, msg: OutMessage,
+                      dst_space: MemorySpace, rank: int) -> None:
+        """RMA-get completion (Fig. 4 step 5): credit consumers, re-poll."""
+        if dst_space is MemorySpace.DEVICE and msg.key is not None:
+            self._device_resident[rank].add(msg.key)
+        for tid in msg.consumers:
+            self._decrement(tid)
+        self._try_schedule(rank, done_t)
 
     # ------------------------------------------------------------ execution
 
@@ -358,9 +360,9 @@ class FanOutEngine:
         end = now + duration
         self.world.ranks[rank].busy_time += duration
         self.trace.record_task(now, end, rank, task.label)
-        self.world.events.schedule(end, lambda t, tid=tid: self._complete(tid, t))
+        self.world.events.schedule(end, self._complete, tid)
 
-    def _complete(self, tid: int, now: float) -> None:
+    def _complete(self, now: float, tid: int) -> None:
         """TASK_DONE: fan out results, release the rank (Fig. 3 steps 2–6)."""
         task = self.graph.tasks[tid]
         rank = task.rank
@@ -419,7 +421,7 @@ class FanOutEngine:
             send_t = now + (slot + 1) * occ
             self.world.signal(
                 rank, msg.dst_rank, self._signal_handler, (msg, ptr), send_t,
-                on_delivered=lambda t, dst=msg.dst_rank: self._try_schedule(dst, t),
+                on_delivered=self._kick, on_delivered_args=(msg.dst_rank,),
             )
 
         if fanout and occ > 0:
@@ -428,14 +430,20 @@ class FanOutEngine:
             sweep_end = now + fanout * occ
             state.busy_time += fanout * occ
 
-            def release(t: float) -> None:
-                state.clock = max(state.clock, t)
-                self._busy[rank] = False
-                self._try_schedule(rank, t)
-
-            self.world.events.schedule(sweep_end, release)
+            self.world.events.schedule(sweep_end, self._end_send_sweep, rank)
         else:
             self._try_schedule(rank, now)
+
+    def _kick(self, t: float, rank: int) -> None:
+        """Event/delivery adapter: wake ``rank``'s scheduler at ``t``."""
+        self._try_schedule(rank, t)
+
+    def _end_send_sweep(self, t: float, rank: int) -> None:
+        """Release a rank held busy through its serialised send sweep."""
+        state = self.world.ranks[rank]
+        state.clock = max(state.clock, t)
+        self._busy[rank] = False
+        self._try_schedule(rank, t)
 
     # ------------------------------------------------------------------ run
 
@@ -446,11 +454,12 @@ class FanOutEngine:
         for task in self.graph.tasks:
             if self._remaining[task.tid] == 0 and not self._executed[task.tid]:
                 self._push_ready(task.tid)
-        for rank in range(self.world.nranks):
-            self.world.events.schedule(
-                self.world.events.now,
-                lambda t, r=rank: self._try_schedule(r, t),
-            )
+        # One kickoff wave: every rank polls at the current time, admitted
+        # as a single same-time batch (one guard check, consecutive seqs).
+        self.world.events.schedule_batch(
+            self.world.events.now,
+            ((self._kick, (r,)) for r in range(self.world.nranks)),
+        )
         limit = 50 * len(self.graph.tasks) + 10_000
         self.world.run(max_events=limit)
 

@@ -154,6 +154,11 @@ class ExecutionTrace:
     # (sessions report after every run via :meth:`update_memory`).
     mem_live: dict[tuple[int, str], int] = field(default_factory=dict)
     mem_peak: dict[tuple[int, str], int] = field(default_factory=dict)
+    # Cold-path phase durations in milliseconds (``ordering_ms`` /
+    # ``symbolic_ms`` / ``blocks_ms`` / ``first_des_ms``; ``cache_load_ms``
+    # on an AnalysisCache hit).  Last write wins per key — the breakdown
+    # describes the most recent cold start recorded on this trace.
+    phase_ms: dict[str, float] = field(default_factory=dict)
     # Resilience counters (repro.resilience): accumulated across runs by
     # the resilient runner, exported on ServiceEvents.
     retries: int = 0
@@ -201,6 +206,16 @@ class ExecutionTrace:
                     "recoveries": self.recoveries,
                     "checkpoints": self.checkpoints,
                     "faults_injected": self.faults_injected}
+
+    def record_phases(self, phases: dict[str, float]) -> None:
+        """Merge cold-path phase durations (milliseconds) into the trace."""
+        with self._lock:
+            self.phase_ms.update(phases)
+
+    def phase_breakdown(self) -> dict[str, float]:
+        """Snapshot of the recorded phase durations under the lock."""
+        with self._lock:
+            return dict(self.phase_ms)
 
     def update_memory(self, snapshot) -> None:
         """Fold a :class:`~repro.memory.MemorySnapshot` into the trace.

@@ -15,6 +15,7 @@ feeds on.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
@@ -78,33 +79,44 @@ def _level_separator(graph: AdjacencyGraph, opts: NDOptions) -> tuple[np.ndarray
     return np.sort(part_a), np.sort(part_b), np.sort(separator)
 
 
+MDCallable = Callable[[AdjacencyGraph], np.ndarray]
+
+
 def _nd_recurse(graph: AdjacencyGraph, vertices: np.ndarray, opts: NDOptions,
-                out: list[int]) -> None:
+                out: list[int], md: MDCallable) -> None:
     """Append the nested-dissection order of ``graph`` (global ids) to ``out``."""
     if graph.n == 0:
         return
     if graph.n <= opts.leaf_size:
-        local = minimum_degree_order(graph)
+        local = md(graph)
         out.extend(int(vertices[v]) for v in local)
         return
 
     part_a, part_b, separator = _level_separator(graph, opts)
     if part_a.size == 0 or part_b.size == 0:
         # Could not split (e.g. path-like or clique-like graph): fall back.
-        local = minimum_degree_order(graph)
+        local = md(graph)
         out.extend(int(vertices[v]) for v in local)
         return
 
     for part in (part_a, part_b):
         sub, sub_vertices = graph.subgraph(part)
-        _nd_recurse(sub, vertices[sub_vertices], opts, out)
+        _nd_recurse(sub, vertices[sub_vertices], opts, out, md)
     # Separator last: its columns are eliminated after both halves.
     out.extend(int(vertices[v]) for v in separator)
 
 
-def nested_dissection_order(a: SymmetricCSC, opts: NDOptions | None = None) -> np.ndarray:
-    """Nested-dissection elimination order for ``a`` (all components)."""
+def nested_dissection_order(a: SymmetricCSC, opts: NDOptions | None = None,
+                            md: MDCallable | None = None) -> np.ndarray:
+    """Nested-dissection elimination order for ``a`` (all components).
+
+    ``md`` selects the leaf minimum-degree implementation; the default is
+    the fast quotient-graph one.  Benchmarks and property tests pass
+    :func:`~repro.ordering.amd.minimum_degree_order_reference` here to
+    time/validate the full reference cold path.
+    """
     opts = opts or NDOptions()
+    md = md or minimum_degree_order
     graph = AdjacencyGraph.from_symmetric(a)
     seen = np.zeros(graph.n, dtype=bool)
     order: list[int] = []
@@ -123,7 +135,7 @@ def nested_dissection_order(a: SymmetricCSC, opts: NDOptions | None = None) -> n
                     stack.append(int(u))
         comp_arr = np.asarray(sorted(comp), dtype=np.int64)
         sub, sub_vertices = graph.subgraph(comp_arr)
-        _nd_recurse(sub, comp_arr, opts, order)
+        _nd_recurse(sub, comp_arr, opts, order, md)
     return np.asarray(order, dtype=np.int64)
 
 

@@ -14,7 +14,7 @@ from typing import Any, Callable
 __all__ = ["PendingRpc", "RpcInbox"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class PendingRpc:
     """An RPC sitting in a target rank's queue.
 
@@ -74,10 +74,19 @@ class RpcInbox:
         """
         if now < self.stall_until - 1e-15:
             return 0
-        ready = [r for r in self._queue if r.arrival_time <= now + 1e-15]
-        if not ready:
+        queue = self._queue
+        if not queue:
             return 0
-        self._queue = [r for r in self._queue if r.arrival_time > now + 1e-15]
+        if queue[-1].arrival_time <= now + 1e-15:
+            # Deliveries arrive in schedule order, so in the common case
+            # the whole queue is ready — take it without a double filter.
+            ready = queue
+            self._queue = []
+        else:
+            ready = [r for r in queue if r.arrival_time <= now + 1e-15]
+            if not ready:
+                return 0
+            self._queue = [r for r in queue if r.arrival_time > now + 1e-15]
         for rpc in ready:
             if self.tracer is not None:
                 self.tracer.on_rpc_execute(self.rank, rpc.token)

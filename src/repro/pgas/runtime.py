@@ -15,6 +15,7 @@ Numerics are real (the payload arrays move); only time is simulated.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, fields
 from typing import Any, Callable
 
@@ -30,6 +31,23 @@ from .network import MemoryKindsMode, MemorySpace, NetworkModel
 from .rpc import PendingRpc, RpcInbox
 
 __all__ = ["CommStats", "RankState", "World"]
+
+
+def _deliver_rpc(now: float, inbox: RpcInbox, fn: Callable[[Any], None],
+                 payload: Any, src_rank: int, token: Any,
+                 on_delivered: Callable[..., None] | None,
+                 on_delivered_args: tuple[Any, ...]) -> None:
+    """Delivery event body (module-level: no closure per RPC sent)."""
+    inbox.deliver(PendingRpc(arrival_time=now, fn=fn, payload=payload,
+                             src_rank=src_rank, token=token))
+    if on_delivered is not None:
+        on_delivered(now, *on_delivered_args)
+
+
+def _call_delivered(now: float, cb: Callable[..., None],
+                    args: tuple[Any, ...]) -> None:
+    """Adapter binding trailing args for transports that pass only ``now``."""
+    cb(now, *args)
 
 
 @dataclass
@@ -166,13 +184,15 @@ class World:
     # ------------------------------------------------------------------ RPC
 
     def rpc(self, src: int, dst: int, fn: Callable[[Any], None], payload: Any,
-            t: float, on_delivered: Callable[[float], None] | None = None) -> None:
+            t: float, on_delivered: Callable[..., None] | None = None,
+            on_delivered_args: tuple[Any, ...] = ()) -> None:
         """Issue an RPC from ``src`` to ``dst`` at time ``t``.
 
         The payload is enqueued at the target at the network arrival time;
         it executes at the target's next ``progress()``.  ``on_delivered``
-        (if given) fires as a simulation event at arrival, letting the
-        driver wake an idle target.
+        (if given) fires as a simulation event at arrival as
+        ``on_delivered(now, *on_delivered_args)``, letting the driver wake
+        an idle target without allocating a closure per message.
 
         With a fault injector attached, the nominal arrival time is
         rewritten into zero or more actual deliveries (drop, duplicate,
@@ -185,21 +205,19 @@ class World:
         token = (self.tracer.on_rpc_send(src, dst, payload, t)
                  if self.tracer is not None else None)
 
-        def deliver(now: float) -> None:
-            inbox.deliver(PendingRpc(arrival_time=now, fn=fn, payload=payload,
-                                     src_rank=src, token=token))
-            if on_delivered is not None:
-                on_delivered(now)
-
-        arrivals = [arrival]
         if self.injector is not None:
-            arrivals = self.injector.route(src, dst, t, arrival)
-        for when in arrivals:
-            self.events.schedule(when, deliver)
+            for when in self.injector.route(src, dst, t, arrival):
+                self.events.schedule(when, _deliver_rpc, inbox, fn, payload,
+                                     src, token, on_delivered,
+                                     on_delivered_args)
+        else:
+            self.events.schedule(arrival, _deliver_rpc, inbox, fn, payload,
+                                 src, token, on_delivered, on_delivered_args)
 
     def signal(self, src: int, dst: int, fn: Callable[[Any], None],
                payload: Any, t: float,
-               on_delivered: Callable[[float], None] | None = None) -> None:
+               on_delivered: Callable[..., None] | None = None,
+               on_delivered_args: tuple[Any, ...] = ()) -> None:
         """Send a dependency-signal RPC (the fan-out notifications).
 
         Plain worlds forward straight to :meth:`rpc`.  When a hardened
@@ -209,9 +227,15 @@ class World:
         """
         self.stats.signals_sent += 1
         if self.transport is not None:
+            if on_delivered is not None and on_delivered_args:
+                # The hardened transport's callback takes only ``now``;
+                # binding here keeps the adapter off the common fast path.
+                on_delivered = functools.partial(
+                    _call_delivered, cb=on_delivered, args=on_delivered_args)
             self.transport.send(src, dst, fn, payload, t, on_delivered)
         else:
-            self.rpc(src, dst, fn, payload, t, on_delivered)
+            self.rpc(src, dst, fn, payload, t, on_delivered,
+                     on_delivered_args)
 
     def wake(self, rank: int, t: float) -> None:
         """Notify listeners that ``rank`` became runnable again at ``t``."""
@@ -230,14 +254,15 @@ class World:
         ptr: GlobalPtr,
         t: float,
         dst_space: MemorySpace = MemorySpace.HOST,
-        on_complete: Callable[[float, np.ndarray], None] | None = None,
+        on_complete: Callable[..., None] | None = None,
+        on_complete_args: tuple[Any, ...] = (),
     ) -> float:
         """One-sided get of ``ptr``'s data into ``dst``'s memory at time ``t``.
 
-        Returns the completion time; ``on_complete(time, data)`` is invoked
-        as a simulation event carrying the actual array.  On modern HPC
-        networks this is RDMA-offloaded: the *owner* rank is not involved
-        and its clock is untouched.
+        Returns the completion time; ``on_complete(time, data,
+        *on_complete_args)`` is invoked as a simulation event carrying the
+        actual array.  On modern HPC networks this is RDMA-offloaded: the
+        *owner* rank is not involved and its clock is untouched.
         """
         if self.tracer is not None:
             self.tracer.on_rget(dst, ptr, t)
@@ -255,7 +280,8 @@ class World:
             else:
                 self.stats.bytes_staged += ptr.nbytes
         if on_complete is not None:
-            self.events.schedule(done, lambda now: on_complete(now, data))
+            # Completion carries the payload as an event arg — no closure.
+            self.events.schedule(done, on_complete, data, *on_complete_args)
         return done
 
     def copy(
@@ -264,12 +290,14 @@ class World:
         dst: int,
         t: float,
         dst_space: MemorySpace = MemorySpace.HOST,
-        on_complete: Callable[[float, np.ndarray], None] | None = None,
+        on_complete: Callable[..., None] | None = None,
+        on_complete_args: tuple[Any, ...] = (),
     ) -> float:
         """``upcxx::copy()``: device-agnostic data movement between any
         combination of host/device memories anywhere in the system."""
         return self.rma_get(dst, src_ptr, t, dst_space=dst_space,
-                            on_complete=on_complete)
+                            on_complete=on_complete,
+                            on_complete_args=on_complete_args)
 
     def rma_put(self, src: int, data: np.ndarray, dst_ptr: GlobalPtr,
                 t: float) -> float:

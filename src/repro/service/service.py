@@ -47,6 +47,7 @@ from ..core.tracing import ExecutionTrace, ServiceEvent
 from ..memory import BufferPool, MemoryLedger
 from ..pgas.runtime import CommStats
 from ..sparse.csc import SymmetricCSC
+from ..symbolic.cache import AnalysisCache
 from .caches import FactorCache, FactorEntry, SymbolicCache
 from .keys import matrix_keys
 from .requests import RequestQueue, ServiceOverloaded, ServiceStats, SolveRequest
@@ -113,6 +114,12 @@ class ServiceConfig:
         Seconds ``submit`` waits for queue space (``None`` = forever).
     compute_residuals:
         Verify each returned solution with its relative residual.
+    analysis_cache_dir:
+        Directory of a persistent :class:`~repro.symbolic.cache.\
+AnalysisCache` the symbolic tier rides on: an in-memory symbolic-cache
+        miss falls through to it before paying the cold path, and every
+        cold build is published back, so symbolic work survives evictions
+        *and* service restarts.  ``None`` (default) disables the tier.
     """
 
     workers: int = 2
@@ -123,6 +130,7 @@ class ServiceConfig:
     max_coalesce: int = 8
     submit_timeout: float | None = None
     compute_residuals: bool = True
+    analysis_cache_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -165,6 +173,9 @@ class ServiceCounters:
     bytes_peak: int = 0
     factor_bytes_ledger: int = 0
     factor_bytes_delta: int = 0
+    # Persistent analysis-cache stats (empty dict when the tier is off):
+    # mem_hits / disk_hits / misses / puts / evictions / entries.
+    analysis_cache: dict = field(default_factory=dict)
 
     def hit_rate(self) -> float:
         """Fraction of completed requests that skipped the symbolic phase.
@@ -215,6 +226,10 @@ class SolveService:
         self.ledger = MemoryLedger()
         self.pool = BufferPool(ledger=self.ledger)
         self.symbolic_cache = SymbolicCache(self.config.symbolic_entries)
+        # Persistent tier under the in-memory symbolic cache (optional).
+        self.analysis_cache = (
+            AnalysisCache(self.config.analysis_cache_dir)
+            if self.config.analysis_cache_dir is not None else None)
         self.factor_cache = FactorCache(self.config.factor_budget_bytes,
                                         ledger=self.ledger)
         self._queue = RequestQueue(self.config.queue_depth)
@@ -341,6 +356,8 @@ class SolveService:
         snap.bytes_peak = self.ledger.peak()
         snap.factor_bytes_ledger = self.factor_cache.ledger_live() or 0
         snap.factor_bytes_delta = self.factor_cache.reconcile()
+        if self.analysis_cache is not None:
+            snap.analysis_cache = self.analysis_cache.stats()
         return snap
 
     # ---------------------------------------------------------- worker pool
@@ -453,6 +470,14 @@ class SolveService:
             # its lock; rebuild from the symbolic tier below.
 
         analysis = self.symbolic_cache.get(req.pattern_key)
+        if analysis is None and self.analysis_cache is not None:
+            # The symbolic tier rides the persistent AnalysisCache: an
+            # evicted (or never-seen-by-this-process) pattern can still
+            # skip the whole cold path from disk.  Promote the hit so
+            # later requests stay in memory.
+            analysis = self.analysis_cache.get(req.a)
+            if analysis is not None:
+                self.symbolic_cache.put(req.pattern_key, analysis)
         if analysis is not None:
             tier = "symbolic"
             solver = self.solver_cls(req.a, self.options,
@@ -463,6 +488,8 @@ class SolveService:
             solver = self.solver_cls(req.a, self.options, trace=self.trace,
                                      ledger=self.ledger, pool=self.pool)
             self.symbolic_cache.put(req.pattern_key, solver.analysis)
+            if self.analysis_cache is not None:
+                self.analysis_cache.put(req.a, solver.analysis)
             with self._lock:
                 self._counts.symbolic_builds += 1
         before = self._plan_snapshot(solver)

@@ -1,7 +1,8 @@
 """Symbolic factorization: etree, structures, supernodes, blocks."""
 
-from .analysis import SymbolicAnalysis, analyze
-from .blocks import Block, BlockPartition, partition_blocks
+from .analysis import SymbolicAnalysis, analyze, analyze_reference
+from .blocks import Block, BlockPartition, partition_blocks, partition_blocks_reference
+from .cache import AnalysisCache
 from .etree import (
     children_lists,
     elimination_tree,
@@ -11,15 +12,29 @@ from .etree import (
     tree_levels,
 )
 from .colcounts import column_counts_gnp
-from .structure import SymbolicL, column_counts, column_structures, factor_nnz
-from .supernodes import AmalgamationOptions, SupernodePartition, detect_supernodes
+from .structure import (
+    SymbolicL,
+    column_counts,
+    column_structures,
+    column_structures_flat,
+    factor_nnz,
+)
+from .supernodes import (
+    AmalgamationOptions,
+    SupernodePartition,
+    detect_supernodes,
+    detect_supernodes_reference,
+)
 
 __all__ = [
+    "AnalysisCache",
     "SymbolicAnalysis",
     "analyze",
+    "analyze_reference",
     "Block",
     "BlockPartition",
     "partition_blocks",
+    "partition_blocks_reference",
     "children_lists",
     "elimination_tree",
     "first_descendants",
@@ -30,8 +45,10 @@ __all__ = [
     "column_counts",
     "column_counts_gnp",
     "column_structures",
+    "column_structures_flat",
     "factor_nnz",
     "AmalgamationOptions",
     "SupernodePartition",
     "detect_supernodes",
+    "detect_supernodes_reference",
 ]

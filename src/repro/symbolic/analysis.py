@@ -8,18 +8,24 @@ workflow (the repeated-factorization applications in paper Section 5.3).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import time
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from ..ordering.base import compute_ordering
 from ..ordering.permutation import Permutation
 from ..sparse.csc import SymmetricCSC
-from .blocks import BlockPartition, partition_blocks
+from .blocks import BlockPartition, partition_blocks, partition_blocks_reference
 from .structure import SymbolicL
-from .supernodes import AmalgamationOptions, SupernodePartition, detect_supernodes
+from .supernodes import (
+    AmalgamationOptions,
+    SupernodePartition,
+    detect_supernodes,
+    detect_supernodes_reference,
+)
 
-__all__ = ["SymbolicAnalysis", "analyze", "rebind_analysis_values"]
+__all__ = ["SymbolicAnalysis", "analyze", "analyze_reference", "rebind_analysis_values"]
 
 
 @dataclass
@@ -39,6 +45,10 @@ class SymbolicAnalysis:
         The supernode partition (possibly amalgamated).
     blocks:
         Algorithm 2 block partition.
+    phase_seconds:
+        Wall-clock seconds per cold-path phase (``ordering`` /
+        ``symbolic`` / ``blocks``; ``cache_load`` when rebuilt from the
+        AnalysisCache, in which case the compute phases report 0.0).
     """
 
     a_perm: SymmetricCSC
@@ -46,6 +56,7 @@ class SymbolicAnalysis:
     symbolic: SymbolicL
     supernodes: SupernodePartition
     blocks: BlockPartition
+    phase_seconds: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def n(self) -> int:
@@ -109,6 +120,7 @@ def analyze(
         detection on some orderings.  Off by default to match the recorded
         benchmark numbers.
     """
+    t0 = time.perf_counter()
     if isinstance(ordering, Permutation):
         perm = ordering
     else:
@@ -123,12 +135,65 @@ def analyze(
         perm = Permutation(post).compose(perm)
         a_perm = a.permuted(perm.perm)
 
+    t1 = time.perf_counter()
     symbolic = SymbolicL(a_perm.lower)
+    t2 = time.perf_counter()
     amalg = amalgamation if amalgamation is not None else AmalgamationOptions()
     supernodes = detect_supernodes(symbolic, amalg)
     blocks = partition_blocks(supernodes)
+    t3 = time.perf_counter()
+    phases = {"ordering": t1 - t0, "symbolic": t2 - t1, "blocks": t3 - t2}
     return SymbolicAnalysis(a_perm=a_perm, perm=perm, symbolic=symbolic,
-                            supernodes=supernodes, blocks=blocks)
+                            supernodes=supernodes, blocks=blocks,
+                            phase_seconds=phases)
+
+
+def analyze_reference(
+    a: SymmetricCSC,
+    ordering: str | Permutation = "scotch_like",
+    amalgamation: AmalgamationOptions | None = None,
+) -> SymbolicAnalysis:
+    """The retained-reference cold path, phase for phase.
+
+    Runs the same pipeline as :func:`analyze` but through the reference
+    implementations of every accelerated stage: set-of-sets minimum
+    degree at the ordering leaves, the subtree-merge column structures,
+    the per-column supernode build and O(nsup²) regroup, and the
+    per-supernode block loop.  Property tests and the cold-start
+    benchmark compare/time :func:`analyze` against this.
+    """
+    from ..ordering.amd import minimum_degree_order_reference
+    from ..ordering.nested_dissection import NDOptions, nested_dissection_order
+    from ..ordering.scotch_like import ScotchLikeOptions
+
+    t0 = time.perf_counter()
+    if isinstance(ordering, Permutation):
+        perm = ordering
+    elif ordering == "scotch_like":
+        order = nested_dissection_order(a, ScotchLikeOptions().to_nd(),
+                                        md=minimum_degree_order_reference)
+        perm = Permutation(order)
+    elif ordering == "nd":
+        order = nested_dissection_order(a, NDOptions(),
+                                        md=minimum_degree_order_reference)
+        perm = Permutation(order)
+    elif ordering in ("amd", "amd_reference"):
+        perm = compute_ordering(a, "amd_reference")
+    else:
+        perm = compute_ordering(a, ordering)
+    a_perm = a.permuted(perm.perm)
+
+    t1 = time.perf_counter()
+    symbolic = SymbolicL(a_perm.lower, method="reference")
+    t2 = time.perf_counter()
+    amalg = amalgamation if amalgamation is not None else AmalgamationOptions()
+    supernodes = detect_supernodes_reference(symbolic, amalg)
+    blocks = partition_blocks_reference(supernodes)
+    t3 = time.perf_counter()
+    phases = {"ordering": t1 - t0, "symbolic": t2 - t1, "blocks": t3 - t2}
+    return SymbolicAnalysis(a_perm=a_perm, perm=perm, symbolic=symbolic,
+                            supernodes=supernodes, blocks=blocks,
+                            phase_seconds=phases)
 
 
 def rebind_analysis_values(analysis: SymbolicAnalysis, a: SymmetricCSC

@@ -1,14 +1,24 @@
 """Column structures of the Cholesky factor.
 
 Computes, for every column ``j``, the sorted row indices of the nonzeros of
-``L[:, j]`` (diagonal included).  Uses the subtree-merge characterisation:
+``L[:, j]`` (diagonal included).  Two algorithms are kept:
 
-    struct(j) = rows(A[j:, j])  ∪  {j}  ∪  ( struct(c) \\ {c}  for children c )
+* :func:`column_structures_flat` — the production path.  One row walk per
+  nonzero of ``A``: row ``i`` is appended to every column on the etree
+  path from each ``a_ij != 0`` up toward ``i`` (the *row subtree* of
+  ``i``), deduplicated with an ``O(n)`` mark array.  Total work is
+  ``O(nnz(L))`` native-int operations, the output is a CSR-style pair of
+  flat ``(struct_ptr, struct_rows)`` arrays preallocated from the
+  Gilbert-Ng-Peyton column counts — no per-column Python lists.
+* :func:`column_structures` — the retained reference: a subtree merge
 
-which follows from the fact that every off-diagonal row of column ``c`` is
-an ancestor of ``c`` in the elimination tree.  Each child structure is
-merged into its parent exactly once, so total work is ``O(nnz(L))`` in
-vectorised NumPy chunks.
+      struct(j) = rows(A[j:, j])  ∪  {j}  ∪  ( struct(c) \\ {c}  for children c )
+
+  materialised with one ``np.unique``/``np.concatenate`` per column.
+
+Both produce identical structures (the flat path cross-validates its fill
+pointers against the independently derived Gilbert-Ng-Peyton counts on
+every call); property tests assert bit-identity.
 """
 
 from __future__ import annotations
@@ -16,15 +26,88 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from .colcounts import column_counts_gnp
 from .etree import children_lists, elimination_tree
 
-__all__ = ["column_structures", "column_counts", "factor_nnz", "SymbolicL"]
+__all__ = [
+    "SymbolicL",
+    "column_counts",
+    "column_structures",
+    "column_structures_flat",
+    "factor_nnz",
+]
+
+
+def column_structures_flat(
+    lower: sp.csc_matrix,
+    parent: np.ndarray | None = None,
+    counts: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Flat CSR-style column structures ``(struct_ptr, struct_rows)``.
+
+    ``struct_rows[struct_ptr[j]:struct_ptr[j + 1]]`` holds the sorted
+    nonzero row indices of ``L[:, j]`` (diagonal included) — bit-identical
+    to the per-column arrays of :func:`column_structures`.
+
+    Parameters
+    ----------
+    lower:
+        Lower triangle of the symmetric input matrix (canonical CSC).
+    parent:
+        Optional precomputed elimination tree.
+    counts:
+        Optional precomputed column counts (used to preallocate).
+    """
+    lower = sp.csc_matrix(lower)
+    n = lower.shape[0]
+    if parent is None:
+        parent = elimination_tree(lower)
+    if counts is None:
+        counts = column_counts_gnp(lower, parent)
+    struct_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=struct_ptr[1:])
+    if n == 0:
+        return struct_ptr, np.empty(0, dtype=np.int64)
+
+    # Root sentinel n makes the `j < i` walk guard double as the
+    # end-of-path test (n is never < i).
+    par = [n if p == -1 else p for p in np.asarray(parent).tolist()]
+    rows: list[int] = [0] * int(struct_ptr[n])
+    fill = struct_ptr[:n].tolist()
+    for j in range(n):  # diagonal first: the smallest entry of each column
+        f = fill[j]
+        rows[f] = j
+        fill[j] = f + 1
+
+    csr = lower.tocsr()
+    rptr = csr.indptr.tolist()
+    rind = csr.indices.tolist()
+    mark = [-1] * n
+    for i in range(n):
+        for p in range(rptr[i], rptr[i + 1]):
+            j = rind[p]
+            while j < i and mark[j] != i:
+                mark[j] = i
+                f = fill[j]
+                rows[f] = i
+                fill[j] = f + 1
+                j = par[j]
+
+    # Cross-validation: the row walk must land exactly on the
+    # Gilbert-Ng-Peyton counts used for preallocation.
+    if fill != struct_ptr[1:].tolist():
+        raise ValueError("row-walk structure sizes disagree with "
+                         "Gilbert-Ng-Peyton column counts")
+    return struct_ptr, np.asarray(rows, dtype=np.int64)
 
 
 def column_structures(
     lower: sp.csc_matrix, parent: np.ndarray | None = None
 ) -> list[np.ndarray]:
-    """Sorted nonzero row indices of every column of ``L``.
+    """Sorted nonzero row indices of every column of ``L`` (reference).
+
+    The retained subtree-merge implementation; the production path is
+    :func:`column_structures_flat`.
 
     Parameters
     ----------
@@ -54,28 +137,68 @@ def column_structures(
 
 def column_counts(lower: sp.csc_matrix, parent: np.ndarray | None = None) -> np.ndarray:
     """Nonzero count of every column of ``L`` (diagonal included)."""
-    structs = column_structures(lower, parent)
-    return np.asarray([s.size for s in structs], dtype=np.int64)
+    ptr, _ = column_structures_flat(lower, parent)
+    return np.diff(ptr)
 
 
 def factor_nnz(lower: sp.csc_matrix) -> int:
     """Total nonzeros of ``L`` (diagonal included)."""
-    return int(column_counts(lower).sum())
+    return int(column_counts_gnp(lower).sum())
+
+
+def _struct_views(struct_ptr: np.ndarray, struct_rows: np.ndarray) -> list[np.ndarray]:
+    """Per-column views into the flat row array (no copies)."""
+    bounds = struct_ptr.tolist()
+    return [struct_rows[a:b] for a, b in zip(bounds[:-1], bounds[1:])]
 
 
 class SymbolicL:
     """The symbolic Cholesky factor: elimination tree + column structures.
 
     A light bundle so downstream phases (supernode detection, block
-    partitioning) do not recompute the structure pass.
+    partitioning) do not recompute the structure pass.  The structures
+    live in flat ``(struct_ptr, struct_rows)`` arrays; ``structs`` holds
+    per-column views into them for consumers indexed by column.
+
+    ``method`` selects the structure algorithm: ``"flat"`` (default, the
+    row-walk production path) or ``"reference"`` (the retained subtree
+    merge) — both bit-identical.
     """
 
-    def __init__(self, lower: sp.csc_matrix):
+    def __init__(self, lower: sp.csc_matrix, *, method: str = "flat"):
         self.lower = sp.csc_matrix(lower)
         self.n = self.lower.shape[0]
         self.parent = elimination_tree(self.lower)
-        self.structs = column_structures(self.lower, self.parent)
-        self.counts = np.asarray([s.size for s in self.structs], dtype=np.int64)
+        if method == "flat":
+            self.struct_ptr, self.struct_rows = column_structures_flat(
+                self.lower, self.parent)
+            self.structs = _struct_views(self.struct_ptr, self.struct_rows)
+        elif method == "reference":
+            self.structs = column_structures(self.lower, self.parent)
+            self.struct_ptr = np.zeros(self.n + 1, dtype=np.int64)
+            np.cumsum([s.size for s in self.structs], out=self.struct_ptr[1:])
+            self.struct_rows = (np.concatenate(self.structs)
+                                if self.structs else np.empty(0, np.int64))
+        else:
+            raise ValueError(f"unknown symbolic method {method!r}")
+        self.counts = np.diff(self.struct_ptr)
+
+    @classmethod
+    def from_arrays(cls, lower: sp.csc_matrix, parent: np.ndarray,
+                    struct_ptr: np.ndarray, struct_rows: np.ndarray) -> "SymbolicL":
+        """Rebuild from precomputed arrays (the AnalysisCache hit path).
+
+        Skips both the elimination-tree and the structure pass entirely.
+        """
+        self = cls.__new__(cls)
+        self.lower = sp.csc_matrix(lower)
+        self.n = self.lower.shape[0]
+        self.parent = np.asarray(parent, dtype=np.int64)
+        self.struct_ptr = np.asarray(struct_ptr, dtype=np.int64)
+        self.struct_rows = np.asarray(struct_rows, dtype=np.int64)
+        self.structs = _struct_views(self.struct_ptr, self.struct_rows)
+        self.counts = np.diff(self.struct_ptr)
+        return self
 
     @property
     def nnz(self) -> int:

@@ -78,3 +78,123 @@ class TestEventQueue:
             return log
 
         assert build() == build()
+
+    def test_schedule_passes_args(self):
+        q = EventQueue()
+        log = []
+        q.schedule(1.0, lambda t, a, b: log.append((t, a, b)), "x", 7)
+        q.run()
+        assert log == [(1.0, "x", 7)]
+
+    def test_relative_past_tolerance_at_large_timestamps(self):
+        # Regression: the old absolute 1e-15 epsilon rejected legitimate
+        # float rounding once ``now`` grew large.  ``big - eps(big)`` is a
+        # one-ulp rounding of an arrival computed at time ``big`` and must
+        # be accepted; a genuinely past time must still raise.
+        q = EventQueue()
+        big = 1.0e6
+        log = []
+
+        def at_big(t):
+            one_ulp_past = big - big * 1e-13   # inside relative tolerance
+            q.schedule(one_ulp_past, lambda t2: log.append(t2))
+            with pytest.raises(ValueError, match="before now"):
+                q.schedule(big - 1.0, lambda t2: None)
+
+        q.schedule(big, at_big)
+        q.run()
+        assert len(log) == 1
+
+    def test_immediate_lane_preserves_order(self):
+        # Events scheduled at exactly ``now`` bypass the heap; they must
+        # still interleave correctly with heap-resident later events and
+        # run in scheduling order among themselves.
+        q = EventQueue()
+        log = []
+
+        def first(t):
+            q.schedule(t + 1.0, lambda t2: log.append("later"))
+            q.schedule(t, lambda t2: log.append("imm1"))
+            q.schedule(t, lambda t2: log.append("imm2"))
+
+        q.schedule(1.0, first)
+        q.run()
+        assert log == ["imm1", "imm2", "later"]
+
+    def test_immediate_lane_defers_to_equal_time_heap_entries(self):
+        # Two events pre-scheduled at t=1.0 sit in the heap.  While the
+        # first runs, a new t=1.0 event must NOT jump ahead of the second
+        # pre-scheduled one (seq order decides).
+        q = EventQueue()
+        log = []
+
+        def first(t):
+            log.append("first")
+            q.schedule(t, lambda t2: log.append("new"))
+
+        q.schedule(1.0, first)
+        q.schedule(1.0, lambda t: log.append("second"))
+        q.run()
+        assert log == ["first", "second", "new"]
+
+    def test_schedule_batch_matches_individual_schedules(self):
+        def run_individual():
+            q = EventQueue()
+            log = []
+            q.schedule(2.0, lambda t: log.append("late"))
+            for i in range(5):
+                q.schedule(1.0, lambda t, i=i: log.append(i))
+            q.run()
+            return log
+
+        q = EventQueue()
+        log = []
+        q.schedule(2.0, lambda t: log.append("late"))
+        n = q.schedule_batch(
+            1.0,
+            [(lambda t, i=i: log.append(i), ()) for i in range(5)])
+        assert n == 5
+        q.run()
+        assert log == run_individual()
+
+    def test_schedule_batch_rejects_past_times(self):
+        q = EventQueue()
+
+        def advance(t):
+            with pytest.raises(ValueError, match="before now"):
+                q.schedule_batch(t - 1.0, [(lambda t2: None, ())])
+
+        q.schedule(5.0, advance)
+        q.run()
+
+    def test_pop_order_equals_plain_heap(self):
+        # Property: with a mix of immediate-lane and heap traffic, the
+        # executed order equals the (time, seq) order a plain heap with
+        # FIFO tie-break would produce.
+        q = EventQueue()
+        log = []
+
+        def emit(t, tag):
+            log.append(tag)
+
+        def storm(t, base):
+            # same-time events (immediate lane or heap, depending on what
+            # else is pending) plus a strictly later one
+            for i in range(3):
+                q.schedule(t, emit, f"{base}-imm{i}")
+            q.schedule(t + 0.5, emit, f"{base}-late")
+
+        q.schedule(0.0, storm, "a")
+        q.schedule(1.0, storm, "b")
+        q.schedule(1.0, storm, "c")
+        q.run()
+        assert log == [
+            # storm a runs alone at 0.0: its same-time events use the lane
+            "a-imm0", "a-imm1", "a-imm2", "a-late",
+            # storms b and c share t=1.0: b's same-time events go to the
+            # heap (c is still pending there) and must run after c fires
+            # but before c's own same-time events (seq order)
+            "b-imm0", "b-imm1", "b-imm2",
+            "c-imm0", "c-imm1", "c-imm2",
+            "b-late", "c-late",
+        ]
